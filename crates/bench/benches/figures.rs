@@ -1,0 +1,169 @@
+//! One benchmark per reproduced table/figure: each runs a smoke-scale
+//! slice of the experiment, so `cargo bench` both times the simulator on
+//! every workload class and re-exercises every figure's code path. The
+//! measured model output is printed once per benchmark for eyeballing.
+
+use std::sync::Once;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use hmc_experiments::common::{gups_run, stream_run, ExpContext, Scale};
+use hmc_experiments::{ext, fig10_12, fig14, fig7_8, fig9, table1};
+use hmc_sim::prelude::*;
+use hmc_sim::workloads::random_reads_in_banks;
+
+fn ctx() -> ExpContext {
+    ExpContext { scale: Scale::Smoke, seed: 2018 }
+}
+
+fn bench_table1(c: &mut Criterion) {
+    c.bench_function("table1_render", |b| {
+        b.iter(|| table1::render().to_csv().len());
+    });
+}
+
+fn bench_fig6(c: &mut Criterion) {
+    static ONCE: Once = Once::new();
+    c.bench_function("fig6_point_16vaults_128B", |b| {
+        b.iter(|| {
+            let report = gups_run(
+                &ctx(),
+                1,
+                AccessPattern::Vaults { count: 16 },
+                GupsOp::Read(PayloadSize::B128),
+                9,
+            );
+            ONCE.call_once(|| {
+                eprintln!(
+                    "[fig6] 16 vaults 128B: {:.2} GB/s at {:.2} us",
+                    report.total_bandwidth_gbs(),
+                    report.mean_latency_us()
+                );
+            });
+            report.total_accesses()
+        });
+    });
+}
+
+fn bench_fig7_8(c: &mut Criterion) {
+    static ONCE: Once = Once::new();
+    c.bench_function("fig7_stream_55_reads", |b| {
+        b.iter(|| {
+            let map = AddressMap::hmc_gen2_default();
+            let trace = random_reads_in_banks(&map, VaultId(0), 16, PayloadSize::B64, 55, 3);
+            let report = stream_run(3, vec![trace]);
+            ONCE.call_once(|| {
+                eprintln!("[fig7] n=55 64B: {:.2} us", report.mean_latency_us());
+            });
+            report.total_accesses()
+        });
+    });
+    c.bench_function("fig8_sweep_smoke", |b| {
+        b.iter(|| fig7_8::run(&ctx(), 100).len());
+    });
+}
+
+fn bench_fig9(c: &mut Criterion) {
+    c.bench_function("fig9_collision_point", |b| {
+        b.iter(|| {
+            let map = AddressMap::hmc_gen2_default();
+            let traces: Vec<_> = (0..4u64)
+                .map(|p| {
+                    hmc_sim::workloads::random_reads_in_vaults(
+                        &map,
+                        &[VaultId(5)],
+                        PayloadSize::B128,
+                        120,
+                        10 + p,
+                    )
+                })
+                .collect();
+            stream_run(10, traces).max_latency_us()
+        });
+    });
+    // The full sweep at smoke scale (all 16 sweep positions × 4 sizes).
+    c.bench_function("fig9_sweep_smoke", |b| {
+        b.iter(|| fig9::run(&ctx(), 5).len());
+    });
+}
+
+fn bench_fig10_12(c: &mut Criterion) {
+    static ONCE: Once = Once::new();
+    c.bench_function("fig10_combo_sweep_smoke", |b| {
+        b.iter(|| {
+            let data = fig10_12::run(&ctx(), PayloadSize::B64);
+            ONCE.call_once(|| {
+                let (mean, sd) = fig10_12::latency_moments(&data);
+                eprintln!(
+                    "[fig10] 64B over {} combos: mean {:.0} ns σ {:.1} ns",
+                    data.combos_run, mean, sd
+                );
+            });
+            data.combos_run
+        });
+    });
+}
+
+fn bench_fig13(c: &mut Criterion) {
+    c.bench_function("fig13_point_4ports", |b| {
+        b.iter(|| {
+            gups_run(
+                &ctx(),
+                13,
+                AccessPattern::Vaults { count: 16 },
+                GupsOp::Read(PayloadSize::B64),
+                4,
+            )
+            .total_bandwidth_gbs()
+        });
+    });
+}
+
+fn bench_fig14(c: &mut Criterion) {
+    static ONCE: Once = Once::new();
+    c.bench_function("fig14_sweep_smoke", |b| {
+        b.iter(|| {
+            let points = fig14::run(&ctx());
+            ONCE.call_once(|| {
+                eprintln!(
+                    "[fig14] outstanding 2 banks {:.0}, 4 banks {:.0}; vault peaks {:.0} / {:.0}",
+                    fig14::average_outstanding(&points, 2),
+                    fig14::average_outstanding(&points, 4),
+                    fig14::average_vault_peak(&points, 2),
+                    fig14::average_vault_peak(&points, 4),
+                );
+            });
+            points.len()
+        });
+    });
+}
+
+fn bench_ext(c: &mut Criterion) {
+    c.bench_function("ext_ddr_comparison", |b| {
+        b.iter(|| ext::ddr_comparison(&ctx()).to_csv().len());
+    });
+    c.bench_function("ext_rw_mix_point", |b| {
+        b.iter(|| {
+            gups_run(
+                &ctx(),
+                21,
+                AccessPattern::Vaults { count: 16 },
+                GupsOp::Mix { size: PayloadSize::B128, write_percent: 50 },
+                9,
+            )
+            .total_bandwidth_gbs()
+        });
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default().sample_size(10)
+}
+
+criterion_group! {
+    name = figures;
+    config = config();
+    targets = bench_table1, bench_fig6, bench_fig7_8, bench_fig9, bench_fig10_12,
+        bench_fig13, bench_fig14, bench_ext
+}
+criterion_main!(figures);

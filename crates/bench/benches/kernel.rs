@@ -1,0 +1,137 @@
+//! Micro-benchmarks of the simulation substrates: event kernel, switch,
+//! DRAM bank engine, link serializer, address mapping.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use hmc_sim::des::{Component, Ctx, Delay, Engine, Time};
+use hmc_sim::dram::{DramTiming, VaultMemory};
+use hmc_sim::link::{LinkConfig, LinkTx};
+use hmc_sim::mapping::AddressMap;
+use hmc_sim::noc::{SwitchConfig, SwitchCore, SwitchEntry};
+use hmc_sim::packet::Address;
+
+/// A component that reschedules itself `remaining` times.
+struct SelfTicker {
+    remaining: u64,
+}
+
+impl Component<()> for SelfTicker {
+    fn on_message(&mut self, _msg: (), ctx: &mut Ctx<'_, ()>) {
+        if self.remaining > 0 {
+            self.remaining -= 1;
+            ctx.send_self(Delay::from_ns(1), ());
+        }
+    }
+}
+
+fn bench_engine(c: &mut Criterion) {
+    c.bench_function("des_engine_100k_events", |b| {
+        b.iter_batched(
+            || {
+                let mut e: Engine<()> = Engine::new();
+                let id = e.add_component(Box::new(SelfTicker { remaining: 100_000 }));
+                e.schedule(Time::ZERO, id, ());
+                e
+            },
+            |mut e| e.run_to_quiescence(),
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+fn bench_switch(c: &mut Criterion) {
+    let cfg = SwitchConfig {
+        inputs: 8,
+        outputs: 8,
+        input_capacity_flits: 1_000_000,
+        hop_latency: Delay::from_ns(2),
+        flit_time: Delay::from_ps(800),
+    };
+    c.bench_function("switch_10k_packets", |b| {
+        b.iter_batched(
+            || {
+                let mut sw: SwitchCore<u32> = SwitchCore::new(cfg, &[10_000_000; 8]);
+                for i in 0..10_000u32 {
+                    sw.try_enqueue(
+                        (i % 8) as usize,
+                        SwitchEntry { output: ((i * 7) % 8) as usize, flits: 2, payload: i },
+                    )
+                    .expect("huge buffers");
+                }
+                sw
+            },
+            |mut sw| {
+                let mut now = Time::ZERO;
+                let mut total = 0usize;
+                loop {
+                    total += sw.service(now).len();
+                    match sw.next_wake(now) {
+                        Some(t) => now = t,
+                        None => break,
+                    }
+                }
+                total
+            },
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+fn bench_vault_memory(c: &mut Criterion) {
+    c.bench_function("vault_memory_10k_reads", |b| {
+        b.iter_batched(
+            || VaultMemory::new(16, DramTiming::hmc_gen2()),
+            |mut v| {
+                let mut last = Time::ZERO;
+                for i in 0..10_000u64 {
+                    last = v.read(last, (i % 16) as usize, 4);
+                }
+                last
+            },
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+fn bench_link(c: &mut Criterion) {
+    c.bench_function("link_tx_10k_packets", |b| {
+        b.iter_batched(
+            || {
+                let mut cfg = LinkConfig::ac510_default();
+                cfg.input_buffer_flits = 1_000_000;
+                let mut tx: LinkTx<u32> = LinkTx::new(&cfg);
+                for i in 0..10_000u32 {
+                    tx.enqueue(i, 9);
+                }
+                tx
+            },
+            |mut tx| tx.service(Time::ZERO).len(),
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+fn bench_mapping(c: &mut Criterion) {
+    let map = AddressMap::hmc_gen2_default();
+    c.bench_function("address_decode_10k", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for i in 0..10_000u64 {
+                let loc = map.decode(Address::new(i.wrapping_mul(0x9E37_79B9_7F4A_7C15)));
+                acc += u64::from(loc.vault.0) + u64::from(loc.bank.0);
+            }
+            acc
+        });
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default().sample_size(20)
+}
+
+criterion_group! {
+    name = kernel;
+    config = config();
+    targets = bench_engine, bench_switch, bench_vault_memory, bench_link, bench_mapping
+}
+criterion_main!(kernel);

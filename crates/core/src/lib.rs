@@ -1,0 +1,66 @@
+//! # hmc-sim
+//!
+//! The public API of the `hmc-noc-sim` reproduction of *"Performance
+//! Implications of NoCs on 3D-Stacked Memories: Insights from the Hybrid
+//! Memory Cube"* (Hadidi et al., ISPASS 2018).
+//!
+//! This crate assembles the workspace's substrates — the [`hmc_device`]
+//! cube model, the [`hmc_host`] FPGA model, workload generators and
+//! statistics — into a deterministic full-system simulation:
+//!
+//! 1. describe the system with a [`SystemConfig`] (defaults model the
+//!    paper's AC-510 board: 4 GB HMC 1.1, two half-width 15 Gbps links,
+//!    187.5 MHz FPGA with nine ports);
+//! 2. describe the traffic with [`PortSpec`]s — GUPS address generators
+//!    behind mask/anti-mask [`AccessPattern`] filters, or trace-driven
+//!    stream ports;
+//! 3. run [`SystemSim::run_gups`] (fixed-duration, high contention) or
+//!    [`SystemSim::run_streams`] (bounded traces, tunable load) and read
+//!    the [`RunReport`].
+//!
+//! ```
+//! use hmc_des::Delay;
+//! use hmc_sim::prelude::*;
+//!
+//! // One port of random 128 B reads over all 16 vaults.
+//! let cfg = SystemConfig::ac510(7);
+//! let filter = AccessPattern::Vaults { count: 16 }.filter(&cfg.device.map);
+//! let port = PortSpec::gups(filter, GupsOp::Read(PayloadSize::B128));
+//! let report = SystemSim::new(cfg, vec![port])
+//!     .run_gups(Delay::from_us(5), Delay::from_us(20));
+//! assert!(report.total_bandwidth_gbs() > 0.5);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod report;
+mod system;
+
+pub use report::{PortReport, RunReport};
+pub use system::{PortSpec, SystemConfig, SystemSim, GUPS_TAGS, STREAM_TAGS};
+
+// Re-export the substrate crates under stable names.
+pub use hmc_ddr as ddr;
+pub use hmc_des as des;
+pub use hmc_device as device;
+pub use hmc_dram as dram;
+pub use hmc_host as host;
+pub use hmc_link as link;
+pub use hmc_mapping as mapping;
+pub use hmc_noc as noc;
+pub use hmc_packet as packet;
+pub use hmc_stats as stats;
+pub use hmc_workloads as workloads;
+
+/// The most commonly used items, importable in one line.
+pub mod prelude {
+    pub use crate::{PortSpec, RunReport, SystemConfig, SystemSim, GUPS_TAGS, STREAM_TAGS};
+    pub use hmc_des::{Delay, Time};
+    pub use hmc_device::DeviceConfig;
+    pub use hmc_host::{GupsOp, HostConfig, Traffic};
+    pub use hmc_mapping::{AccessPattern, AddressMap, BankId, Geometry, VaultId};
+    pub use hmc_packet::{Address, PayloadSize, PortId, RequestKind};
+    pub use hmc_stats::{Histogram, LatencyRecorder, Summary, Table};
+    pub use hmc_workloads::{random_reads_in_banks, random_reads_in_vaults, vault_combinations, Trace};
+}

@@ -1,0 +1,392 @@
+//! Full-system simulation: host and device wired onto the event engine.
+
+use hmc_des::{Component, ComponentId, Ctx, Delay, Engine, Time};
+use hmc_device::{DeviceConfig, DeviceOutput, HmcDevice};
+use hmc_host::{HostConfig, HostEvent, HostModel, Port, Traffic};
+use hmc_packet::{LinkId, PortId, RequestPacket, ResponsePacket};
+
+use crate::report::{PortReport, RunReport};
+
+/// Default GUPS tag-pool size: 64 tags per port. Nine ports give the 576
+/// maximum outstanding requests consistent with the paper's Figure 14
+/// (≈535 measured for 4-bank patterns, just under the tag ceiling).
+pub const GUPS_TAGS: u16 = 64;
+
+/// Default stream tag-pool size: 80 tags per port, matching the Figure 8
+/// saturation knee (the paper's latency stops growing near 100 in-flight
+/// requests).
+pub const STREAM_TAGS: u16 = 80;
+
+/// Specification of one traffic port.
+#[derive(Debug, Clone)]
+pub struct PortSpec {
+    /// Traffic source.
+    pub traffic: Traffic,
+    /// Tag-pool size (maximum outstanding requests).
+    pub tags: u16,
+}
+
+impl PortSpec {
+    /// A GUPS port with the default tag pool.
+    pub fn gups(filter: hmc_mapping::AddressFilter, op: hmc_host::GupsOp) -> PortSpec {
+        PortSpec { traffic: Traffic::Gups { filter, op }, tags: GUPS_TAGS }
+    }
+
+    /// A stream port with the default tag pool.
+    pub fn stream(trace: hmc_workloads::Trace) -> PortSpec {
+        PortSpec { traffic: Traffic::Stream { trace }, tags: STREAM_TAGS }
+    }
+
+    /// Overrides the tag-pool size.
+    pub fn with_tags(mut self, tags: u16) -> PortSpec {
+        self.tags = tags;
+        self
+    }
+}
+
+/// Configuration of a full host + cube system.
+#[derive(Debug, Clone)]
+pub struct SystemConfig {
+    /// The cube.
+    pub device: DeviceConfig,
+    /// The FPGA host.
+    pub host: HostConfig,
+    /// Root seed for all randomness (per-port RNGs derive from it).
+    pub seed: u64,
+}
+
+impl SystemConfig {
+    /// The paper's full measurement stack with the given seed.
+    pub fn ac510(seed: u64) -> SystemConfig {
+        SystemConfig {
+            device: DeviceConfig::ac510_hmc(),
+            host: HostConfig::ac510_default(),
+            seed,
+        }
+    }
+}
+
+impl Default for SystemConfig {
+    fn default() -> SystemConfig {
+        SystemConfig::ac510(0)
+    }
+}
+
+/// Messages exchanged between the host and device components.
+enum Msg {
+    /// One FPGA cycle at the host.
+    HostTick,
+    /// Deactivate GUPS ports and freeze monitors (end of measurement).
+    HostStop,
+    /// Clear monitors (end of warmup).
+    HostResetStats,
+    /// A response fully arrived at the host on `link`.
+    HostResponse { link: LinkId, pkt: ResponsePacket },
+    /// A response finished draining to its port.
+    PortDeliver { pkt: ResponsePacket },
+    /// The device freed request-link input buffer space.
+    ReturnRequestTokens { link: LinkId, flits: u32 },
+    /// A request fully arrived at the device on `link`.
+    DeviceRequest { link: LinkId, pkt: RequestPacket },
+    /// Internal device work is due.
+    DeviceWake,
+    /// The host freed response RX buffer space.
+    ReturnResponseTokens { link: LinkId, flits: u32 },
+}
+
+/// How a run terminates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RunMode {
+    /// GUPS ports tick until the stop time, then drain.
+    GupsUntil(Time),
+    /// Stream ports tick until every trace is issued and answered.
+    Stream,
+}
+
+struct HostComp {
+    model: HostModel,
+    device: Option<ComponentId>,
+    mode: RunMode,
+    period: Delay,
+    measure_start: Time,
+    measure_end: Option<Time>,
+}
+
+impl HostComp {
+    fn relay(&self, events: Vec<HostEvent>, ctx: &mut Ctx<'_, Msg>) {
+        let device = self.device.expect("device wired before first message");
+        let me = ctx.self_id();
+        for ev in events {
+            match ev {
+                HostEvent::RequestArrival { link, pkt, at } => {
+                    ctx.send_at(at, device, Msg::DeviceRequest { link, pkt });
+                }
+                HostEvent::ResponseDrained { pkt, at, .. } => {
+                    ctx.send_at(at, me, Msg::PortDeliver { pkt });
+                }
+                HostEvent::ResponseTokens { link, flits, at } => {
+                    ctx.send_at(at, device, Msg::ReturnResponseTokens { link, flits });
+                }
+            }
+        }
+    }
+
+    fn should_tick_again(&self, next: Time) -> bool {
+        match self.mode {
+            RunMode::GupsUntil(stop) => next < stop,
+            RunMode::Stream => !self.model.all_done(),
+        }
+    }
+}
+
+impl Component<Msg> for HostComp {
+    fn on_message(&mut self, msg: Msg, ctx: &mut Ctx<'_, Msg>) {
+        match msg {
+            Msg::HostTick => {
+                let events = self.model.tick(ctx.now());
+                self.relay(events, ctx);
+                let next = ctx.now() + self.period;
+                if self.should_tick_again(next) {
+                    ctx.send_self(self.period, Msg::HostTick);
+                }
+            }
+            Msg::HostStop => {
+                self.model.set_all_active(false);
+                self.model.freeze_stats();
+                self.measure_end = Some(ctx.now());
+            }
+            Msg::HostResetStats => {
+                self.model.reset_stats();
+                self.measure_start = ctx.now();
+            }
+            Msg::HostResponse { link, pkt } => {
+                let events = self.model.on_response_arrival(ctx.now(), link, pkt);
+                self.relay(events, ctx);
+            }
+            Msg::PortDeliver { pkt } => {
+                self.model.deliver_response(ctx.now(), &pkt);
+            }
+            Msg::ReturnRequestTokens { link, flits } => {
+                let events = self.model.on_request_tokens(ctx.now(), link, flits);
+                self.relay(events, ctx);
+            }
+            _ => unreachable!("message addressed to the device reached the host"),
+        }
+    }
+
+    fn name(&self) -> &str {
+        "host"
+    }
+}
+
+struct DeviceComp {
+    device: HmcDevice,
+    host: ComponentId,
+    wake_at: Option<Time>,
+}
+
+impl Component<Msg> for DeviceComp {
+    fn on_message(&mut self, msg: Msg, ctx: &mut Ctx<'_, Msg>) {
+        let now = ctx.now();
+        if self.wake_at.is_some_and(|w| w <= now) {
+            self.wake_at = None;
+        }
+        match msg {
+            Msg::DeviceRequest { link, pkt } => self.device.on_request(now, link, pkt),
+            Msg::ReturnResponseTokens { link, flits } => {
+                self.device.return_response_tokens(link, flits);
+            }
+            Msg::DeviceWake => {}
+            _ => unreachable!("message addressed to the host reached the device"),
+        }
+        for out in self.device.advance(now) {
+            match out {
+                DeviceOutput::Response { link, pkt, at } => {
+                    ctx.send_at(at, self.host, Msg::HostResponse { link, pkt });
+                }
+                DeviceOutput::RequestTokens { link, flits } => {
+                    ctx.send(Delay::ZERO, self.host, Msg::ReturnRequestTokens { link, flits });
+                }
+            }
+        }
+        if let Some(t) = self.device.next_wake() {
+            debug_assert!(t >= now, "device wake in the past");
+            if self.wake_at.is_none_or(|w| w > t) {
+                let me = ctx.self_id();
+                ctx.send_at(t, me, Msg::DeviceWake);
+                self.wake_at = Some(t);
+            }
+        }
+    }
+
+    fn name(&self) -> &str {
+        "device"
+    }
+}
+
+/// A complete simulated measurement system: FPGA host plus HMC device on a
+/// deterministic event engine.
+///
+/// One `SystemSim` performs one run ([`SystemSim::run_gups`] or
+/// [`SystemSim::run_streams`]) and is then consumed by the report.
+///
+/// # Examples
+///
+/// ```
+/// use hmc_des::Delay;
+/// use hmc_host::GupsOp;
+/// use hmc_mapping::AccessPattern;
+/// use hmc_packet::PayloadSize;
+/// use hmc_sim::{PortSpec, SystemConfig, SystemSim};
+///
+/// let cfg = SystemConfig::ac510(42);
+/// let map = cfg.device.map;
+/// let filter = AccessPattern::Vaults { count: 16 }.filter(&map);
+/// let ports = vec![PortSpec::gups(filter, GupsOp::Read(PayloadSize::B64)); 2];
+/// let mut sim = SystemSim::new(cfg, ports);
+/// let report = sim.run_gups(Delay::from_us(5), Delay::from_us(20));
+/// assert!(report.total_accesses() > 0);
+/// assert!(report.mean_latency_ns() > 500.0);
+/// ```
+pub struct SystemSim {
+    engine: Engine<Msg>,
+    host: ComponentId,
+    device: ComponentId,
+    started: bool,
+}
+
+impl SystemSim {
+    /// Builds a system with one port per spec.
+    ///
+    /// The host's request-link token pool is wired to the device's link
+    /// input buffer automatically.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configurations are invalid, `specs` is empty, or the
+    /// host and device disagree on link count.
+    pub fn new(cfg: SystemConfig, specs: Vec<PortSpec>) -> SystemSim {
+        assert!(!specs.is_empty(), "a system needs at least one port");
+        assert_eq!(
+            usize::from(cfg.host.link_count),
+            cfg.device.link_count(),
+            "host and device must agree on link count"
+        );
+        let device_model = HmcDevice::new(cfg.device.clone());
+        let mut host_cfg = cfg.host.clone();
+        // Request-direction tokens guard the cube's link input buffers.
+        host_cfg.link.input_buffer_flits = device_model.request_tokens_per_link();
+        let ports: Vec<Port> = specs
+            .into_iter()
+            .enumerate()
+            .map(|(i, spec)| {
+                let seed =
+                    cfg.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(i as u64 + 1);
+                Port::new(PortId(i as u8), spec.traffic, spec.tags, seed)
+            })
+            .collect();
+        let host_model = HostModel::new(host_cfg, ports);
+        let period = host_model.config().fpga_period;
+
+        let mut engine = Engine::new();
+        let host = engine.add_component(Box::new(HostComp {
+            model: host_model,
+            device: None,
+            mode: RunMode::Stream,
+            period,
+            measure_start: Time::ZERO,
+            measure_end: None,
+        }));
+        let device = engine.add_component(Box::new(DeviceComp {
+            device: device_model,
+            host,
+            wake_at: None,
+        }));
+        engine
+            .component_mut::<HostComp>(host)
+            .expect("host registered")
+            .device = Some(device);
+        SystemSim { engine, host, device, started: false }
+    }
+
+    /// Runs the GUPS firmware: every port generates random requests for
+    /// `warmup + measure`, monitors reset after `warmup`, and the
+    /// measurement freezes at the end while in-flight traffic drains.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the system was already run.
+    pub fn run_gups(&mut self, warmup: Delay, measure: Delay) -> RunReport {
+        assert!(!self.started, "a SystemSim performs a single run");
+        self.started = true;
+        let stop_at = Time::ZERO + warmup + measure;
+        {
+            let host = self.engine.component_mut::<HostComp>(self.host).expect("host");
+            host.mode = RunMode::GupsUntil(stop_at);
+            host.model.set_all_active(true);
+        }
+        self.engine.schedule(Time::ZERO, self.host, Msg::HostTick);
+        self.engine
+            .schedule(Time::ZERO + warmup, self.host, Msg::HostResetStats);
+        self.engine.schedule(stop_at, self.host, Msg::HostStop);
+        self.engine.run_to_quiescence();
+        self.collect()
+    }
+
+    /// Runs the multi-port stream firmware: every port replays its trace
+    /// as fast as tags allow; the run ends when all responses are home.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the system was already run.
+    pub fn run_streams(&mut self) -> RunReport {
+        assert!(!self.started, "a SystemSim performs a single run");
+        self.started = true;
+        {
+            let host = self.engine.component_mut::<HostComp>(self.host).expect("host");
+            host.mode = RunMode::Stream;
+        }
+        self.engine.schedule(Time::ZERO, self.host, Msg::HostTick);
+        self.engine.run_to_quiescence();
+        self.collect()
+    }
+
+    /// Peak-occupancy census of the device's internal buffers after a
+    /// run; a calibration/debugging aid.
+    #[doc(hidden)]
+    pub fn device_peak_census(&self) -> Vec<(String, u64)> {
+        self.engine
+            .component::<DeviceComp>(self.device)
+            .expect("device registered")
+            .device
+            .peak_census()
+    }
+
+    fn collect(&mut self) -> RunReport {
+        let sim_end = self.engine.now();
+        let host = self.engine.component::<HostComp>(self.host).expect("host");
+        let measure_end = host.measure_end.unwrap_or(sim_end);
+        let elapsed = measure_end.saturating_since(host.measure_start);
+        let ports = host
+            .model
+            .ports()
+            .iter()
+            .map(|p| PortReport {
+                port: p.id(),
+                issued: p.issued(),
+                completed: p.completed(),
+                latency: *p.latency(),
+                bytes: *p.bytes(),
+                reads: p.reads_recorded(),
+                writes: p.writes_recorded(),
+            })
+            .collect();
+        let device_stats = self
+            .engine
+            .component::<DeviceComp>(self.device)
+            .expect("device registered")
+            .device
+            .stats();
+        RunReport { ports, elapsed, device: device_stats, sim_end }
+    }
+}

@@ -1,0 +1,380 @@
+//! The event engine: a deterministic, single-threaded discrete-event loop.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::fmt;
+
+use crate::time::{Delay, Time};
+
+/// Identifies a component registered with an [`Engine`].
+///
+/// Ids are dense indices assigned in registration order, which makes wiring
+/// tables (`Vec<ComponentId>`) cheap and deterministic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ComponentId(u32);
+
+impl ComponentId {
+    /// The dense index of this component.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ComponentId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "component#{}", self.0)
+    }
+}
+
+/// A simulated hardware block that reacts to timestamped messages.
+///
+/// Handlers receive a [`Ctx`] through which they may schedule further
+/// messages (to themselves or to other components) at the current time or
+/// later. Handlers must not block and must not assume any ordering between
+/// messages carrying the same timestamp other than the engine's FIFO
+/// guarantee (messages scheduled earlier are delivered earlier).
+pub trait Component<M>: AsAnyComponent {
+    /// Reacts to `msg`, delivered at time `ctx.now()`.
+    fn on_message(&mut self, msg: M, ctx: &mut Ctx<'_, M>);
+
+    /// A short human-readable name used in panics and debug output.
+    fn name(&self) -> &str {
+        "component"
+    }
+}
+
+/// One scheduled message. Ordered by `(time, seq)` so the queue pops in
+/// timestamp order with FIFO tie-breaking — the source of the engine's
+/// determinism.
+struct Scheduled<M> {
+    time: Time,
+    seq: u64,
+    target: ComponentId,
+    msg: M,
+}
+
+impl<M> PartialEq for Scheduled<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<M> Eq for Scheduled<M> {}
+impl<M> PartialOrd for Scheduled<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Scheduled<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+/// The part of the engine visible to a handler while it runs: the clock and
+/// the event queue. Split from the component storage so a component can be
+/// borrowed mutably while it schedules new events.
+struct EngineCore<M> {
+    time: Time,
+    seq: u64,
+    queue: BinaryHeap<Reverse<Scheduled<M>>>,
+    dispatched: u64,
+}
+
+impl<M> EngineCore<M> {
+    fn push(&mut self, time: Time, target: ComponentId, msg: M) {
+        debug_assert!(time >= self.time, "cannot schedule into the past");
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Reverse(Scheduled { time, seq, target, msg }));
+    }
+}
+
+/// Handler-side view of the engine: read the clock, schedule messages.
+pub struct Ctx<'a, M> {
+    core: &'a mut EngineCore<M>,
+    self_id: ComponentId,
+}
+
+impl<'a, M> Ctx<'a, M> {
+    /// The current simulation time.
+    #[inline]
+    pub fn now(&self) -> Time {
+        self.core.time
+    }
+
+    /// The id of the component currently handling a message.
+    #[inline]
+    pub fn self_id(&self) -> ComponentId {
+        self.self_id
+    }
+
+    /// Schedules `msg` for delivery to `to` after `delay`.
+    ///
+    /// A `delay` of [`Delay::ZERO`] delivers at the current timestamp, after
+    /// every message already queued for this timestamp (FIFO).
+    #[inline]
+    pub fn send(&mut self, delay: Delay, to: ComponentId, msg: M) {
+        let at = self.core.time + delay;
+        self.core.push(at, to, msg);
+    }
+
+    /// Schedules `msg` for delivery to the current component after `delay`.
+    #[inline]
+    pub fn send_self(&mut self, delay: Delay, msg: M) {
+        let id = self.self_id;
+        self.send(delay, id, msg);
+    }
+
+    /// Schedules `msg` for delivery to `to` at the absolute instant `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `at` is in the past.
+    #[inline]
+    pub fn send_at(&mut self, at: Time, to: ComponentId, msg: M) {
+        self.core.push(at, to, msg);
+    }
+}
+
+/// Counters describing an engine run; useful for benchmarking the kernel and
+/// asserting that experiments did real work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EngineStats {
+    /// Total messages dispatched to components.
+    pub dispatched: u64,
+    /// Messages still queued (e.g. after `run_until` stopped at a horizon).
+    pub pending: usize,
+}
+
+/// A deterministic discrete-event engine over message type `M`.
+///
+/// # Examples
+///
+/// ```
+/// use hmc_des::{Component, Ctx, Delay, Engine, Time};
+///
+/// struct Echo {
+///     seen: u32,
+/// }
+///
+/// impl Component<u32> for Echo {
+///     fn on_message(&mut self, msg: u32, ctx: &mut Ctx<'_, u32>) {
+///         self.seen += msg;
+///         if msg > 0 {
+///             ctx.send_self(Delay::from_ns(1), msg - 1);
+///         }
+///     }
+/// }
+///
+/// let mut engine = Engine::new();
+/// let id = engine.add_component(Box::new(Echo { seen: 0 }));
+/// engine.schedule(Time::ZERO, id, 3);
+/// engine.run_to_quiescence();
+/// assert_eq!(engine.component::<Echo>(id).unwrap().seen, 3 + 2 + 1);
+/// ```
+pub struct Engine<M> {
+    core: EngineCore<M>,
+    components: Vec<Option<Box<dyn Component<M>>>>,
+    names: Vec<String>,
+}
+
+impl<M> Default for Engine<M> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<M> Engine<M> {
+    /// Creates an empty engine with the clock at [`Time::ZERO`].
+    pub fn new() -> Engine<M> {
+        Engine {
+            core: EngineCore {
+                time: Time::ZERO,
+                seq: 0,
+                queue: BinaryHeap::new(),
+                dispatched: 0,
+            },
+            components: Vec::new(),
+            names: Vec::new(),
+        }
+    }
+
+    /// Registers a component and returns its id.
+    pub fn add_component(&mut self, component: Box<dyn Component<M>>) -> ComponentId {
+        let id = ComponentId(self.components.len() as u32);
+        self.names.push(component.name().to_owned());
+        self.components.push(Some(component));
+        id
+    }
+
+    /// The current simulation time.
+    #[inline]
+    pub fn now(&self) -> Time {
+        self.core.time
+    }
+
+    /// The number of registered components.
+    pub fn component_count(&self) -> usize {
+        self.components.len()
+    }
+
+    /// Schedules `msg` for delivery to `to` at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `at` is before the current time.
+    pub fn schedule(&mut self, at: Time, to: ComponentId, msg: M) {
+        self.core.push(at, to, msg);
+    }
+
+    /// Schedules `msg` for delivery to `to` after `delay` from now.
+    pub fn schedule_after(&mut self, delay: Delay, to: ComponentId, msg: M) {
+        let at = self.core.time + delay;
+        self.core.push(at, to, msg);
+    }
+
+    /// Runs until the queue is empty. Returns the number of messages
+    /// dispatched by this call.
+    pub fn run_to_quiescence(&mut self) -> u64 {
+        self.run_until(Time::MAX)
+    }
+
+    /// Runs until the queue is empty or the next message is strictly after
+    /// `horizon`; the clock never advances past `horizon`. Returns the number
+    /// of messages dispatched by this call.
+    pub fn run_until(&mut self, horizon: Time) -> u64 {
+        let before = self.core.dispatched;
+        while let Some(Reverse(head)) = self.core.queue.peek() {
+            if head.time > horizon {
+                break;
+            }
+            let Reverse(ev) = self.core.queue.pop().expect("peeked event vanished");
+            debug_assert!(ev.time >= self.core.time, "event queue went backwards");
+            self.core.time = ev.time;
+            self.core.dispatched += 1;
+            let slot = ev.target.index();
+            let mut component = self.components[slot]
+                .take()
+                .unwrap_or_else(|| panic!("{} dispatched re-entrantly", self.names[slot]));
+            let mut ctx = Ctx { core: &mut self.core, self_id: ev.target };
+            component.on_message(ev.msg, &mut ctx);
+            self.components[slot] = Some(component);
+        }
+        if self.core.time < horizon && horizon != Time::MAX {
+            self.core.time = horizon;
+        }
+        self.core.dispatched - before
+    }
+
+    /// Borrows a component by id, downcast to its concrete type.
+    ///
+    /// Returns `None` if the id is unknown or the type does not match.
+    pub fn component<T: 'static>(&self, id: ComponentId) -> Option<&T>
+    where
+        M: 'static,
+    {
+        self.components
+            .get(id.index())?
+            .as_deref()
+            .and_then(|c| c.as_any().downcast_ref())
+    }
+
+    /// Mutably borrows a component by id, downcast to its concrete type.
+    pub fn component_mut<T: 'static>(&mut self, id: ComponentId) -> Option<&mut T>
+    where
+        M: 'static,
+    {
+        self.components
+            .get_mut(id.index())?
+            .as_deref_mut()
+            .and_then(|c| c.as_any_mut().downcast_mut())
+    }
+
+    /// Counters for this engine.
+    pub fn stats(&self) -> EngineStats {
+        EngineStats {
+            dispatched: self.core.dispatched,
+            pending: self.core.queue.len(),
+        }
+    }
+}
+
+/// Object-safe downcasting support for components.
+///
+/// Blanket-implemented for every `'static` type, so implementing
+/// [`Component`] requires nothing extra; used by [`Engine::component`] /
+/// [`Engine::component_mut`] to recover concrete component types (e.g. to
+/// read final statistics after a run).
+pub trait AsAnyComponent {
+    /// `self` as [`std::any::Any`].
+    fn as_any(&self) -> &dyn std::any::Any;
+    /// `self` as mutable [`std::any::Any`].
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any;
+}
+
+impl<T: 'static> AsAnyComponent for T {
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Counter {
+        hits: Vec<(u64, u32)>,
+    }
+
+    impl Component<u32> for Counter {
+        fn on_message(&mut self, msg: u32, ctx: &mut Ctx<'_, u32>) {
+            self.hits.push((ctx.now().as_ps(), msg));
+        }
+        fn name(&self) -> &str {
+            "counter"
+        }
+    }
+
+    #[test]
+    fn delivers_in_time_order() {
+        let mut e: Engine<u32> = Engine::new();
+        let id = e.add_component(Box::new(Counter { hits: vec![] }));
+        e.schedule(Time::from_ps(30), id, 3);
+        e.schedule(Time::from_ps(10), id, 1);
+        e.schedule(Time::from_ps(20), id, 2);
+        e.run_to_quiescence();
+        let c = e.component::<Counter>(id).unwrap();
+        assert_eq!(c.hits, vec![(10, 1), (20, 2), (30, 3)]);
+    }
+
+    #[test]
+    fn equal_timestamps_are_fifo() {
+        let mut e: Engine<u32> = Engine::new();
+        let id = e.add_component(Box::new(Counter { hits: vec![] }));
+        for i in 0..100 {
+            e.schedule(Time::from_ps(5), id, i);
+        }
+        e.run_to_quiescence();
+        let c = e.component::<Counter>(id).unwrap();
+        let payloads: Vec<u32> = c.hits.iter().map(|&(_, m)| m).collect();
+        assert_eq!(payloads, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn run_until_stops_at_horizon() {
+        let mut e: Engine<u32> = Engine::new();
+        let id = e.add_component(Box::new(Counter { hits: vec![] }));
+        e.schedule(Time::from_ps(10), id, 1);
+        e.schedule(Time::from_ps(20), id, 2);
+        let n = e.run_until(Time::from_ps(15));
+        assert_eq!(n, 1);
+        assert_eq!(e.now(), Time::from_ps(15));
+        assert_eq!(e.stats().pending, 1);
+        e.run_to_quiescence();
+        assert_eq!(e.component::<Counter>(id).unwrap().hits.len(), 2);
+    }
+}

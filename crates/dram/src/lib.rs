@@ -1,0 +1,35 @@
+//! # hmc-dram
+//!
+//! The DRAM substrate behind each HMC vault controller: closed-page
+//! [`Bank`] state machines, the shared 32 B TSV [`DataBus`], and the
+//! composed [`VaultMemory`] that resolves full access timings.
+//!
+//! Calibration anchors from the reproduced paper:
+//!
+//! - tRCD + tCL + tRP ≈ 41 ns (Section IV-B, citing Rosenfeld);
+//! - 32 B DRAM data bus per vault, so payloads larger than 32 B split into
+//!   multiple bursts (Section IV-A);
+//! - the bus sustains 10 GB/s — the single-vault bandwidth ceiling of
+//!   Figures 6 and 13.
+//!
+//! ```
+//! use hmc_des::Time;
+//! use hmc_dram::{DramTiming, VaultMemory};
+//!
+//! let mut vault = VaultMemory::new(16, DramTiming::hmc_gen2());
+//! let done = vault.read(Time::ZERO, 0, 1);
+//! assert!((done.as_ns_f64() - 30.7).abs() < 0.1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bank;
+mod bus;
+mod timing;
+mod vault_memory;
+
+pub use bank::{AccessTiming, Bank};
+pub use bus::DataBus;
+pub use timing::DramTiming;
+pub use vault_memory::VaultMemory;

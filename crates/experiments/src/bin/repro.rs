@@ -1,0 +1,127 @@
+//! `repro` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! repro [--full] [--seed N] [--out DIR] <experiment...|all|--list>
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use hmc_experiments::{canonical_name, run_by_name, ExpContext, Scale, EXPERIMENTS};
+
+struct Args {
+    scale: Scale,
+    seed: u64,
+    out: Option<PathBuf>,
+    names: Vec<String>,
+    list: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        scale: Scale::Quick,
+        seed: 2018,
+        out: None,
+        names: Vec::new(),
+        list: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--full" => args.scale = Scale::Full,
+            "--quick" => args.scale = Scale::Quick,
+            "--list" => args.list = true,
+            "--seed" => {
+                let v = it.next().ok_or("--seed needs a value")?;
+                args.seed = v.parse().map_err(|e| format!("bad seed: {e}"))?;
+            }
+            "--out" => {
+                let v = it.next().ok_or("--out needs a directory")?;
+                args.out = Some(PathBuf::from(v));
+            }
+            "--help" | "-h" => {
+                return Err(String::new());
+            }
+            name if !name.starts_with('-') => args.names.push(name.to_owned()),
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn usage() {
+    eprintln!("usage: repro [--full] [--seed N] [--out DIR] <experiment...|all|--list>");
+    eprintln!("experiments: {}", EXPERIMENTS.join(" "));
+    eprintln!("aliases: fig10 fig11 fig12 (one combined sweep)");
+}
+
+fn sanitize(title: &str) -> String {
+    title
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c.to_ascii_lowercase() } else { '_' })
+        .collect::<String>()
+        .split('_')
+        .filter(|s| !s.is_empty())
+        .collect::<Vec<_>>()
+        .join("_")
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            if !msg.is_empty() {
+                eprintln!("error: {msg}");
+            }
+            usage();
+            return ExitCode::from(2);
+        }
+    };
+    if args.list {
+        for name in EXPERIMENTS {
+            println!("{name}");
+        }
+        return ExitCode::SUCCESS;
+    }
+    if args.names.is_empty() {
+        usage();
+        return ExitCode::from(2);
+    }
+    let mut names: Vec<String> = Vec::new();
+    for n in &args.names {
+        if n == "all" {
+            names.extend(EXPERIMENTS.iter().map(|s| s.to_string()));
+        } else if canonical_name(n).is_some() {
+            names.push(n.clone());
+        } else {
+            eprintln!("error: unknown experiment {n:?}");
+            usage();
+            return ExitCode::from(2);
+        }
+    }
+    names.dedup();
+    let ctx = ExpContext { scale: args.scale, seed: args.seed };
+    if let Some(dir) = &args.out {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("error: cannot create {}: {e}", dir.display());
+            return ExitCode::FAILURE;
+        }
+    }
+    for name in names {
+        let start = std::time::Instant::now();
+        let outcome = run_by_name(&name, &ctx).expect("validated above");
+        for (title, table) in &outcome.tables {
+            println!("## {title}\n");
+            println!("{table}");
+            if let Some(dir) = &args.out {
+                let path = dir.join(format!("{}_{}.csv", outcome.name, sanitize(title)));
+                if let Err(e) = std::fs::write(&path, table.to_csv()) {
+                    eprintln!("error: cannot write {}: {e}", path.display());
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        eprintln!("[{}] done in {:.1}s", outcome.name, start.elapsed().as_secs_f64());
+    }
+    ExitCode::SUCCESS
+}

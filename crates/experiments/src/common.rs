@@ -1,0 +1,219 @@
+//! Shared experiment plumbing: scales, parallel sweeps, run helpers.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use hmc_sim::prelude::*;
+
+/// How much work an experiment performs.
+///
+/// `Quick` reproduces every figure's shape in seconds (sampled sweeps,
+/// shorter measurement windows); `Full` runs the paper-sized sweeps
+/// (e.g. all C(16,4) = 1820 vault combinations for Figures 10–12).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Minimal sweeps for unit tests (shapes remain assertable, runs stay
+    /// fast even in debug builds).
+    Smoke,
+    /// Sampled sweeps, short windows.
+    Quick,
+    /// Paper-sized sweeps.
+    Full,
+}
+
+/// Context shared by all experiments.
+#[derive(Debug, Clone, Copy)]
+pub struct ExpContext {
+    /// Work scale.
+    pub scale: Scale,
+    /// Root seed; every run derives its own deterministic seed from it.
+    pub seed: u64,
+}
+
+impl ExpContext {
+    /// A quick-scale context.
+    pub fn quick(seed: u64) -> ExpContext {
+        ExpContext { scale: Scale::Quick, seed }
+    }
+
+    /// A full-scale context.
+    pub fn full(seed: u64) -> ExpContext {
+        ExpContext { scale: Scale::Full, seed }
+    }
+
+    /// GUPS warmup window.
+    pub fn gups_warmup(&self) -> Delay {
+        match self.scale {
+            Scale::Smoke => Delay::from_us(10),
+            Scale::Quick => Delay::from_us(30),
+            Scale::Full => Delay::from_us(100),
+        }
+    }
+
+    /// GUPS measurement window (the paper ran 10 s on silicon; the
+    /// simulated system is stationary after warmup, so hundreds of
+    /// microseconds give stable averages).
+    pub fn gups_measure(&self) -> Delay {
+        match self.scale {
+            Scale::Smoke => Delay::from_us(40),
+            Scale::Quick => Delay::from_us(120),
+            Scale::Full => Delay::from_us(400),
+        }
+    }
+
+    /// Requests per stream port in the high-contention stream experiments
+    /// (Figures 9–12).
+    pub fn stream_reads(&self) -> usize {
+        match self.scale {
+            Scale::Smoke => 120,
+            Scale::Quick => 400,
+            Scale::Full => 1_000,
+        }
+    }
+
+    /// Stride through the C(16,4) combination list (1 = all 1820).
+    pub fn combo_stride(&self) -> usize {
+        match self.scale {
+            Scale::Smoke => 40,
+            Scale::Quick => 7,
+            Scale::Full => 1,
+        }
+    }
+
+    /// Stride through vault ids when averaging "across all vaults"
+    /// (Figures 7/8).
+    pub fn vault_stride(&self) -> usize {
+        match self.scale {
+            Scale::Smoke => 8,
+            Scale::Quick => 4,
+            Scale::Full => 1,
+        }
+    }
+
+    /// Step through request counts for Figures 7/8.
+    pub fn request_count_step(&self, max_n: usize) -> usize {
+        match self.scale {
+            Scale::Smoke => (max_n / 8).max(1),
+            Scale::Quick => (max_n / 12).max(1),
+            Scale::Full => (max_n / 55).max(1),
+        }
+    }
+
+    /// A derived seed for job `index` of a named experiment.
+    pub fn seed_for(&self, experiment: &str, index: u64) -> u64 {
+        let mut h = self.seed ^ 0x517C_C1B7_2722_0A95;
+        for b in experiment.bytes() {
+            h = (h ^ u64::from(b)).wrapping_mul(0x100_0000_01B3);
+        }
+        h.wrapping_add(index.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    }
+}
+
+/// Runs `f` over `items` on all available cores, preserving order.
+///
+/// Each job builds its own `SystemSim`, so jobs share nothing but the
+/// read-only closure environment.
+pub fn parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send + Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4).min(n);
+    if threads <= 1 {
+        return items.iter().map(|t| f(t)).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let items = &items;
+    let f = &f;
+    let next = &next;
+    let slots_ref = &slots;
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(move |_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let r = f(&items[i]);
+                *slots_ref[i].lock().expect("result slot") = Some(r);
+            });
+        }
+    })
+    .expect("worker panicked");
+    slots
+        .into_iter()
+        .map(|m| m.into_inner().expect("slot lock").expect("job completed"))
+        .collect()
+}
+
+/// Runs one GUPS experiment: `ports` active ports, all generating `op`
+/// under `pattern`, for the context's warmup + measurement windows.
+pub fn gups_run(
+    ctx: &ExpContext,
+    seed: u64,
+    pattern: AccessPattern,
+    op: GupsOp,
+    ports: usize,
+) -> RunReport {
+    let mut cfg = SystemConfig::ac510(seed);
+    cfg.seed = seed;
+    let filter = pattern.filter(&cfg.device.map);
+    let specs = vec![PortSpec::gups(filter, op); ports];
+    SystemSim::new(cfg, specs).run_gups(ctx.gups_warmup(), ctx.gups_measure())
+}
+
+/// Runs one multi-port stream experiment from explicit traces.
+pub fn stream_run(seed: u64, traces: Vec<Trace>) -> RunReport {
+    let mut cfg = SystemConfig::ac510(seed);
+    cfg.seed = seed;
+    let specs = traces.into_iter().map(PortSpec::stream).collect();
+    SystemSim::new(cfg, specs).run_streams()
+}
+
+/// The four request sizes every figure sweeps.
+pub fn paper_sizes() -> [PayloadSize; 4] {
+    PayloadSize::PAPER_SWEEP
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_map_preserves_order_and_values() {
+        let items: Vec<u64> = (0..100).collect();
+        let out = parallel_map(items, |&x| x * 2);
+        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_map_empty_is_empty() {
+        let out: Vec<u32> = parallel_map(Vec::<u32>::new(), |&x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn derived_seeds_differ_by_experiment_and_index() {
+        let ctx = ExpContext::quick(1);
+        assert_ne!(ctx.seed_for("fig6", 0), ctx.seed_for("fig6", 1));
+        assert_ne!(ctx.seed_for("fig6", 0), ctx.seed_for("fig13", 0));
+        let ctx2 = ExpContext::quick(1);
+        assert_eq!(ctx.seed_for("a", 3), ctx2.seed_for("a", 3));
+    }
+
+    #[test]
+    fn scales_differ() {
+        let q = ExpContext::quick(0);
+        let f = ExpContext::full(0);
+        assert!(q.gups_measure() < f.gups_measure());
+        assert!(q.combo_stride() > f.combo_stride());
+        assert_eq!(f.combo_stride(), 1);
+        assert!(q.request_count_step(350) >= 1);
+    }
+}

@@ -1,0 +1,31 @@
+//! # hmc-device
+//!
+//! The full Hybrid Memory Cube device model: the logic-layer NoC (four
+//! quadrant switches in two planes, request and response), sixteen vault
+//! controllers with per-bank command queues over closed-page stacked DRAM,
+//! and the upstream link serializers with token flow control.
+//!
+//! The model follows the structure the paper describes (Sections I–II):
+//! vaults are vertical partitions with a controller in the logic layer;
+//! four vaults form a quadrant; quadrants connect to each other and to the
+//! external links through the internal NoC whose "characteristics and
+//! contention play an integral role in the overall performance of the
+//! HMC". Every queue in the chain — link input buffers, switch input
+//! FIFOs, vault ingress buffers, per-bank command queues — is finite and
+//! credit-protected, so saturation emerges from the same mechanisms the
+//! paper identifies rather than from fitted curves.
+//!
+//! See [`HmcDevice`] for the drive protocol and a complete example.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod device;
+mod transaction;
+mod vault;
+
+pub use config::{DeviceConfig, SwitchTuning, VaultTuning};
+pub use device::{DeviceStats, HmcDevice};
+pub use transaction::{DeviceOutput, DeviceRequest, DeviceResponse};
+pub use vault::{VaultCtrl, VaultStats};

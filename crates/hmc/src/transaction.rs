@@ -1,0 +1,54 @@
+//! In-flight transaction records and device outputs.
+
+use hmc_des::Time;
+use hmc_mapping::{BankId, VaultId};
+use hmc_packet::{LinkId, RequestPacket, ResponsePacket};
+
+/// A request in flight inside the cube, annotated with its decoded target
+/// and the link it entered on (responses return on the same link).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeviceRequest {
+    /// The transaction-layer packet.
+    pub pkt: RequestPacket,
+    /// The external link the request arrived on.
+    pub link: LinkId,
+    /// Decoded target vault.
+    pub vault: VaultId,
+    /// Decoded target bank.
+    pub bank: BankId,
+    /// 32 B DRAM bursts this access moves.
+    pub bursts: u32,
+}
+
+/// A response in flight inside the cube, annotated with its egress link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeviceResponse {
+    /// The transaction-layer packet.
+    pub pkt: ResponsePacket,
+    /// The external link the response leaves on.
+    pub link: LinkId,
+}
+
+/// Externally visible effects of advancing the device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeviceOutput {
+    /// A response packet fully arrives at the host at `at` (serialization
+    /// and SerDes latency included).
+    Response {
+        /// Link it travelled on.
+        link: LinkId,
+        /// The packet.
+        pkt: ResponsePacket,
+        /// Arrival time at the host controller.
+        at: Time,
+    },
+    /// The cube freed `flits` flits of link input buffer: the host may
+    /// return that many tokens to its request transmitter. Effective
+    /// immediately (token returns piggyback on upstream traffic).
+    RequestTokens {
+        /// The link whose buffer drained.
+        link: LinkId,
+        /// Flits freed.
+        flits: u32,
+    },
+}

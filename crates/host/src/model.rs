@@ -1,0 +1,413 @@
+//! The host controller: per-port FIFOs, arbitration, link scheduling and
+//! response drain — the FPGA half of Figure 5.
+
+use hmc_des::Time;
+use hmc_link::LinkTx;
+use hmc_noc::{BoundedQueue, RoundRobinArbiter};
+use hmc_packet::{LinkId, PortId, RequestPacket, ResponsePacket};
+
+use crate::config::HostConfig;
+use crate::port::Port;
+
+/// Timed effects of advancing the host model. The surrounding simulation
+/// relays each to its destination at the recorded time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HostEvent {
+    /// A request packet finishes arriving at the cube on `link` at `at`.
+    RequestArrival {
+        /// Link it travelled on.
+        link: LinkId,
+        /// The packet.
+        pkt: RequestPacket,
+        /// Arrival time at the cube (serialization + SerDes + controller
+        /// pipeline).
+        at: Time,
+    },
+    /// A response finishes draining across its port's AXI interface at
+    /// `at`; deliver it to the port then.
+    ResponseDrained {
+        /// Destination port.
+        port: PortId,
+        /// The packet.
+        pkt: ResponsePacket,
+        /// Drain-completion time.
+        at: Time,
+    },
+    /// The host RX buffer for `link` frees `flits` flits at `at`; return
+    /// them to the cube's upstream serializer then.
+    ResponseTokens {
+        /// The link whose buffer drained.
+        link: LinkId,
+        /// Flits freed.
+        flits: u32,
+        /// When the space frees.
+        at: Time,
+    },
+}
+
+/// The modelled FPGA: ports, per-port request FIFOs, a round-robin
+/// arbiter onto the external links, and per-port response serializers.
+///
+/// Pure state machine: the caller invokes [`HostModel::tick`] once per
+/// FPGA cycle while traffic is active and forwards the returned events.
+pub struct HostModel {
+    cfg: HostConfig,
+    ports: Vec<Port>,
+    fifos: Vec<BoundedQueue<RequestPacket>>,
+    arb: RoundRobinArbiter,
+    /// Per-link controller pipeline: packets picked by the arbiter spend
+    /// `ctrl_latency_req` here before reaching the serializer. Charging
+    /// the pipeline *before* the wire matters: link tokens are a
+    /// wire-level protocol, so the token loop must not include the
+    /// controller pipeline.
+    staged: Vec<std::collections::VecDeque<(Time, RequestPacket)>>,
+    /// Earliest time each link's pipeline may admit its next packet (the
+    /// pipeline advances one packet per FPGA cycle).
+    stage_admit_at: Vec<Time>,
+    link_tx: Vec<LinkTx<RequestPacket>>,
+    rx_busy: Vec<Time>,
+}
+
+impl HostModel {
+    /// Builds a host over the given ports.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid or `ports` is empty.
+    pub fn new(cfg: HostConfig, ports: Vec<Port>) -> HostModel {
+        cfg.validate().expect("valid host config");
+        assert!(!ports.is_empty(), "host needs at least one port");
+        let fifos = ports
+            .iter()
+            .map(|_| BoundedQueue::new(cfg.port_fifo_packets))
+            .collect::<Vec<_>>();
+        let link_tx = (0..cfg.link_count).map(|_| LinkTx::new(&cfg.link)).collect::<Vec<_>>();
+        let staged =
+            (0..cfg.link_count).map(|_| std::collections::VecDeque::new()).collect();
+        let stage_admit_at = vec![Time::ZERO; usize::from(cfg.link_count)];
+        let arb = RoundRobinArbiter::new(ports.len());
+        let rx_busy = vec![Time::ZERO; ports.len()];
+        HostModel { cfg, ports, fifos, arb, staged, stage_admit_at, link_tx, rx_busy }
+    }
+
+    /// The configuration in effect.
+    pub fn config(&self) -> &HostConfig {
+        &self.cfg
+    }
+
+    /// One FPGA cycle: every port may issue one request into its FIFO,
+    /// the arbiter moves FIFO heads onto the least-loaded links, and the
+    /// links serialize what tokens allow.
+    pub fn tick(&mut self, now: Time) -> Vec<HostEvent> {
+        for i in 0..self.ports.len() {
+            if !self.fifos[i].is_full() {
+                if let Some(pkt) = self.ports[i].try_issue(now) {
+                    self.fifos[i].push(pkt).expect("checked not full");
+                }
+            }
+        }
+        self.pump_links(now)
+    }
+
+    /// Moves FIFO heads through the controller pipeline to the links and
+    /// serializes; called on ticks and on token returns.
+    pub fn pump_links(&mut self, now: Time) -> Vec<HostEvent> {
+        // Packets whose pipeline latency elapsed reach their serializer —
+        // if its FIFO has room; a full serializer stalls the pipeline
+        // (backpressure toward the ports).
+        for (l, staged) in self.staged.iter_mut().enumerate() {
+            while let Some(&(ready, pkt)) = staged.front() {
+                if ready > now
+                    || self.link_tx[l].backlog_flits(now) + pkt.flits()
+                        > self.cfg.link_fifo_flits
+                {
+                    break;
+                }
+                staged.pop_front();
+                self.link_tx[l].enqueue(pkt, pkt.flits());
+            }
+        }
+        // Arbitrate FIFO heads onto links until nothing moves. Each
+        // link's pipeline admits one packet per FPGA cycle, and admission
+        // also requires serializer room (wire backlog below the link FIFO
+        // budget; pipeline occupancy is latency, not buffering).
+        loop {
+            let candidate = self
+                .link_tx
+                .iter()
+                .enumerate()
+                .filter(|&(l, _)| self.stage_admit_at[l] <= now)
+                .map(|(l, tx)| {
+                    (l, self.cfg.link_fifo_flits.saturating_sub(tx.backlog_flits(now)))
+                })
+                .max_by_key(|&(l, room)| (room, std::cmp::Reverse(l)));
+            let Some((link, room)) = candidate else { break };
+            let fifos = &self.fifos;
+            let granted = self.arb.grant(|p| {
+                fifos[p].peek().is_some_and(|pkt| pkt.flits() <= room)
+            });
+            let Some(p) = granted else { break };
+            let pkt = self.fifos[p].pop().expect("granted head exists");
+            self.stage_admit_at[link] = now + self.cfg.fpga_period;
+            self.staged[link].push_back((now + self.cfg.ctrl_latency_req, pkt));
+        }
+        // Serialize onto the wire.
+        let mut events = Vec::new();
+        for (l, tx) in self.link_tx.iter_mut().enumerate() {
+            for d in tx.service(now) {
+                events.push(HostEvent::RequestArrival {
+                    link: LinkId(l as u8),
+                    pkt: d.payload,
+                    at: d.at,
+                });
+            }
+        }
+        events
+    }
+
+    /// A response packet finished arriving on `link`: route it to its
+    /// port's RX serializer.
+    pub fn on_response_arrival(
+        &mut self,
+        now: Time,
+        link: LinkId,
+        pkt: ResponsePacket,
+    ) -> Vec<HostEvent> {
+        let port = pkt.port;
+        let slot = port.index();
+        assert!(slot < self.ports.len(), "response for unknown {port}");
+        let flits = pkt.flits();
+        let drain_flits = flits + self.ports[slot].rx_extra_flits();
+        let start = (now + self.cfg.ctrl_latency_resp).max(self.rx_busy[slot]);
+        let done = start + self.cfg.port_rx_flit_time * drain_flits;
+        self.rx_busy[slot] = done;
+        vec![
+            HostEvent::ResponseDrained { port, pkt, at: done },
+            // Tokens return as soon as the packet leaves the link RX ring
+            // for the controller's (pipelined) response path; holding them
+            // through the pipeline would throttle the link far below its
+            // measured throughput.
+            HostEvent::ResponseTokens { link, flits, at: now },
+        ]
+    }
+
+    /// Delivers a drained response to its port (call at the
+    /// [`HostEvent::ResponseDrained`] timestamp).
+    pub fn deliver_response(&mut self, now: Time, pkt: &ResponsePacket) {
+        self.ports[pkt.port.index()].on_response(now, pkt);
+    }
+
+    /// Returns request tokens to `link`'s transmitter (the cube drained
+    /// its input buffer) and pumps the links.
+    pub fn on_request_tokens(&mut self, now: Time, link: LinkId, flits: u32) -> Vec<HostEvent> {
+        self.link_tx[link.index()].return_tokens(flits);
+        self.pump_links(now)
+    }
+
+    /// `true` while ticking can make progress: a port wants to issue or
+    /// requests wait in FIFOs or link queues.
+    pub fn wants_tick(&self) -> bool {
+        self.ports.iter().any(|p| p.wants_to_issue())
+            || self.fifos.iter().any(|f| !f.is_empty())
+            || self.staged.iter().any(|s| !s.is_empty())
+            || self.link_tx.iter().any(|tx| tx.queue_len() > 0)
+    }
+
+    /// `true` when every port is done and all plumbing is empty.
+    pub fn all_done(&self) -> bool {
+        self.ports.iter().all(|p| p.is_done()) && !self.wants_tick()
+    }
+
+    /// Activates or deactivates every GUPS port.
+    pub fn set_all_active(&mut self, active: bool) {
+        for p in &mut self.ports {
+            p.set_active(active);
+        }
+    }
+
+    /// Clears every port's monitors (end of warmup).
+    pub fn reset_stats(&mut self) {
+        for p in &mut self.ports {
+            p.reset_stats();
+        }
+    }
+
+    /// Freezes every port's monitors (end of the measurement window).
+    pub fn freeze_stats(&mut self) {
+        for p in &mut self.ports {
+            p.freeze_stats();
+        }
+    }
+
+    /// The ports, in id order.
+    pub fn ports(&self) -> &[Port] {
+        &self.ports
+    }
+
+    /// One port by id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn port(&self, id: PortId) -> &Port {
+        &self.ports[id.index()]
+    }
+
+    /// Total outstanding requests across ports.
+    pub fn outstanding(&self) -> u32 {
+        self.ports.iter().map(|p| u32::from(p.outstanding())).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::port::{GupsOp, Traffic};
+    use hmc_mapping::{AccessPattern, AddressMap};
+    use hmc_packet::PayloadSize;
+
+    fn host_with_gups_ports(n: usize, tags: u16) -> HostModel {
+        let map = AddressMap::hmc_gen2_default();
+        let filter = AccessPattern::Vaults { count: 16 }.filter(&map);
+        let ports = (0..n)
+            .map(|i| {
+                Port::new(
+                    PortId(i as u8),
+                    Traffic::Gups { filter, op: GupsOp::Read(PayloadSize::B32) },
+                    tags,
+                    i as u64,
+                )
+            })
+            .collect();
+        HostModel::new(HostConfig::ac510_default(), ports)
+    }
+
+    /// Ticks the host `cycles` times from t=0, returning every event.
+    /// Requests appear only after the controller pipeline latency
+    /// (~45 FPGA cycles), so tests drive well past it.
+    fn drive(h: &mut HostModel, cycles: u64) -> Vec<HostEvent> {
+        let period = h.config().fpga_period;
+        let mut events = Vec::new();
+        for c in 0..cycles {
+            events.extend(h.tick(Time::ZERO + period * c));
+        }
+        events
+    }
+
+    fn arrivals(events: &[HostEvent]) -> Vec<RequestPacket> {
+        events
+            .iter()
+            .filter_map(|e| match e {
+                HostEvent::RequestArrival { pkt, .. } => Some(*pkt),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn pipeline_delays_first_arrivals() {
+        let mut h = host_with_gups_ports(3, 64);
+        h.set_all_active(true);
+        // Nothing can reach the wire before the controller pipeline
+        // latency elapses.
+        let early = drive(&mut h, 40);
+        assert!(arrivals(&early).is_empty(), "arrival before the pipeline drained");
+        let later = drive(&mut h, 60);
+        assert!(!arrivals(&later).is_empty(), "pipeline never drained");
+    }
+
+    #[test]
+    fn admission_is_one_packet_per_link_per_cycle() {
+        let mut h = host_with_gups_ports(9, 64);
+        h.set_all_active(true);
+        let cycles = 200u64;
+        let events = drive(&mut h, cycles);
+        let n = arrivals(&events).len() as u64;
+        assert!(n > 0);
+        assert!(n <= cycles * 2, "more than one admission per link per cycle");
+    }
+
+    #[test]
+    fn requests_balance_across_links() {
+        let mut h = host_with_gups_ports(8, 64);
+        h.set_all_active(true);
+        let mut per_link = [0u32; 2];
+        for e in drive(&mut h, 120) {
+            if let HostEvent::RequestArrival { link, .. } = e {
+                per_link[link.index()] += 1;
+            }
+        }
+        assert!(per_link[0] > 0 && per_link[1] > 0, "both links used: {per_link:?}");
+    }
+
+    #[test]
+    fn response_drain_serializes_per_port() {
+        let mut h = host_with_gups_ports(1, 64);
+        h.set_all_active(true);
+        let issued = arrivals(&drive(&mut h, 80));
+        assert!(!issued.is_empty());
+        let resp = ResponsePacket::for_request(&issued[0]);
+        let now = Time::from_us(5);
+        let events = h.on_response_arrival(now, LinkId(0), resp);
+        let drain_at = events
+            .iter()
+            .find_map(|e| match e {
+                HostEvent::ResponseDrained { at, .. } => Some(*at),
+                _ => None,
+            })
+            .unwrap();
+        // 32 B read response = 3 flits at one flit per FPGA cycle, after
+        // the controller pipeline (GUPS ports pay no extra address flit).
+        let cfg = HostConfig::ac510_default();
+        let expected = now + cfg.ctrl_latency_resp + cfg.port_rx_flit_time * 3u32;
+        assert_eq!(drain_at, expected);
+        // Tokens return at arrival (the RX ring hands off to the pipelined
+        // response path immediately).
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, HostEvent::ResponseTokens { flits: 3, at, .. } if *at == now)));
+    }
+
+    #[test]
+    fn tag_exhaustion_stops_issue_until_delivery() {
+        let mut h = host_with_gups_ports(1, 2);
+        h.set_all_active(true);
+        let first = arrivals(&drive(&mut h, 120));
+        assert_eq!(first.len(), 2, "two tags bound outstanding requests");
+        // Deliver one response; the port can issue again.
+        let resp = ResponsePacket::for_request(&first[0]);
+        h.deliver_response(Time::from_us(5), &resp);
+        let period = h.config().fpga_period;
+        let mut more = Vec::new();
+        for c in 0..120u64 {
+            more.extend(h.tick(Time::from_us(5) + period * c));
+        }
+        assert_eq!(arrivals(&more).len(), 1, "freed tag allows exactly one more");
+    }
+
+    #[test]
+    fn wants_tick_reflects_state() {
+        let mut h = host_with_gups_ports(1, 4);
+        assert!(!h.wants_tick(), "inactive GUPS port is idle");
+        h.set_all_active(true);
+        assert!(h.wants_tick());
+        h.set_all_active(false);
+        assert!(!h.wants_tick());
+        assert!(!h.all_done() || h.outstanding() == 0);
+    }
+
+    #[test]
+    fn stats_controls_propagate() {
+        let mut h = host_with_gups_ports(2, 4);
+        h.set_all_active(true);
+        let reqs = arrivals(&drive(&mut h, 80));
+        assert!(reqs.len() >= 2);
+        h.deliver_response(Time::from_us(1), &ResponsePacket::for_request(&reqs[0]));
+        assert_eq!(h.port(reqs[0].port).latency().count(), 1);
+        h.reset_stats();
+        assert_eq!(h.port(reqs[0].port).latency().count(), 0);
+        h.freeze_stats();
+        h.deliver_response(Time::from_us(2), &ResponsePacket::for_request(&reqs[1]));
+        assert_eq!(h.port(reqs[1].port).latency().count(), 0);
+    }
+}

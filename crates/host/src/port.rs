@@ -1,0 +1,467 @@
+//! Traffic-generator ports: GUPS address generators and trace-driven
+//! stream ports, with tag pools and monitoring logic (Figure 5).
+
+use hmc_des::Time;
+use hmc_mapping::AddressFilter;
+use hmc_packet::{PayloadSize, PortId, RequestKind, RequestPacket, ResponsePacket, Tag};
+use hmc_stats::{BandwidthMeter, LatencyRecorder};
+use hmc_workloads::{Trace, TraceOp};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A pool of transaction tags bounding a port's outstanding requests.
+///
+/// "Each port must track outstanding requests, so each port can handle a
+/// limited number of outstanding requests at a time" (Section IV-A) — the
+/// mechanism that caps small-request bandwidth in Figure 6 and sets the
+/// saturation knee of Figure 8.
+#[derive(Debug, Clone)]
+pub struct TagPool {
+    free: Vec<u16>,
+    issue_time: Vec<Option<Time>>,
+}
+
+impl TagPool {
+    /// Creates a pool of `capacity` tags.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: u16) -> TagPool {
+        assert!(capacity > 0, "tag pool needs at least one tag");
+        TagPool {
+            free: (0..capacity).rev().collect(),
+            issue_time: vec![None; usize::from(capacity)],
+        }
+    }
+
+    /// Total tags.
+    pub fn capacity(&self) -> u16 {
+        self.issue_time.len() as u16
+    }
+
+    /// Tags currently outstanding.
+    pub fn in_flight(&self) -> u16 {
+        self.capacity() - self.free.len() as u16
+    }
+
+    /// `true` if a tag is available.
+    pub fn has_free(&self) -> bool {
+        !self.free.is_empty()
+    }
+
+    /// Allocates a tag, recording the issue time.
+    pub fn allocate(&mut self, now: Time) -> Option<Tag> {
+        let tag = self.free.pop()?;
+        self.issue_time[usize::from(tag)] = Some(now);
+        Some(Tag(tag))
+    }
+
+    /// Releases `tag`, returning the time it was issued.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tag was not outstanding (a duplicate or spurious
+    /// response — always a protocol bug).
+    pub fn release(&mut self, tag: Tag) -> Time {
+        let slot = usize::from(tag.0);
+        let issued = self.issue_time[slot]
+            .take()
+            .unwrap_or_else(|| panic!("release of idle {tag}"));
+        self.free.push(tag.0);
+        issued
+    }
+}
+
+/// What a GUPS port generates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GupsOp {
+    /// Random reads of a fixed size.
+    Read(PayloadSize),
+    /// Random writes of a fixed size.
+    Write(PayloadSize),
+    /// Random 16 B read-modify-writes.
+    ReadModifyWrite,
+    /// A random mix: `write_percent`% writes, the rest reads, all of one
+    /// size (the read/write balance experiment of Section IV-F).
+    Mix {
+        /// Transfer size for both directions.
+        size: PayloadSize,
+        /// Percentage of writes (0–100).
+        write_percent: u8,
+    },
+}
+
+impl GupsOp {
+    fn payload(&self) -> PayloadSize {
+        match *self {
+            GupsOp::Read(s) | GupsOp::Write(s) => s,
+            GupsOp::ReadModifyWrite => PayloadSize::B16,
+            GupsOp::Mix { size, .. } => size,
+        }
+    }
+}
+
+/// The traffic source behind a port.
+#[derive(Debug, Clone)]
+pub enum Traffic {
+    /// GUPS firmware: random addresses through a mask/anti-mask filter,
+    /// as many requests as flow control allows.
+    Gups {
+        /// The mask/anti-mask address filter.
+        filter: AddressFilter,
+        /// Operation template.
+        op: GupsOp,
+    },
+    /// Multi-port stream firmware: replay a finite trace.
+    Stream {
+        /// The trace to replay.
+        trace: Trace,
+    },
+}
+
+/// One FPGA port: address generation or trace replay, a tag pool, and the
+/// monitoring logic that records counts and latency aggregates.
+#[derive(Debug, Clone)]
+pub struct Port {
+    id: PortId,
+    traffic: Traffic,
+    tags: TagPool,
+    /// Request payloads indexed by tag (to account response bytes).
+    kind_by_tag: Vec<Option<RequestKind>>,
+    rng: SmallRng,
+    active: bool,
+    next_trace_index: usize,
+    issued: u64,
+    completed: u64,
+    recording: bool,
+    latency: LatencyRecorder,
+    bytes: BandwidthMeter,
+    reads_recorded: u64,
+    writes_recorded: u64,
+}
+
+impl Port {
+    /// Creates a port. GUPS ports start inactive (activate with
+    /// [`Port::set_active`]); stream ports are implicitly active until
+    /// their trace is exhausted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a GUPS op has a non-power-of-two size (the firmware's
+    /// alignment scheme requires it) or `tags` is zero.
+    pub fn new(id: PortId, traffic: Traffic, tags: u16, seed: u64) -> Port {
+        if let Traffic::Gups { op, .. } = &traffic {
+            assert!(
+                op.payload().bytes().is_power_of_two(),
+                "GUPS sizes must be powers of two for address alignment"
+            );
+        }
+        let capacity = usize::from(tags);
+        Port {
+            id,
+            traffic,
+            tags: TagPool::new(tags),
+            kind_by_tag: vec![None; capacity],
+            rng: SmallRng::seed_from_u64(seed),
+            active: false,
+            next_trace_index: 0,
+            issued: 0,
+            completed: 0,
+            recording: true,
+            latency: LatencyRecorder::new(),
+            bytes: BandwidthMeter::new(),
+            reads_recorded: 0,
+            writes_recorded: 0,
+        }
+    }
+
+    /// This port's id.
+    pub fn id(&self) -> PortId {
+        self.id
+    }
+
+    /// Activates or deactivates a GUPS port. Stream ports ignore this.
+    pub fn set_active(&mut self, active: bool) {
+        self.active = active;
+    }
+
+    /// `true` if the port wants to issue a request right now.
+    pub fn wants_to_issue(&self) -> bool {
+        if !self.tags.has_free() {
+            return false;
+        }
+        match &self.traffic {
+            Traffic::Gups { .. } => self.active,
+            Traffic::Stream { trace } => self.next_trace_index < trace.len(),
+        }
+    }
+
+    /// Builds the port's next request if it has one and a tag is free.
+    pub fn try_issue(&mut self, now: Time) -> Option<RequestPacket> {
+        if !self.wants_to_issue() {
+            return None;
+        }
+        let op = match &self.traffic {
+            Traffic::Gups { filter, op } => {
+                let size = op.payload();
+                let raw = self.rng.gen::<u64>() & !(u64::from(size.bytes()) - 1);
+                let addr = filter.apply(raw);
+                let kind = match *op {
+                    GupsOp::Read(s) => RequestKind::Read { size: s },
+                    GupsOp::Write(s) => RequestKind::Write { size: s },
+                    GupsOp::ReadModifyWrite => RequestKind::ReadModifyWrite,
+                    GupsOp::Mix { size, write_percent } => {
+                        if self.rng.gen_range(0..100) < write_percent {
+                            RequestKind::Write { size }
+                        } else {
+                            RequestKind::Read { size }
+                        }
+                    }
+                };
+                TraceOp { addr, kind }
+            }
+            Traffic::Stream { trace } => {
+                let op = trace.ops()[self.next_trace_index];
+                self.next_trace_index += 1;
+                op
+            }
+        };
+        let tag = self.tags.allocate(now).expect("wants_to_issue implies a free tag");
+        self.kind_by_tag[usize::from(tag.0)] = Some(op.kind);
+        self.issued += 1;
+        Some(RequestPacket { port: self.id, tag, addr: op.addr, kind: op.kind })
+    }
+
+    /// Completes the transaction `pkt` answers: frees its tag and records
+    /// latency and round-trip bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the response's tag is not outstanding.
+    pub fn on_response(&mut self, now: Time, pkt: &ResponsePacket) {
+        let issued_at = self.tags.release(pkt.tag);
+        let kind = self.kind_by_tag[usize::from(pkt.tag.0)]
+            .take()
+            .expect("tag carries its request kind");
+        self.completed += 1;
+        if self.recording {
+            self.latency.record_ps((now - issued_at).as_ps());
+            self.bytes.add_bytes(kind.round_trip_bytes());
+            if kind.is_read() {
+                self.reads_recorded += 1;
+            } else {
+                self.writes_recorded += 1;
+            }
+        }
+    }
+
+    /// `true` once a stream port has issued its whole trace and received
+    /// every response. GUPS ports are done when deactivated and drained.
+    pub fn is_done(&self) -> bool {
+        let drained = self.tags.in_flight() == 0;
+        match &self.traffic {
+            Traffic::Gups { .. } => !self.active && drained,
+            Traffic::Stream { trace } => self.next_trace_index >= trace.len() && drained,
+        }
+    }
+
+    /// Requests currently outstanding.
+    pub fn outstanding(&self) -> u16 {
+        self.tags.in_flight()
+    }
+
+    /// Extra flits this port's RX path moves per response. Stream ports
+    /// ship each response's address back to the host alongside the data
+    /// (Figure 5b's "Rd. Addr. FIFO"), costing one flit; GUPS ports only
+    /// update local counters.
+    pub fn rx_extra_flits(&self) -> u32 {
+        match self.traffic {
+            Traffic::Gups { .. } => 0,
+            Traffic::Stream { .. } => 1,
+        }
+    }
+
+    /// Total requests issued.
+    pub fn issued(&self) -> u64 {
+        self.issued
+    }
+
+    /// Total responses received.
+    pub fn completed(&self) -> u64 {
+        self.completed
+    }
+
+    /// The monitoring-logic latency aggregate.
+    pub fn latency(&self) -> &LatencyRecorder {
+        &self.latency
+    }
+
+    /// The monitoring-logic byte counter (paper bandwidth formula units).
+    pub fn bytes(&self) -> &BandwidthMeter {
+        &self.bytes
+    }
+
+    /// Read transactions recorded in the measurement window.
+    pub fn reads_recorded(&self) -> u64 {
+        self.reads_recorded
+    }
+
+    /// Write/atomic transactions recorded in the measurement window.
+    pub fn writes_recorded(&self) -> u64 {
+        self.writes_recorded
+    }
+
+    /// Clears the monitors (end of warmup).
+    pub fn reset_stats(&mut self) {
+        self.latency.reset();
+        self.bytes.reset();
+        self.reads_recorded = 0;
+        self.writes_recorded = 0;
+    }
+
+    /// Stops recording (end of the measurement window); responses still
+    /// drain and free tags but no longer affect the monitors.
+    pub fn freeze_stats(&mut self) {
+        self.recording = false;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hmc_mapping::{AccessPattern, AddressMap};
+    use hmc_packet::Address;
+
+    fn gups_port(tags: u16) -> Port {
+        let map = AddressMap::hmc_gen2_default();
+        let filter = AccessPattern::Vaults { count: 16 }.filter(&map);
+        Port::new(
+            PortId(0),
+            Traffic::Gups { filter, op: GupsOp::Read(PayloadSize::B32) },
+            tags,
+            7,
+        )
+    }
+
+    #[test]
+    fn tag_pool_bounds_outstanding() {
+        let mut p = gups_port(2);
+        p.set_active(true);
+        let a = p.try_issue(Time::ZERO).unwrap();
+        let b = p.try_issue(Time::ZERO).unwrap();
+        assert_ne!(a.tag, b.tag);
+        assert!(p.try_issue(Time::ZERO).is_none(), "tags exhausted");
+        assert_eq!(p.outstanding(), 2);
+        p.on_response(Time::from_ns(100), &ResponsePacket::for_request(&a));
+        assert!(p.try_issue(Time::ZERO).is_some());
+    }
+
+    #[test]
+    fn latency_and_bytes_recorded() {
+        let mut p = gups_port(4);
+        p.set_active(true);
+        let req = p.try_issue(Time::from_ns(10)).unwrap();
+        p.on_response(Time::from_ns(710), &ResponsePacket::for_request(&req));
+        assert_eq!(p.latency().count(), 1);
+        assert_eq!(p.latency().mean_ns(), 700.0);
+        // 32 B read: 16 + 48 = 64 B round trip.
+        assert_eq!(p.bytes().bytes(), 64);
+    }
+
+    #[test]
+    fn inactive_gups_port_stays_silent() {
+        let mut p = gups_port(4);
+        assert!(p.try_issue(Time::ZERO).is_none());
+        p.set_active(true);
+        assert!(p.try_issue(Time::ZERO).is_some());
+        p.set_active(false);
+        assert!(p.try_issue(Time::ZERO).is_none());
+        assert!(!p.is_done(), "still draining one response");
+    }
+
+    #[test]
+    fn stream_port_replays_trace_in_order() {
+        let trace = Trace::from_ops(vec![
+            TraceOp::read(Address::new(0), PayloadSize::B64),
+            TraceOp::read(Address::new(128), PayloadSize::B64),
+        ]);
+        let mut p = Port::new(PortId(3), Traffic::Stream { trace }, 8, 0);
+        let a = p.try_issue(Time::ZERO).unwrap();
+        let b = p.try_issue(Time::ZERO).unwrap();
+        assert_eq!(a.addr.raw(), 0);
+        assert_eq!(b.addr.raw(), 128);
+        assert!(p.try_issue(Time::ZERO).is_none(), "trace exhausted");
+        assert!(!p.is_done());
+        p.on_response(Time::from_ns(1), &ResponsePacket::for_request(&a));
+        p.on_response(Time::from_ns(2), &ResponsePacket::for_request(&b));
+        assert!(p.is_done());
+    }
+
+    #[test]
+    fn freeze_stops_recording_but_not_draining() {
+        let mut p = gups_port(4);
+        p.set_active(true);
+        let req = p.try_issue(Time::ZERO).unwrap();
+        p.freeze_stats();
+        p.on_response(Time::from_ns(500), &ResponsePacket::for_request(&req));
+        assert_eq!(p.latency().count(), 0);
+        assert_eq!(p.completed(), 1);
+        assert_eq!(p.outstanding(), 0);
+    }
+
+    #[test]
+    fn gups_addresses_respect_filter_and_alignment() {
+        let map = AddressMap::hmc_gen2_default();
+        let filter = AccessPattern::Vaults { count: 2 }.filter(&map);
+        let mut p = Port::new(
+            PortId(1),
+            Traffic::Gups { filter, op: GupsOp::Read(PayloadSize::B64) },
+            64,
+            3,
+        );
+        p.set_active(true);
+        for _ in 0..64 {
+            let req = p.try_issue(Time::ZERO).unwrap();
+            assert_eq!(req.addr.raw() % 64, 0, "aligned");
+            assert!(map.decode(req.addr).vault.0 < 2, "filtered");
+        }
+    }
+
+    #[test]
+    fn mix_generates_both_kinds() {
+        let map = AddressMap::hmc_gen2_default();
+        let filter = AccessPattern::Vaults { count: 16 }.filter(&map);
+        let mut p = Port::new(
+            PortId(0),
+            Traffic::Gups {
+                filter,
+                op: GupsOp::Mix { size: PayloadSize::B64, write_percent: 50 },
+            },
+            200,
+            11,
+        );
+        p.set_active(true);
+        let mut reads = 0;
+        let mut writes = 0;
+        for _ in 0..200 {
+            match p.try_issue(Time::ZERO).unwrap().kind {
+                RequestKind::Read { .. } => reads += 1,
+                RequestKind::Write { .. } => writes += 1,
+                RequestKind::ReadModifyWrite => {}
+            }
+        }
+        assert!(reads > 50 && writes > 50, "mix is roughly balanced: {reads}/{writes}");
+    }
+
+    #[test]
+    #[should_panic(expected = "release of idle")]
+    fn duplicate_response_panics() {
+        let mut p = gups_port(2);
+        p.set_active(true);
+        let req = p.try_issue(Time::ZERO).unwrap();
+        let resp = ResponsePacket::for_request(&req);
+        p.on_response(Time::ZERO, &resp);
+        p.on_response(Time::ZERO, &resp);
+    }
+}

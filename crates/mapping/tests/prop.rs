@@ -1,0 +1,100 @@
+//! Property tests for the address map: bijectivity, interleaving structure
+//! and mask/anti-mask pattern confinement.
+
+use hmc_mapping::{AccessPattern, AddressMap, BlockSize, Geometry, VaultId};
+use hmc_packet::Address;
+use proptest::prelude::*;
+
+fn block_sizes() -> impl Strategy<Value = BlockSize> {
+    prop_oneof![
+        Just(BlockSize::B16),
+        Just(BlockSize::B32),
+        Just(BlockSize::B64),
+        Just(BlockSize::B128),
+    ]
+}
+
+proptest! {
+    /// decode ∘ encode is the identity on in-range locations.
+    #[test]
+    fn encode_decode_roundtrip(
+        block in block_sizes(),
+        vault in 0u8..16,
+        bank in 0u8..16,
+        row_seed in any::<u64>(),
+        off_seed in any::<u64>(),
+    ) {
+        let map = AddressMap::new(Geometry::hmc_gen2(), block);
+        let row = row_seed % map.rows_per_bank();
+        let off = off_seed % block.bytes();
+        let addr = map.encode(VaultId(vault), hmc_mapping::BankId(bank), row, off);
+        let loc = map.decode(addr);
+        prop_assert_eq!(loc.vault.0, vault);
+        prop_assert_eq!(loc.bank.0, bank);
+        prop_assert_eq!(loc.block_row, row);
+        prop_assert_eq!(loc.offset, off);
+    }
+
+    /// encode ∘ decode is the identity on in-capacity addresses.
+    #[test]
+    fn decode_encode_roundtrip(block in block_sizes(), raw in any::<u64>()) {
+        let map = AddressMap::new(Geometry::hmc_gen2(), block);
+        let addr = Address::new(raw % map.geometry().total_bytes());
+        let loc = map.decode(addr);
+        let back = map.encode(loc.vault, loc.bank, loc.block_row, loc.offset);
+        prop_assert_eq!(back, addr);
+    }
+
+    /// Consecutive blocks land in consecutive vaults (low-order
+    /// interleaving): block i and block i+1 differ by exactly one in the
+    /// vault index, mod 16, as long as they stay within a bank stripe.
+    #[test]
+    fn adjacent_blocks_rotate_vaults(block in block_sizes(), start in any::<u64>()) {
+        let map = AddressMap::new(Geometry::hmc_gen2(), block);
+        let bytes = block.bytes();
+        let base = (start % (map.geometry().total_bytes() / bytes - 1)) * bytes;
+        let a = map.decode(Address::new(base));
+        let b = map.decode(Address::new(base + bytes));
+        prop_assert_eq!((a.vault.0 + 1) % 16 == b.vault.0, true);
+    }
+
+    /// Any address produced under a `Vaults { count }` pattern decodes to a
+    /// vault index below `count`, for every count and any raw input.
+    #[test]
+    fn vault_pattern_confines(raw in any::<u64>(), count_log2 in 0u32..5) {
+        let count = 1u8 << count_log2;
+        let map = AddressMap::hmc_gen2_default();
+        let filter = AccessPattern::Vaults { count }.filter(&map);
+        let loc = map.decode(filter.apply(raw));
+        prop_assert!(loc.vault.0 < count);
+    }
+
+    /// Any address produced under a `Banks { vault, count }` pattern stays
+    /// in that vault and in the low `count` banks.
+    #[test]
+    fn bank_pattern_confines(raw in any::<u64>(), vault in 0u8..16, count_log2 in 0u32..5) {
+        let count = 1u8 << count_log2;
+        let map = AddressMap::hmc_gen2_default();
+        let filter = AccessPattern::Banks { vault: VaultId(vault), count }.filter(&map);
+        let loc = map.decode(filter.apply(raw));
+        prop_assert_eq!(loc.vault.0, vault);
+        prop_assert!(loc.bank.0 < count);
+    }
+
+    /// A 4 KB page always covers all 16 vaults and exactly
+    /// `4096 / (block * 16)` banks (clamped to at least 1) at any block
+    /// size.
+    #[test]
+    fn page_footprint_structure(block in block_sizes(), page in 0u64..(1 << 20)) {
+        let map = AddressMap::new(Geometry::hmc_gen2(), block);
+        let base = Address::new(page * 4096);
+        let footprint = map.page_footprint(base, 4096);
+        let vaults: std::collections::BTreeSet<u8> =
+            footprint.iter().map(|l| l.vault.0).collect();
+        let banks: std::collections::BTreeSet<u8> =
+            footprint.iter().map(|l| l.bank.0).collect();
+        prop_assert_eq!(vaults.len(), 16);
+        let expected_banks = (4096 / (block.bytes() * 16)).max(1) as usize;
+        prop_assert_eq!(banks.len(), expected_banks);
+    }
+}

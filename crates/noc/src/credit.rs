@@ -1,0 +1,125 @@
+//! Credit counters for lossless flow control.
+
+/// A credit counter tracking free space in a downstream buffer, in
+/// arbitrary units (flits here, tag slots in the host model).
+///
+/// Credits are the simulator-side equivalent of the HMC link token protocol
+/// (Section II-B): a sender holds credits for the receiver's input buffer,
+/// spends them when it transmits, and regains them when the receiver drains
+/// — so buffers can never overflow and full buffers backpressure the
+/// sender. Conservation (`taken + available == max`) is property-tested.
+///
+/// # Examples
+///
+/// ```
+/// use hmc_noc::Credits;
+///
+/// let mut c = Credits::new(9);
+/// assert!(c.try_take(9));
+/// assert!(!c.try_take(1));
+/// c.put(4);
+/// assert_eq!(c.available(), 4);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Credits {
+    max: u32,
+    available: u32,
+}
+
+impl Credits {
+    /// Creates a counter with `max` credits, all available.
+    pub fn new(max: u32) -> Credits {
+        Credits { max, available: max }
+    }
+
+    /// The total credit pool size.
+    #[inline]
+    pub fn max(&self) -> u32 {
+        self.max
+    }
+
+    /// Credits currently available to spend.
+    #[inline]
+    pub fn available(&self) -> u32 {
+        self.available
+    }
+
+    /// Credits currently outstanding (spent, not yet returned).
+    #[inline]
+    pub fn in_flight(&self) -> u32 {
+        self.max - self.available
+    }
+
+    /// `true` if `n` credits can be taken.
+    #[inline]
+    pub fn can_take(&self, n: u32) -> bool {
+        self.available >= n
+    }
+
+    /// Takes `n` credits if available; returns whether it succeeded.
+    pub fn try_take(&mut self, n: u32) -> bool {
+        if self.available >= n {
+            self.available -= n;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Returns `n` credits to the pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the return would exceed the pool size — that is a protocol
+    /// bug (returning credits that were never taken), not a recoverable
+    /// condition.
+    pub fn put(&mut self, n: u32) {
+        assert!(
+            self.available + n <= self.max,
+            "credit overflow: returning {} with {}/{} available",
+            n,
+            self.available,
+            self.max
+        );
+        self.available += n;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_and_put_conserve() {
+        let mut c = Credits::new(10);
+        assert!(c.try_take(4));
+        assert_eq!(c.available(), 6);
+        assert_eq!(c.in_flight(), 4);
+        c.put(4);
+        assert_eq!(c.available(), 10);
+        assert_eq!(c.in_flight(), 0);
+    }
+
+    #[test]
+    fn take_fails_without_enough() {
+        let mut c = Credits::new(3);
+        assert!(!c.try_take(4));
+        assert_eq!(c.available(), 3, "failed take must not consume");
+        assert!(c.can_take(3));
+        assert!(!c.can_take(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "credit overflow")]
+    fn over_return_panics() {
+        let mut c = Credits::new(2);
+        c.put(1);
+    }
+
+    #[test]
+    fn zero_sized_pool_blocks_everything() {
+        let mut c = Credits::new(0);
+        assert!(!c.try_take(1));
+        assert!(c.try_take(0));
+    }
+}

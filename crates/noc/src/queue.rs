@@ -1,0 +1,310 @@
+//! Bounded FIFO queues with occupancy statistics.
+
+use std::collections::VecDeque;
+
+/// Error returned when a [`BoundedQueue`] rejects a push; carries the item
+/// back to the caller (C-INTERMEDIATE — nothing is lost on failure).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueueFull<T>(pub T);
+
+/// A FIFO with a fixed capacity, the building block of every buffer in the
+/// modelled system (port FIFOs, link input buffers, vault command queues).
+/// Tracks peak occupancy so experiments can report where queuing happened.
+///
+/// # Examples
+///
+/// ```
+/// use hmc_noc::BoundedQueue;
+///
+/// let mut q = BoundedQueue::new(2);
+/// q.push(1).unwrap();
+/// q.push(2).unwrap();
+/// assert!(q.push(3).is_err());
+/// assert_eq!(q.pop(), Some(1));
+/// assert_eq!(q.peak_occupancy(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct BoundedQueue<T> {
+    items: VecDeque<T>,
+    capacity: usize,
+    peak: usize,
+    total_enqueued: u64,
+}
+
+impl<T> BoundedQueue<T> {
+    /// Creates an empty queue holding at most `capacity` items.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> BoundedQueue<T> {
+        assert!(capacity > 0, "queue capacity must be positive");
+        BoundedQueue { items: VecDeque::new(), capacity, peak: 0, total_enqueued: 0 }
+    }
+
+    /// The configured capacity.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current occupancy.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// `true` when empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// `true` when at capacity.
+    #[inline]
+    pub fn is_full(&self) -> bool {
+        self.items.len() >= self.capacity
+    }
+
+    /// Remaining space.
+    #[inline]
+    pub fn free(&self) -> usize {
+        self.capacity - self.items.len()
+    }
+
+    /// Appends an item.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QueueFull`] carrying the item if the queue is at capacity.
+    pub fn push(&mut self, item: T) -> Result<(), QueueFull<T>> {
+        if self.is_full() {
+            return Err(QueueFull(item));
+        }
+        self.items.push_back(item);
+        self.peak = self.peak.max(self.items.len());
+        self.total_enqueued += 1;
+        Ok(())
+    }
+
+    /// Removes and returns the oldest item.
+    pub fn pop(&mut self) -> Option<T> {
+        self.items.pop_front()
+    }
+
+    /// Borrows the oldest item.
+    pub fn peek(&self) -> Option<&T> {
+        self.items.front()
+    }
+
+    /// Iterates oldest-first without consuming.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.items.iter()
+    }
+
+    /// Highest occupancy ever observed.
+    #[inline]
+    pub fn peak_occupancy(&self) -> usize {
+        self.peak
+    }
+
+    /// Total items ever enqueued.
+    #[inline]
+    pub fn total_enqueued(&self) -> u64 {
+        self.total_enqueued
+    }
+}
+
+/// A FIFO whose capacity is measured in *flits* rather than items, used
+/// where buffer space is sized in link units (vault ingress buffers, link
+/// egress buffers): a 9-flit read response takes nine times the space of a
+/// 1-flit request.
+///
+/// # Examples
+///
+/// ```
+/// use hmc_noc::FlitQueue;
+///
+/// let mut q = FlitQueue::new(10);
+/// q.push(9, "big response").unwrap();
+/// assert!(!q.can_accept(2));
+/// q.push(1, "small request").unwrap();
+/// assert_eq!(q.pop(), Some((9, "big response")));
+/// assert_eq!(q.occupancy_flits(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct FlitQueue<T> {
+    items: VecDeque<(u32, T)>,
+    capacity_flits: u32,
+    occupancy: u32,
+    peak: u32,
+}
+
+impl<T> FlitQueue<T> {
+    /// Creates an empty queue holding at most `capacity_flits` flits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the capacity is zero.
+    pub fn new(capacity_flits: u32) -> FlitQueue<T> {
+        assert!(capacity_flits > 0, "queue capacity must be positive");
+        FlitQueue { items: VecDeque::new(), capacity_flits, occupancy: 0, peak: 0 }
+    }
+
+    /// The configured capacity in flits.
+    #[inline]
+    pub fn capacity_flits(&self) -> u32 {
+        self.capacity_flits
+    }
+
+    /// Current occupancy in flits.
+    #[inline]
+    pub fn occupancy_flits(&self) -> u32 {
+        self.occupancy
+    }
+
+    /// Highest occupancy observed, in flits.
+    #[inline]
+    pub fn peak_flits(&self) -> u32 {
+        self.peak
+    }
+
+    /// Number of queued items.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// `true` when no items are queued.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// `true` if `flits` more flits fit.
+    #[inline]
+    pub fn can_accept(&self, flits: u32) -> bool {
+        self.occupancy + flits <= self.capacity_flits
+    }
+
+    /// Appends an item occupying `flits` flits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QueueFull`] carrying the item if it does not fit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `flits` is zero.
+    pub fn push(&mut self, flits: u32, item: T) -> Result<(), QueueFull<T>> {
+        assert!(flits > 0, "items occupy at least one flit");
+        if !self.can_accept(flits) {
+            return Err(QueueFull(item));
+        }
+        self.occupancy += flits;
+        self.peak = self.peak.max(self.occupancy);
+        self.items.push_back((flits, item));
+        Ok(())
+    }
+
+    /// Removes and returns the oldest item with its flit count.
+    pub fn pop(&mut self) -> Option<(u32, T)> {
+        let (flits, item) = self.items.pop_front()?;
+        self.occupancy -= flits;
+        Some((flits, item))
+    }
+
+    /// Borrows the oldest item with its flit count.
+    pub fn peek(&self) -> Option<(u32, &T)> {
+        self.items.front().map(|(f, item)| (*f, item))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order() {
+        let mut q = BoundedQueue::new(3);
+        for i in 0..3 {
+            q.push(i).unwrap();
+        }
+        assert_eq!(q.pop(), Some(0));
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn rejects_when_full_and_returns_item() {
+        let mut q = BoundedQueue::new(1);
+        q.push("a").unwrap();
+        let err = q.push("b").unwrap_err();
+        assert_eq!(err.0, "b");
+        assert!(q.is_full());
+        assert_eq!(q.free(), 0);
+    }
+
+    #[test]
+    fn stats_track_peak_and_total() {
+        let mut q = BoundedQueue::new(4);
+        q.push(1).unwrap();
+        q.push(2).unwrap();
+        q.pop();
+        q.push(3).unwrap();
+        assert_eq!(q.peak_occupancy(), 2);
+        assert_eq!(q.total_enqueued(), 3);
+    }
+
+    #[test]
+    fn peek_and_iter_do_not_consume() {
+        let mut q = BoundedQueue::new(2);
+        q.push(10).unwrap();
+        q.push(20).unwrap();
+        assert_eq!(q.peek(), Some(&10));
+        assert_eq!(q.iter().copied().collect::<Vec<_>>(), vec![10, 20]);
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _ = BoundedQueue::<u8>::new(0);
+    }
+
+    #[test]
+    fn flit_queue_accounts_in_flits() {
+        let mut q = FlitQueue::new(12);
+        q.push(9, 'a').unwrap();
+        q.push(3, 'b').unwrap();
+        assert!(q.is_full_for(1));
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.peek(), Some((9, &'a')));
+        assert_eq!(q.pop(), Some((9, 'a')));
+        assert_eq!(q.occupancy_flits(), 3);
+        assert_eq!(q.peak_flits(), 12);
+    }
+
+    impl<T> FlitQueue<T> {
+        fn is_full_for(&self, flits: u32) -> bool {
+            !self.can_accept(flits)
+        }
+    }
+
+    #[test]
+    fn flit_queue_rejects_overflow_and_returns_item() {
+        let mut q = FlitQueue::new(4);
+        q.push(3, 1).unwrap();
+        let err = q.push(2, 2).unwrap_err();
+        assert_eq!(err.0, 2);
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one flit")]
+    fn flit_queue_rejects_zero_flit_items() {
+        let mut q = FlitQueue::new(4);
+        let _ = q.push(0, ());
+    }
+}

@@ -1,0 +1,163 @@
+//! Request addresses and identity newtypes shared across the workspace.
+
+use core::fmt;
+
+/// A request address: the 34-bit address field of an HMC request header.
+///
+/// HMC 1.1 headers carry 34 address bits; on a 4 GB cube the two high-order
+/// bits are ignored (Section II-A). [`Address::new`] masks to 34 bits so the
+/// invariant holds by construction; device-level masking to the cube
+/// capacity happens in the address map.
+///
+/// # Examples
+///
+/// ```
+/// use hmc_packet::Address;
+///
+/// let a = Address::new(0x3_FFFF_FFFF);
+/// assert_eq!(a.raw(), 0x3_FFFF_FFFF);
+/// // Bits above 34 are dropped.
+/// assert_eq!(Address::new(0x10_0000_0000).raw(), 0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Address(u64);
+
+impl Address {
+    /// Number of address bits in a request header.
+    pub const BITS: u32 = 34;
+    /// Mask covering the addressable field.
+    pub const MASK: u64 = (1 << Self::BITS) - 1;
+
+    /// Creates an address, keeping only the low 34 bits.
+    #[inline]
+    pub const fn new(raw: u64) -> Address {
+        Address(raw & Self::MASK)
+    }
+
+    /// The raw 34-bit value.
+    #[inline]
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// This address aligned down to a `align`-byte boundary.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `align` is not a power of two.
+    #[inline]
+    pub fn align_down(self, align: u64) -> Address {
+        assert!(align.is_power_of_two(), "alignment must be a power of two");
+        Address(self.0 & !(align - 1))
+    }
+}
+
+impl fmt::Display for Address {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#011x}", self.0)
+    }
+}
+
+impl fmt::LowerHex for Address {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+impl From<u64> for Address {
+    fn from(raw: u64) -> Address {
+        Address::new(raw)
+    }
+}
+
+/// Identifies one of the host ports (the FPGA firmware instantiates nine —
+/// Section III-B, Figure 5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PortId(pub u8);
+
+impl PortId {
+    /// The dense index of this port.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for PortId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "port{}", self.0)
+    }
+}
+
+/// Identifies one of the external serialized links (the AC-510 wires two
+/// half-width links between FPGA and HMC — Section III-A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LinkId(pub u8);
+
+impl LinkId {
+    /// The dense index of this link.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for LinkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "link{}", self.0)
+    }
+}
+
+/// A transaction tag: identifies an outstanding request within a port.
+///
+/// Ports own a finite tag pool ("Rd. Tag Pool" in Figure 5); tag exhaustion
+/// is one of the two saturation mechanisms the paper identifies for small
+/// requests (Section IV-A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Tag(pub u16);
+
+impl fmt::Display for Tag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "tag{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn address_masks_to_34_bits() {
+        assert_eq!(Address::new(u64::MAX).raw(), Address::MASK);
+        assert_eq!(Address::new(1 << 34).raw(), 0);
+        assert_eq!(Address::new(0xABCD).raw(), 0xABCD);
+    }
+
+    #[test]
+    fn align_down_clears_low_bits() {
+        let a = Address::new(0x1234);
+        assert_eq!(a.align_down(16).raw(), 0x1230);
+        assert_eq!(a.align_down(128).raw(), 0x1200);
+        assert_eq!(a.align_down(1).raw(), 0x1234);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn align_down_rejects_non_power_of_two() {
+        let _ = Address::new(0).align_down(24);
+    }
+
+    #[test]
+    fn from_u64_masks() {
+        let a: Address = u64::MAX.into();
+        assert_eq!(a.raw(), Address::MASK);
+    }
+
+    #[test]
+    fn ids_display_readably() {
+        assert_eq!(PortId(3).to_string(), "port3");
+        assert_eq!(LinkId(1).to_string(), "link1");
+        assert_eq!(Tag(42).to_string(), "tag42");
+        assert_eq!(Address::new(0x80).to_string(), "0x000000080");
+    }
+}

@@ -1,0 +1,67 @@
+//! Flit constants and helpers.
+//!
+//! HMC packets are built from 16-byte units called *flits* (Section II-B of
+//! the paper, Figure 4). Every request and response carries exactly one flit
+//! of overhead — a 64-bit header and a 64-bit tail packed into the first and
+//! last flit — and zero to eight data flits.
+
+/// Bytes per flit.
+pub const FLIT_BYTES: usize = 16;
+
+/// Flits of header+tail overhead carried by every packet (Table I).
+pub const OVERHEAD_FLITS: u32 = 1;
+
+/// Converts a flit count to bytes.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(hmc_packet::flits_to_bytes(9), 144);
+/// ```
+#[inline]
+pub const fn flits_to_bytes(flits: u32) -> u64 {
+    flits as u64 * FLIT_BYTES as u64
+}
+
+/// The bandwidth efficiency of a packet: data bytes over total bytes.
+///
+/// Section IV-A: a 16 B read response moves 16 B of data in 32 B of packet
+/// (50% efficient), while a 128 B response moves 128 B in 144 B (≈89%).
+///
+/// # Examples
+///
+/// ```
+/// let eff = hmc_packet::bandwidth_efficiency(128, 144);
+/// assert!((eff - 0.888).abs() < 0.001);
+/// ```
+#[inline]
+pub fn bandwidth_efficiency(data_bytes: u64, total_bytes: u64) -> f64 {
+    assert!(total_bytes > 0, "packet has at least one flit");
+    data_bytes as f64 / total_bytes as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flit_byte_conversion() {
+        assert_eq!(flits_to_bytes(0), 0);
+        assert_eq!(flits_to_bytes(1), 16);
+        assert_eq!(flits_to_bytes(9), 144);
+    }
+
+    #[test]
+    fn efficiency_matches_paper_examples() {
+        // Section IV-A quotes 16/(16+16) = 50% and 128/(128+16) = 89%.
+        assert_eq!(bandwidth_efficiency(16, 32), 0.5);
+        let large = bandwidth_efficiency(128, 144);
+        assert!((large - 0.8888888).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one flit")]
+    fn efficiency_rejects_empty_packets() {
+        let _ = bandwidth_efficiency(0, 0);
+    }
+}

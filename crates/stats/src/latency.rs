@@ -1,0 +1,176 @@
+//! Aggregate latency counters matching the FPGA monitoring logic.
+
+use core::fmt;
+
+/// The statistics each port's monitoring logic maintains on real hardware:
+/// "the total number of read and write requests and the total, minimum, and
+/// maximum of read latencies" (Section III-B). Latencies are tracked in
+/// picoseconds to match the simulator's clock.
+///
+/// # Examples
+///
+/// ```
+/// use hmc_stats::LatencyRecorder;
+///
+/// let mut m = LatencyRecorder::new();
+/// m.record_ps(700_000);
+/// m.record_ps(900_000);
+/// assert_eq!(m.count(), 2);
+/// assert_eq!(m.mean_ns(), 800.0);
+/// assert_eq!(m.max_ps(), Some(900_000));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LatencyRecorder {
+    count: u64,
+    total_ps: u128,
+    min_ps: Option<u64>,
+    max_ps: Option<u64>,
+}
+
+impl LatencyRecorder {
+    /// An empty recorder.
+    pub fn new() -> LatencyRecorder {
+        LatencyRecorder::default()
+    }
+
+    /// Records one completed access with round-trip time `ps`.
+    pub fn record_ps(&mut self, ps: u64) {
+        self.count += 1;
+        self.total_ps += u128::from(ps);
+        self.min_ps = Some(self.min_ps.map_or(ps, |m| m.min(ps)));
+        self.max_ps = Some(self.max_ps.map_or(ps, |m| m.max(ps)));
+    }
+
+    /// Number of accesses recorded.
+    #[inline]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Aggregate latency in picoseconds.
+    #[inline]
+    pub fn total_ps(&self) -> u128 {
+        self.total_ps
+    }
+
+    /// Minimum observed latency, if any.
+    #[inline]
+    pub fn min_ps(&self) -> Option<u64> {
+        self.min_ps
+    }
+
+    /// Maximum observed latency, if any.
+    #[inline]
+    pub fn max_ps(&self) -> Option<u64> {
+        self.max_ps
+    }
+
+    /// Average latency in nanoseconds (0 if empty) — the paper's
+    /// "aggregate read latency divided by the total number of reads".
+    pub fn mean_ns(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total_ps as f64 / self.count as f64 / 1e3
+        }
+    }
+
+    /// Average latency in microseconds (0 if empty).
+    pub fn mean_us(&self) -> f64 {
+        self.mean_ns() / 1e3
+    }
+
+    /// Maximum observed latency in microseconds (0 if empty).
+    pub fn max_us(&self) -> f64 {
+        self.max_ps.unwrap_or(0) as f64 / 1e6
+    }
+
+    /// Merges another recorder into this one.
+    pub fn merge(&mut self, other: &LatencyRecorder) {
+        self.count += other.count;
+        self.total_ps += other.total_ps;
+        if let Some(m) = other.min_ps {
+            self.min_ps = Some(self.min_ps.map_or(m, |s| s.min(m)));
+        }
+        if let Some(m) = other.max_ps {
+            self.max_ps = Some(self.max_ps.map_or(m, |s| s.max(m)));
+        }
+    }
+
+    /// Clears all counters (used at the end of the warmup window).
+    pub fn reset(&mut self) {
+        *self = LatencyRecorder::default();
+    }
+}
+
+impl fmt::Display for LatencyRecorder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.1}ns min={:.1}ns max={:.1}ns",
+            self.count,
+            self.mean_ns(),
+            self.min_ps.unwrap_or(0) as f64 / 1e3,
+            self.max_ps.unwrap_or(0) as f64 / 1e3
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tracks_min_max_total() {
+        let mut m = LatencyRecorder::new();
+        for ps in [500, 1500, 1000] {
+            m.record_ps(ps);
+        }
+        assert_eq!(m.count(), 3);
+        assert_eq!(m.total_ps(), 3000);
+        assert_eq!(m.min_ps(), Some(500));
+        assert_eq!(m.max_ps(), Some(1500));
+        assert_eq!(m.mean_ns(), 1.0);
+    }
+
+    #[test]
+    fn empty_recorder_is_safe() {
+        let m = LatencyRecorder::new();
+        assert_eq!(m.mean_ns(), 0.0);
+        assert_eq!(m.mean_us(), 0.0);
+        assert_eq!(m.max_us(), 0.0);
+        assert_eq!(m.min_ps(), None);
+    }
+
+    #[test]
+    fn merge_combines_extremes() {
+        let mut a = LatencyRecorder::new();
+        a.record_ps(100);
+        let mut b = LatencyRecorder::new();
+        b.record_ps(50);
+        b.record_ps(200);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.min_ps(), Some(50));
+        assert_eq!(a.max_ps(), Some(200));
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut m = LatencyRecorder::new();
+        m.record_ps(100);
+        m.reset();
+        assert_eq!(m.count(), 0);
+        assert_eq!(m.min_ps(), None);
+    }
+
+    #[test]
+    fn no_overflow_on_huge_totals() {
+        let mut m = LatencyRecorder::new();
+        for _ in 0..1000 {
+            m.record_ps(u64::MAX / 2);
+        }
+        assert_eq!(m.count(), 1000);
+        assert!(m.mean_ns() > 0.0);
+    }
+}

@@ -1,0 +1,34 @@
+//! # hmc-stats
+//!
+//! Measurement plumbing for the `hmc-noc-sim` workspace: the aggregate
+//! latency counters the FPGA monitoring logic keeps, bandwidth accounting
+//! in the paper's units, fixed-range histograms for the heatmap figures,
+//! Welford summaries for the average/σ figures, Little's-law occupancy
+//! estimation, and a small table renderer for experiment reports.
+//!
+//! ```
+//! use hmc_stats::{BandwidthMeter, LatencyRecorder};
+//!
+//! let mut lat = LatencyRecorder::new();
+//! let mut bw = BandwidthMeter::new();
+//! // One 128 B read: 160 B round trip, 2 µs latency.
+//! lat.record_ps(2_000_000);
+//! bw.add_bytes(160);
+//! assert_eq!(lat.mean_us(), 2.0);
+//! assert_eq!(bw.gb_per_s(2_000_000), 0.08);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bandwidth;
+mod histogram;
+mod latency;
+mod summary;
+mod table;
+
+pub use bandwidth::{little_law_outstanding, BandwidthMeter};
+pub use histogram::{Histogram, SharedRange};
+pub use latency::LatencyRecorder;
+pub use summary::Summary;
+pub use table::Table;

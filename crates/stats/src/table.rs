@@ -1,0 +1,177 @@
+//! Plain-text table rendering for experiment reports.
+
+use core::fmt;
+
+/// A simple column-aligned table with ASCII and CSV renderers, used by the
+/// `repro` binary to print each figure's data series.
+///
+/// # Examples
+///
+/// ```
+/// use hmc_stats::Table;
+///
+/// let mut t = Table::new(["pattern", "bw (GB/s)"]);
+/// t.row(["1 bank", "2.1"]);
+/// t.row(["16 vaults", "23.0"]);
+/// let ascii = t.to_ascii();
+/// assert!(ascii.contains("16 vaults"));
+/// let csv = t.to_csv();
+/// assert!(csv.starts_with("pattern,bw (GB/s)\n"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<I, S>(headers: I) -> Table
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        Table { headers: headers.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    /// Appends one row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn row<I, S>(&mut self, cells: I) -> &mut Table
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(cells.len(), self.headers.len(), "row width must match header");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` if the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders a column-aligned ASCII table.
+    pub fn to_ascii(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.chars().count());
+            }
+        }
+        let mut out = String::new();
+        let render_row = |cells: &[String], widths: &[usize], out: &mut String| {
+            for (i, (cell, w)) in cells.iter().zip(widths).enumerate() {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                out.push_str(cell);
+                for _ in cell.chars().count()..*w {
+                    out.push(' ');
+                }
+            }
+            // Trim trailing padding.
+            while out.ends_with(' ') {
+                out.pop();
+            }
+            out.push('\n');
+        };
+        render_row(&self.headers, &widths, &mut out);
+        let rule_len = widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1);
+        out.push_str(&"-".repeat(rule_len));
+        out.push('\n');
+        for row in &self.rows {
+            render_row(row, &widths, &mut out);
+        }
+        out
+    }
+
+    /// Renders RFC-4180-ish CSV (quotes cells containing commas, quotes or
+    /// newlines).
+    pub fn to_csv(&self) -> String {
+        fn escape(cell: &str) -> String {
+            if cell.contains([',', '"', '\n']) {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_owned()
+            }
+        }
+        let mut out = String::new();
+        let mut push_row = |cells: &[String]| {
+            let line: Vec<String> = cells.iter().map(|c| escape(c)).collect();
+            out.push_str(&line.join(","));
+            out.push('\n');
+        };
+        push_row(&self.headers);
+        for row in &self.rows {
+            push_row(row);
+        }
+        out
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_ascii())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ascii_aligns_columns() {
+        let mut t = Table::new(["a", "long header"]);
+        t.row(["wide cell value", "1"]);
+        let text = t.to_ascii();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        // The second column starts at the same offset in header and data.
+        let h = lines[0].find("long header").unwrap();
+        let d = lines[2].find('1').unwrap();
+        assert_eq!(h, d);
+    }
+
+    #[test]
+    fn csv_escapes_special_cells() {
+        let mut t = Table::new(["x"]);
+        t.row(["a,b"]);
+        t.row(["say \"hi\""]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"a,b\""));
+        assert!(csv.contains("\"say \"\"hi\"\"\""));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn row_width_is_validated() {
+        let mut t = Table::new(["a", "b"]);
+        t.row(["only one"]);
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let mut t = Table::new(["a"]);
+        assert!(t.is_empty());
+        t.row(["1"]);
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn display_matches_ascii() {
+        let mut t = Table::new(["h"]);
+        t.row(["v"]);
+        assert_eq!(t.to_string(), t.to_ascii());
+    }
+}

@@ -1,0 +1,35 @@
+//! # hmc-workloads
+//!
+//! Workload traces and generators for the reproduced experiments: the text
+//! trace format consumed by the modelled multi-port stream firmware,
+//! uniform-random generators confined to structural subsets of the cube,
+//! linear sweeps, and the vault-combination enumerator behind the
+//! C(16,4) = 1820-combination sweep of Figures 10–12.
+//!
+//! ```
+//! use hmc_mapping::{AddressMap, VaultId};
+//! use hmc_packet::PayloadSize;
+//! use hmc_workloads::random_reads_in_vaults;
+//!
+//! let map = AddressMap::hmc_gen2_default();
+//! let trace = random_reads_in_vaults(
+//!     &map,
+//!     &[VaultId(0), VaultId(4)],
+//!     PayloadSize::B64,
+//!     100,
+//!     /* seed */ 7,
+//! );
+//! assert_eq!(trace.len(), 100);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod generate;
+mod trace;
+
+pub use generate::{
+    binomial, linear_reads, random_reads_in_banks, random_reads_in_vaults,
+    vault_combinations, VaultCombinations,
+};
+pub use trace::{ParseTraceError, Trace, TraceOp};

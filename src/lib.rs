@@ -1,0 +1,2 @@
+//! Workspace root: re-exports the facade crate for integration tests and examples.
+pub use hmc_sim::*;

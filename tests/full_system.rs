@@ -1,0 +1,166 @@
+//! Integration tests of the assembled measurement stack: conservation,
+//! determinism, calibration anchors and the paper's qualitative orderings,
+//! exercised through the public `hmc_sim` API exactly as the experiment
+//! harness uses it.
+
+use hmc_noc_repro::prelude::*;
+use hmc_noc_repro::workloads::{random_reads_in_banks, random_reads_in_vaults};
+
+fn gups(seed: u64, pattern: AccessPattern, size: PayloadSize, ports: usize) -> RunReport {
+    let cfg = SystemConfig::ac510(seed);
+    let filter = pattern.filter(&cfg.device.map);
+    let specs = vec![PortSpec::gups(filter, GupsOp::Read(size)); ports];
+    SystemSim::new(cfg, specs).run_gups(Delay::from_us(10), Delay::from_us(40))
+}
+
+#[test]
+fn no_load_round_trip_matches_paper_calibration() {
+    // Figure 7 at n=1: ~0.7 µs through FPGA + links + cube, for every
+    // request size.
+    for size in PayloadSize::PAPER_SWEEP {
+        let cfg = SystemConfig::ac510(3);
+        let map = cfg.device.map;
+        let trace = random_reads_in_banks(&map, VaultId(2), 16, size, 1, 3);
+        let report = SystemSim::new(cfg, vec![PortSpec::stream(trace)]).run_streams();
+        let us = report.mean_latency_us();
+        assert!(
+            (0.55..=0.85).contains(&us),
+            "{size} no-load round trip {us} µs outside the 0.7 µs band"
+        );
+    }
+}
+
+#[test]
+fn stream_runs_conserve_requests() {
+    let cfg = SystemConfig::ac510(5);
+    let map = cfg.device.map;
+    let all: Vec<VaultId> = (0..16).map(VaultId).collect();
+    let specs: Vec<PortSpec> = (0..4u64)
+        .map(|p| {
+            PortSpec::stream(random_reads_in_vaults(&map, &all, PayloadSize::B32, 300, 5 + p))
+        })
+        .collect();
+    let report = SystemSim::new(cfg, specs).run_streams();
+    for port in &report.ports {
+        assert_eq!(port.issued, 300, "every trace entry issued");
+        assert_eq!(port.completed, 300, "every request answered");
+        assert_eq!(port.latency.count(), 300, "every response recorded");
+    }
+    assert_eq!(report.device.requests_received, 1_200);
+    assert_eq!(report.device.responses_sent, 1_200);
+    let serviced: u64 = report.device.per_vault_serviced.iter().sum();
+    assert_eq!(serviced, 1_200, "every request serviced by exactly one vault");
+}
+
+#[test]
+fn gups_runs_are_deterministic_in_seed() {
+    let summary = |seed: u64| {
+        let r = gups(seed, AccessPattern::Vaults { count: 8 }, PayloadSize::B64, 5);
+        (
+            r.total_accesses(),
+            r.aggregate_latency().total_ps(),
+            r.device.requests_received,
+            r.device.switch_conflicts,
+        )
+    };
+    assert_eq!(summary(42), summary(42), "identical seeds, identical runs");
+    assert_ne!(summary(42), summary(43), "different seeds actually differ");
+}
+
+#[test]
+fn bandwidth_ceilings_are_ordered_like_figure_6() {
+    let b1 = gups(7, AccessPattern::Banks { vault: VaultId(0), count: 1 }, PayloadSize::B128, 9);
+    let v1 = gups(7, AccessPattern::Vaults { count: 1 }, PayloadSize::B128, 9);
+    let v16 = gups(7, AccessPattern::Vaults { count: 16 }, PayloadSize::B128, 9);
+    // Strictly increasing bandwidth with distribution.
+    assert!(b1.total_bandwidth_gbs() < v1.total_bandwidth_gbs());
+    assert!(v1.total_bandwidth_gbs() < v16.total_bandwidth_gbs());
+    // Strictly decreasing latency with distribution.
+    assert!(b1.mean_latency_us() > v1.mean_latency_us());
+    assert!(v1.mean_latency_us() > v16.mean_latency_us());
+    // Absolute anchors (generous bands around the paper's 23 / ~12.5 / 2–4).
+    assert!((18.0..=27.0).contains(&v16.total_bandwidth_gbs()));
+    assert!((9.0..=15.0).contains(&v1.total_bandwidth_gbs()));
+    assert!((1.0..=6.0).contains(&b1.total_bandwidth_gbs()));
+}
+
+#[test]
+fn request_size_orders_bandwidth_and_latency() {
+    // Section IV-A: "large packet sizes utilize available bandwidth more
+    // effectively at the cost of added latency".
+    let reports: Vec<RunReport> = PayloadSize::PAPER_SWEEP
+        .iter()
+        .map(|&size| gups(9, AccessPattern::Vaults { count: 16 }, size, 9))
+        .collect();
+    for pair in reports.windows(2) {
+        assert!(
+            pair[1].total_bandwidth_gbs() > pair[0].total_bandwidth_gbs(),
+            "bandwidth must grow with request size"
+        );
+        assert!(
+            pair[1].mean_latency_us() >= pair[0].mean_latency_us() * 0.98,
+            "latency must not shrink with request size"
+        );
+    }
+}
+
+#[test]
+fn monitors_only_record_the_measurement_window() {
+    let report = gups(11, AccessPattern::Vaults { count: 16 }, PayloadSize::B64, 3);
+    // Total traffic includes warmup and drain, so issued > recorded.
+    let recorded = report.total_accesses();
+    let issued: u64 = report.ports.iter().map(|p| p.issued).sum();
+    assert!(issued > recorded, "warmup traffic must exist ({issued} vs {recorded})");
+    // The window is the configured 40 µs.
+    assert_eq!(report.elapsed, Delay::from_us(40));
+}
+
+#[test]
+fn little_law_estimate_is_self_consistent() {
+    let report = gups(13, AccessPattern::Vaults { count: 4 }, PayloadSize::B64, 9);
+    let n = report.estimated_outstanding();
+    // Outstanding can never exceed the aggregate tag pool.
+    assert!(n > 1.0, "saturating run keeps requests in flight");
+    assert!(n < f64::from(GUPS_TAGS) * 9.0 * 1.02, "outstanding {n} above tag pool");
+}
+
+#[test]
+fn stream_and_gups_agree_at_low_load() {
+    // One in-flight request at a time: a GUPS port with one tag and a
+    // 1-request stream should see the same unloaded round trip.
+    let cfg = SystemConfig::ac510(17);
+    let map = cfg.device.map;
+    let filter = AccessPattern::Vaults { count: 16 }.filter(&map);
+    let specs = vec![PortSpec::gups(filter, GupsOp::Read(PayloadSize::B32)).with_tags(1)];
+    let gups_report =
+        SystemSim::new(cfg, specs).run_gups(Delay::from_us(5), Delay::from_us(20));
+    let cfg = SystemConfig::ac510(17);
+    let trace = random_reads_in_vaults(
+        &map,
+        &(0..16).map(VaultId).collect::<Vec<_>>(),
+        PayloadSize::B32,
+        1,
+        17,
+    );
+    let stream_report = SystemSim::new(cfg, vec![PortSpec::stream(trace)]).run_streams();
+    let g = gups_report.mean_latency_ns();
+    let s = stream_report.mean_latency_ns();
+    // Stream ports pay one extra address flit on the RX path (~5 ns).
+    assert!(
+        (g - s).abs() < 60.0,
+        "firmware paths disagree at no load: GUPS {g} ns vs stream {s} ns"
+    );
+}
+
+#[test]
+fn writes_round_trip_through_the_full_stack() {
+    let cfg = SystemConfig::ac510(19);
+    let filter = AccessPattern::Vaults { count: 16 }.filter(&cfg.device.map);
+    let specs =
+        vec![PortSpec::gups(filter, GupsOp::Write(PayloadSize::B128)); 4];
+    let report =
+        SystemSim::new(cfg, specs).run_gups(Delay::from_us(10), Delay::from_us(40));
+    assert!(report.total_writes() > 0, "writes recorded");
+    assert_eq!(report.total_reads(), 0, "write-only run");
+    assert!(report.total_bandwidth_gbs() > 5.0, "writes move real bandwidth");
+}
