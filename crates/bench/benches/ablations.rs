@@ -29,12 +29,14 @@ fn ablate_bank_queue(c: &mut Criterion) {
             b.iter(|| {
                 let mut cfg = SystemConfig::ac510(1);
                 cfg.device.vault.bank_queue_capacity = depth;
-                let filter =
-                    AccessPattern::Banks { vault: VaultId(0), count: 2 }.filter(&cfg.device.map);
-                let specs =
-                    vec![PortSpec::gups(filter, GupsOp::Read(PayloadSize::B128)); 9];
-                let report = SystemSim::new(cfg, specs)
-                    .run_gups(Delay::from_us(10), Delay::from_us(40));
+                let filter = AccessPattern::Banks {
+                    vault: VaultId(0),
+                    count: 2,
+                }
+                .filter(&cfg.device.map);
+                let specs = vec![PortSpec::gups(filter, GupsOp::Read(PayloadSize::B128)); 9];
+                let report =
+                    SystemSim::new(cfg, specs).run_gups(Delay::from_us(10), Delay::from_us(40));
                 printed.lock().unwrap().push(format!(
                     "[bank_queue={depth}] 2-bank outstanding ≈ {:.0}, latency {:.2} us",
                     report.estimated_outstanding(),
@@ -135,13 +137,10 @@ fn ablate_tags(c: &mut Criterion) {
             b.iter(|| {
                 let cfg = SystemConfig::ac510(1);
                 let filter = AccessPattern::Vaults { count: 16 }.filter(&cfg.device.map);
-                let specs = vec![
-                    PortSpec::gups(filter, GupsOp::Read(PayloadSize::B16))
-                        .with_tags(tags);
-                    9
-                ];
-                let report = SystemSim::new(cfg, specs)
-                    .run_gups(Delay::from_us(10), Delay::from_us(40));
+                let specs =
+                    vec![PortSpec::gups(filter, GupsOp::Read(PayloadSize::B16)).with_tags(tags); 9];
+                let report =
+                    SystemSim::new(cfg, specs).run_gups(Delay::from_us(10), Delay::from_us(40));
                 printed.lock().unwrap().push(format!(
                     "[tags={tags}] 16B reads: {:.2} GB/s at {:.2} us",
                     report.total_bandwidth_gbs(),

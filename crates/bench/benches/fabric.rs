@@ -1,0 +1,79 @@
+//! Benchmarks of the fabric routing hot path: next-hop lookups and
+//! table construction (consulted on every packet at every transit cube),
+//! plus an end-to-end transit of a short chain so pass-through crossbar
+//! and fabric-link costs are timed together.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use hmc_sim::fabric::{CubeId, FabricConfig, FabricPortSpec, FabricSim, RouteTable, Topology};
+use hmc_sim::prelude::*;
+use hmc_sim::workloads::random_reads_in_banks;
+
+fn bench_route_build(c: &mut Criterion) {
+    c.bench_function("fabric_route_table_build_3x8", |b| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            for t in [Topology::Chain, Topology::Star, Topology::Ring] {
+                let table = RouteTable::for_topology(t, 8);
+                acc += table.hops(CubeId(0), CubeId(7));
+            }
+            acc
+        });
+    });
+}
+
+fn bench_next_hop(c: &mut Criterion) {
+    let table = RouteTable::for_topology(Topology::Ring, 8);
+    c.bench_function("fabric_next_hop_100k_lookups", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for i in 0..100_000u64 {
+                let from = CubeId((i % 8) as u8);
+                let to = CubeId(((i * 5 + 3) % 8) as u8);
+                acc += u64::from(table.next_hop(black_box(from), black_box(to)).0);
+            }
+            acc
+        });
+    });
+}
+
+fn bench_chain_transit(c: &mut Criterion) {
+    c.bench_function("fabric_2cube_chain_200_reads", |b| {
+        b.iter(|| {
+            let cfg = FabricConfig::chain(2018, 2);
+            let trace =
+                random_reads_in_banks(&cfg.cube.map, VaultId(0), 16, PayloadSize::B64, 200, 2018);
+            FabricSim::new(cfg, vec![FabricPortSpec::stream(trace, CubeId(1))])
+                .run_streams()
+                .total_accesses()
+        });
+    });
+}
+
+fn bench_star_loaded(c: &mut Criterion) {
+    c.bench_function("fabric_4cube_star_gups_smoke", |b| {
+        b.iter(|| {
+            let cfg = FabricConfig::star(2018, 4);
+            let filter = AccessPattern::Vaults { count: 16 }.filter(&cfg.cube.map);
+            let specs: Vec<FabricPortSpec> = (0..4u8)
+                .map(|cube| {
+                    FabricPortSpec::gups(filter, GupsOp::Read(PayloadSize::B128), CubeId(cube))
+                })
+                .collect();
+            FabricSim::new(cfg, specs)
+                .run_gups(Delay::from_us(5), Delay::from_us(10))
+                .total_bandwidth_gbs()
+        });
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default().sample_size(10)
+}
+
+criterion_group! {
+    name = fabric;
+    config = config();
+    targets = bench_route_build, bench_next_hop, bench_chain_transit, bench_star_loaded
+}
+criterion_main!(fabric);

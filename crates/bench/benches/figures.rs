@@ -13,7 +13,10 @@ use hmc_sim::prelude::*;
 use hmc_sim::workloads::random_reads_in_banks;
 
 fn ctx() -> ExpContext {
-    ExpContext { scale: Scale::Smoke, seed: 2018 }
+    ExpContext {
+        scale: Scale::Smoke,
+        seed: 2018,
+    }
 }
 
 fn bench_table1(c: &mut Criterion) {
@@ -148,7 +151,10 @@ fn bench_ext(c: &mut Criterion) {
                 &ctx(),
                 21,
                 AccessPattern::Vaults { count: 16 },
-                GupsOp::Mix { size: PayloadSize::B128, write_percent: 50 },
+                GupsOp::Mix {
+                    size: PayloadSize::B128,
+                    write_percent: 50,
+                },
                 9,
             )
             .total_bandwidth_gbs()

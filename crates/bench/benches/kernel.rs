@@ -54,7 +54,11 @@ fn bench_switch(c: &mut Criterion) {
                 for i in 0..10_000u32 {
                     sw.try_enqueue(
                         (i % 8) as usize,
-                        SwitchEntry { output: ((i * 7) % 8) as usize, flits: 2, payload: i },
+                        SwitchEntry {
+                            output: ((i * 7) % 8) as usize,
+                            flits: 2,
+                            payload: i,
+                        },
                     )
                     .expect("huge buffers");
                 }

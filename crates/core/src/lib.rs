@@ -37,7 +37,7 @@
 mod report;
 mod system;
 
-pub use report::{PortReport, RunReport};
+pub use report::{CubeReport, PortReport, RunReport, TransitStats};
 pub use system::{PortSpec, SystemConfig, SystemSim, GUPS_TAGS, STREAM_TAGS};
 
 // Re-export the substrate crates under stable names.
@@ -45,6 +45,7 @@ pub use hmc_ddr as ddr;
 pub use hmc_des as des;
 pub use hmc_device as device;
 pub use hmc_dram as dram;
+pub use hmc_fabric as fabric;
 pub use hmc_host as host;
 pub use hmc_link as link;
 pub use hmc_mapping as mapping;
@@ -58,9 +59,12 @@ pub mod prelude {
     pub use crate::{PortSpec, RunReport, SystemConfig, SystemSim, GUPS_TAGS, STREAM_TAGS};
     pub use hmc_des::{Delay, Time};
     pub use hmc_device::DeviceConfig;
+    pub use hmc_fabric::{CubeId, FabricConfig, FabricPortSpec, FabricSim, Topology};
     pub use hmc_host::{GupsOp, HostConfig, Traffic};
     pub use hmc_mapping::{AccessPattern, AddressMap, BankId, Geometry, VaultId};
     pub use hmc_packet::{Address, PayloadSize, PortId, RequestKind};
     pub use hmc_stats::{Histogram, LatencyRecorder, Summary, Table};
-    pub use hmc_workloads::{random_reads_in_banks, random_reads_in_vaults, vault_combinations, Trace};
+    pub use hmc_workloads::{
+        random_reads_in_banks, random_reads_in_vaults, vault_combinations, Trace,
+    };
 }

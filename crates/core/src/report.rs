@@ -1,164 +1,7 @@
 //! Run reports: what an experiment learns from one simulation.
+//!
+//! The report types live in [`hmc_fabric`] (a run of one cube and a run
+//! of a memory network produce the same report shape); this module
+//! re-exports them under their original paths.
 
-use hmc_des::{Delay, Time};
-use hmc_device::DeviceStats;
-use hmc_packet::PortId;
-use hmc_stats::{BandwidthMeter, LatencyRecorder};
-
-/// Per-port measurement results — the counters the FPGA monitoring logic
-/// reports back to the host after a run (Section III-B).
-#[derive(Debug, Clone)]
-pub struct PortReport {
-    /// The port.
-    pub port: PortId,
-    /// Requests issued (including unrecorded warmup traffic).
-    pub issued: u64,
-    /// Responses received (including unrecorded warmup traffic).
-    pub completed: u64,
-    /// Latency aggregate over the measurement window.
-    pub latency: LatencyRecorder,
-    /// Byte counter over the measurement window (paper bandwidth units:
-    /// request + response packets including header, tail and payload).
-    pub bytes: BandwidthMeter,
-    /// Read transactions recorded in the measurement window.
-    pub reads: u64,
-    /// Write/atomic transactions recorded in the measurement window.
-    pub writes: u64,
-}
-
-/// The outcome of one simulated run.
-#[derive(Debug, Clone)]
-pub struct RunReport {
-    /// Per-port results, in port order.
-    pub ports: Vec<PortReport>,
-    /// Length of the measurement window.
-    pub elapsed: Delay,
-    /// Device-side counters.
-    pub device: DeviceStats,
-    /// Simulation time when the run quiesced.
-    pub sim_end: Time,
-}
-
-impl RunReport {
-    /// Merged latency aggregate across all ports.
-    pub fn aggregate_latency(&self) -> LatencyRecorder {
-        let mut total = LatencyRecorder::new();
-        for p in &self.ports {
-            total.merge(&p.latency);
-        }
-        total
-    }
-
-    /// Mean read latency in nanoseconds across all ports.
-    pub fn mean_latency_ns(&self) -> f64 {
-        self.aggregate_latency().mean_ns()
-    }
-
-    /// Mean read latency in microseconds across all ports.
-    pub fn mean_latency_us(&self) -> f64 {
-        self.mean_latency_ns() / 1e3
-    }
-
-    /// Maximum observed latency in microseconds across all ports.
-    pub fn max_latency_us(&self) -> f64 {
-        self.ports.iter().map(|p| p.latency.max_us()).fold(0.0, f64::max)
-    }
-
-    /// Total accesses recorded in the measurement window.
-    pub fn total_accesses(&self) -> u64 {
-        self.ports.iter().map(|p| p.bytes.accesses()).sum()
-    }
-
-    /// Recorded reads across ports.
-    pub fn total_reads(&self) -> u64 {
-        self.ports.iter().map(|p| p.reads).sum()
-    }
-
-    /// Recorded writes across ports.
-    pub fn total_writes(&self) -> u64 {
-        self.ports.iter().map(|p| p.writes).sum()
-    }
-
-    /// Bidirectional bandwidth in GB/s over the measurement window, by the
-    /// paper's formula (total request + response bytes / elapsed time).
-    pub fn total_bandwidth_gbs(&self) -> f64 {
-        let bytes: u64 = self.ports.iter().map(|p| p.bytes.bytes()).sum();
-        if self.elapsed.is_zero() {
-            return 0.0;
-        }
-        bytes as f64 * 1e3 / self.elapsed.as_ps() as f64
-    }
-
-    /// Access throughput in accesses per second.
-    pub fn accesses_per_second(&self) -> f64 {
-        if self.elapsed.is_zero() {
-            return 0.0;
-        }
-        self.total_accesses() as f64 * 1e12 / self.elapsed.as_ps() as f64
-    }
-
-    /// Little's-law estimate of mean outstanding requests during the
-    /// window: arrival rate × mean time in system — the calculation behind
-    /// Figure 14.
-    pub fn estimated_outstanding(&self) -> f64 {
-        self.accesses_per_second() * self.mean_latency_ns() * 1e-9
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    fn report_with(latencies_ns: &[u64], bytes_per_access: u64, elapsed: Delay) -> RunReport {
-        let mut latency = LatencyRecorder::new();
-        let mut meter = BandwidthMeter::new();
-        for &ns in latencies_ns {
-            latency.record_ps(ns * 1_000);
-            meter.add_bytes(bytes_per_access);
-        }
-        RunReport {
-            ports: vec![PortReport {
-                port: PortId(0),
-                issued: latencies_ns.len() as u64,
-                completed: latencies_ns.len() as u64,
-                latency,
-                bytes: meter,
-                reads: latencies_ns.len() as u64,
-                writes: 0,
-            }],
-            elapsed,
-            device: DeviceStats::default(),
-            sim_end: Time::ZERO + elapsed,
-        }
-    }
-
-    #[test]
-    fn bandwidth_uses_paper_formula() {
-        // 10 accesses × 160 B in 1 µs = 1.6 GB/s.
-        let r = report_with(&[1_000; 10], 160, Delay::from_us(1));
-        assert!((r.total_bandwidth_gbs() - 1.6).abs() < 1e-9);
-        assert_eq!(r.total_accesses(), 10);
-    }
-
-    #[test]
-    fn little_law_identity() {
-        // 10 accesses in 1 µs at 500 ns each → 10e6/s × 0.5e-6 s = 5.
-        let r = report_with(&[500; 10], 48, Delay::from_us(1));
-        assert!((r.estimated_outstanding() - 5.0).abs() < 1e-9);
-    }
-
-    #[test]
-    fn latency_aggregation() {
-        let r = report_with(&[100, 300], 48, Delay::from_us(1));
-        assert_eq!(r.mean_latency_ns(), 200.0);
-        assert_eq!(r.max_latency_us(), 0.3);
-    }
-
-    #[test]
-    fn empty_window_is_safe() {
-        let r = report_with(&[], 0, Delay::ZERO);
-        assert_eq!(r.total_bandwidth_gbs(), 0.0);
-        assert_eq!(r.accesses_per_second(), 0.0);
-        assert_eq!(r.estimated_outstanding(), 0.0);
-    }
-}
+pub use hmc_fabric::{CubeReport, PortReport, RunReport, TransitStats};

@@ -1,27 +1,25 @@
-//! Full-system simulation: host and device wired onto the event engine.
+//! Full-system simulation: a thin wrapper over the single-cube case of
+//! the [`hmc_fabric`] memory-network simulator.
+//!
+//! [`SystemSim`] preserves the original single-cube API (the paper's
+//! AC-510 measurement stack); multi-cube systems are built by lifting a
+//! [`SystemConfig`] into a [`FabricConfig`] with
+//! [`SystemConfig::into_fabric`] and driving [`FabricSim`] directly.
 
-use hmc_des::{Component, ComponentId, Ctx, Delay, Engine, Time};
-use hmc_device::{DeviceConfig, DeviceOutput, HmcDevice};
-use hmc_host::{HostConfig, HostEvent, HostModel, Port, Traffic};
-use hmc_packet::{LinkId, PortId, RequestPacket, ResponsePacket};
+use hmc_des::Delay;
+use hmc_device::DeviceConfig;
+use hmc_fabric::{CubeId, FabricConfig, FabricPortSpec, FabricSim, Topology};
+use hmc_host::HostConfig;
 
-use crate::report::{PortReport, RunReport};
+use crate::report::RunReport;
 
-/// Default GUPS tag-pool size: 64 tags per port. Nine ports give the 576
-/// maximum outstanding requests consistent with the paper's Figure 14
-/// (≈535 measured for 4-bank patterns, just under the tag ceiling).
-pub const GUPS_TAGS: u16 = 64;
-
-/// Default stream tag-pool size: 80 tags per port, matching the Figure 8
-/// saturation knee (the paper's latency stops growing near 100 in-flight
-/// requests).
-pub const STREAM_TAGS: u16 = 80;
+pub use hmc_fabric::{GUPS_TAGS, STREAM_TAGS};
 
 /// Specification of one traffic port.
 #[derive(Debug, Clone)]
 pub struct PortSpec {
     /// Traffic source.
-    pub traffic: Traffic,
+    pub traffic: hmc_host::Traffic,
     /// Tag-pool size (maximum outstanding requests).
     pub tags: u16,
 }
@@ -29,18 +27,33 @@ pub struct PortSpec {
 impl PortSpec {
     /// A GUPS port with the default tag pool.
     pub fn gups(filter: hmc_mapping::AddressFilter, op: hmc_host::GupsOp) -> PortSpec {
-        PortSpec { traffic: Traffic::Gups { filter, op }, tags: GUPS_TAGS }
+        PortSpec {
+            traffic: hmc_host::Traffic::Gups { filter, op },
+            tags: GUPS_TAGS,
+        }
     }
 
     /// A stream port with the default tag pool.
     pub fn stream(trace: hmc_workloads::Trace) -> PortSpec {
-        PortSpec { traffic: Traffic::Stream { trace }, tags: STREAM_TAGS }
+        PortSpec {
+            traffic: hmc_host::Traffic::Stream { trace },
+            tags: STREAM_TAGS,
+        }
     }
 
     /// Overrides the tag-pool size.
     pub fn with_tags(mut self, tags: u16) -> PortSpec {
         self.tags = tags;
         self
+    }
+
+    /// Lifts this port into a fabric port targeting `cube`.
+    pub fn targeting(self, cube: CubeId) -> FabricPortSpec {
+        FabricPortSpec {
+            traffic: self.traffic,
+            tags: self.tags,
+            cube,
+        }
     }
 }
 
@@ -64,6 +77,15 @@ impl SystemConfig {
             seed,
         }
     }
+
+    /// Lifts this single-cube system into an `n`-cube memory network of
+    /// identical cubes in the given topology (cube 0 keeps the host).
+    pub fn into_fabric(self, topology: Topology, cube_count: u8) -> FabricConfig {
+        let mut cfg = FabricConfig::single(self.device, self.host, self.seed);
+        cfg.topology = topology;
+        cfg.cube_count = cube_count;
+        cfg
+    }
 }
 
 impl Default for SystemConfig {
@@ -72,160 +94,8 @@ impl Default for SystemConfig {
     }
 }
 
-/// Messages exchanged between the host and device components.
-enum Msg {
-    /// One FPGA cycle at the host.
-    HostTick,
-    /// Deactivate GUPS ports and freeze monitors (end of measurement).
-    HostStop,
-    /// Clear monitors (end of warmup).
-    HostResetStats,
-    /// A response fully arrived at the host on `link`.
-    HostResponse { link: LinkId, pkt: ResponsePacket },
-    /// A response finished draining to its port.
-    PortDeliver { pkt: ResponsePacket },
-    /// The device freed request-link input buffer space.
-    ReturnRequestTokens { link: LinkId, flits: u32 },
-    /// A request fully arrived at the device on `link`.
-    DeviceRequest { link: LinkId, pkt: RequestPacket },
-    /// Internal device work is due.
-    DeviceWake,
-    /// The host freed response RX buffer space.
-    ReturnResponseTokens { link: LinkId, flits: u32 },
-}
-
-/// How a run terminates.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum RunMode {
-    /// GUPS ports tick until the stop time, then drain.
-    GupsUntil(Time),
-    /// Stream ports tick until every trace is issued and answered.
-    Stream,
-}
-
-struct HostComp {
-    model: HostModel,
-    device: Option<ComponentId>,
-    mode: RunMode,
-    period: Delay,
-    measure_start: Time,
-    measure_end: Option<Time>,
-}
-
-impl HostComp {
-    fn relay(&self, events: Vec<HostEvent>, ctx: &mut Ctx<'_, Msg>) {
-        let device = self.device.expect("device wired before first message");
-        let me = ctx.self_id();
-        for ev in events {
-            match ev {
-                HostEvent::RequestArrival { link, pkt, at } => {
-                    ctx.send_at(at, device, Msg::DeviceRequest { link, pkt });
-                }
-                HostEvent::ResponseDrained { pkt, at, .. } => {
-                    ctx.send_at(at, me, Msg::PortDeliver { pkt });
-                }
-                HostEvent::ResponseTokens { link, flits, at } => {
-                    ctx.send_at(at, device, Msg::ReturnResponseTokens { link, flits });
-                }
-            }
-        }
-    }
-
-    fn should_tick_again(&self, next: Time) -> bool {
-        match self.mode {
-            RunMode::GupsUntil(stop) => next < stop,
-            RunMode::Stream => !self.model.all_done(),
-        }
-    }
-}
-
-impl Component<Msg> for HostComp {
-    fn on_message(&mut self, msg: Msg, ctx: &mut Ctx<'_, Msg>) {
-        match msg {
-            Msg::HostTick => {
-                let events = self.model.tick(ctx.now());
-                self.relay(events, ctx);
-                let next = ctx.now() + self.period;
-                if self.should_tick_again(next) {
-                    ctx.send_self(self.period, Msg::HostTick);
-                }
-            }
-            Msg::HostStop => {
-                self.model.set_all_active(false);
-                self.model.freeze_stats();
-                self.measure_end = Some(ctx.now());
-            }
-            Msg::HostResetStats => {
-                self.model.reset_stats();
-                self.measure_start = ctx.now();
-            }
-            Msg::HostResponse { link, pkt } => {
-                let events = self.model.on_response_arrival(ctx.now(), link, pkt);
-                self.relay(events, ctx);
-            }
-            Msg::PortDeliver { pkt } => {
-                self.model.deliver_response(ctx.now(), &pkt);
-            }
-            Msg::ReturnRequestTokens { link, flits } => {
-                let events = self.model.on_request_tokens(ctx.now(), link, flits);
-                self.relay(events, ctx);
-            }
-            _ => unreachable!("message addressed to the device reached the host"),
-        }
-    }
-
-    fn name(&self) -> &str {
-        "host"
-    }
-}
-
-struct DeviceComp {
-    device: HmcDevice,
-    host: ComponentId,
-    wake_at: Option<Time>,
-}
-
-impl Component<Msg> for DeviceComp {
-    fn on_message(&mut self, msg: Msg, ctx: &mut Ctx<'_, Msg>) {
-        let now = ctx.now();
-        if self.wake_at.is_some_and(|w| w <= now) {
-            self.wake_at = None;
-        }
-        match msg {
-            Msg::DeviceRequest { link, pkt } => self.device.on_request(now, link, pkt),
-            Msg::ReturnResponseTokens { link, flits } => {
-                self.device.return_response_tokens(link, flits);
-            }
-            Msg::DeviceWake => {}
-            _ => unreachable!("message addressed to the host reached the device"),
-        }
-        for out in self.device.advance(now) {
-            match out {
-                DeviceOutput::Response { link, pkt, at } => {
-                    ctx.send_at(at, self.host, Msg::HostResponse { link, pkt });
-                }
-                DeviceOutput::RequestTokens { link, flits } => {
-                    ctx.send(Delay::ZERO, self.host, Msg::ReturnRequestTokens { link, flits });
-                }
-            }
-        }
-        if let Some(t) = self.device.next_wake() {
-            debug_assert!(t >= now, "device wake in the past");
-            if self.wake_at.is_none_or(|w| w > t) {
-                let me = ctx.self_id();
-                ctx.send_at(t, me, Msg::DeviceWake);
-                self.wake_at = Some(t);
-            }
-        }
-    }
-
-    fn name(&self) -> &str {
-        "device"
-    }
-}
-
 /// A complete simulated measurement system: FPGA host plus HMC device on a
-/// deterministic event engine.
+/// deterministic event engine — the single-cube case of [`FabricSim`].
 ///
 /// One `SystemSim` performs one run ([`SystemSim::run_gups`] or
 /// [`SystemSim::run_streams`]) and is then consumed by the report.
@@ -249,10 +119,7 @@ impl Component<Msg> for DeviceComp {
 /// assert!(report.mean_latency_ns() > 500.0);
 /// ```
 pub struct SystemSim {
-    engine: Engine<Msg>,
-    host: ComponentId,
-    device: ComponentId,
-    started: bool,
+    inner: FabricSim,
 }
 
 impl SystemSim {
@@ -266,47 +133,14 @@ impl SystemSim {
     /// Panics if the configurations are invalid, `specs` is empty, or the
     /// host and device disagree on link count.
     pub fn new(cfg: SystemConfig, specs: Vec<PortSpec>) -> SystemSim {
-        assert!(!specs.is_empty(), "a system needs at least one port");
-        assert_eq!(
-            usize::from(cfg.host.link_count),
-            cfg.device.link_count(),
-            "host and device must agree on link count"
-        );
-        let device_model = HmcDevice::new(cfg.device.clone());
-        let mut host_cfg = cfg.host.clone();
-        // Request-direction tokens guard the cube's link input buffers.
-        host_cfg.link.input_buffer_flits = device_model.request_tokens_per_link();
-        let ports: Vec<Port> = specs
+        let fabric = FabricConfig::single(cfg.device, cfg.host, cfg.seed);
+        let specs = specs
             .into_iter()
-            .enumerate()
-            .map(|(i, spec)| {
-                let seed =
-                    cfg.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(i as u64 + 1);
-                Port::new(PortId(i as u8), spec.traffic, spec.tags, seed)
-            })
+            .map(|s| s.targeting(CubeId::HOST))
             .collect();
-        let host_model = HostModel::new(host_cfg, ports);
-        let period = host_model.config().fpga_period;
-
-        let mut engine = Engine::new();
-        let host = engine.add_component(Box::new(HostComp {
-            model: host_model,
-            device: None,
-            mode: RunMode::Stream,
-            period,
-            measure_start: Time::ZERO,
-            measure_end: None,
-        }));
-        let device = engine.add_component(Box::new(DeviceComp {
-            device: device_model,
-            host,
-            wake_at: None,
-        }));
-        engine
-            .component_mut::<HostComp>(host)
-            .expect("host registered")
-            .device = Some(device);
-        SystemSim { engine, host, device, started: false }
+        SystemSim {
+            inner: FabricSim::new(fabric, specs),
+        }
     }
 
     /// Runs the GUPS firmware: every port generates random requests for
@@ -317,20 +151,7 @@ impl SystemSim {
     ///
     /// Panics if the system was already run.
     pub fn run_gups(&mut self, warmup: Delay, measure: Delay) -> RunReport {
-        assert!(!self.started, "a SystemSim performs a single run");
-        self.started = true;
-        let stop_at = Time::ZERO + warmup + measure;
-        {
-            let host = self.engine.component_mut::<HostComp>(self.host).expect("host");
-            host.mode = RunMode::GupsUntil(stop_at);
-            host.model.set_all_active(true);
-        }
-        self.engine.schedule(Time::ZERO, self.host, Msg::HostTick);
-        self.engine
-            .schedule(Time::ZERO + warmup, self.host, Msg::HostResetStats);
-        self.engine.schedule(stop_at, self.host, Msg::HostStop);
-        self.engine.run_to_quiescence();
-        self.collect()
+        self.inner.run_gups(warmup, measure)
     }
 
     /// Runs the multi-port stream firmware: every port replays its trace
@@ -340,53 +161,13 @@ impl SystemSim {
     ///
     /// Panics if the system was already run.
     pub fn run_streams(&mut self) -> RunReport {
-        assert!(!self.started, "a SystemSim performs a single run");
-        self.started = true;
-        {
-            let host = self.engine.component_mut::<HostComp>(self.host).expect("host");
-            host.mode = RunMode::Stream;
-        }
-        self.engine.schedule(Time::ZERO, self.host, Msg::HostTick);
-        self.engine.run_to_quiescence();
-        self.collect()
+        self.inner.run_streams()
     }
 
     /// Peak-occupancy census of the device's internal buffers after a
     /// run; a calibration/debugging aid.
     #[doc(hidden)]
     pub fn device_peak_census(&self) -> Vec<(String, u64)> {
-        self.engine
-            .component::<DeviceComp>(self.device)
-            .expect("device registered")
-            .device
-            .peak_census()
-    }
-
-    fn collect(&mut self) -> RunReport {
-        let sim_end = self.engine.now();
-        let host = self.engine.component::<HostComp>(self.host).expect("host");
-        let measure_end = host.measure_end.unwrap_or(sim_end);
-        let elapsed = measure_end.saturating_since(host.measure_start);
-        let ports = host
-            .model
-            .ports()
-            .iter()
-            .map(|p| PortReport {
-                port: p.id(),
-                issued: p.issued(),
-                completed: p.completed(),
-                latency: *p.latency(),
-                bytes: *p.bytes(),
-                reads: p.reads_recorded(),
-                writes: p.writes_recorded(),
-            })
-            .collect();
-        let device_stats = self
-            .engine
-            .component::<DeviceComp>(self.device)
-            .expect("device registered")
-            .device
-            .stats();
-        RunReport { ports, elapsed, device: device_stats, sim_end }
+        self.inner.device_peak_census(CubeId::HOST)
     }
 }

@@ -100,7 +100,10 @@ impl DdrChannel {
     ///
     /// Panics if the configuration has zero banks or invalid timing.
     pub fn new(cfg: DdrConfig) -> DdrChannel {
-        DdrChannel { cfg, memory: VaultMemory::new(cfg.banks, cfg.timing) }
+        DdrChannel {
+            cfg,
+            memory: VaultMemory::new(cfg.banks, cfg.timing),
+        }
     }
 
     /// A DDR4-2400 channel.
@@ -139,7 +142,10 @@ impl DdrChannel {
         size_bytes: u32,
         seed: u64,
     ) -> DdrReport {
-        assert!(clients > 0 && requests > 0 && size_bytes > 0, "degenerate workload");
+        assert!(
+            clients > 0 && requests > 0 && size_bytes > 0,
+            "degenerate workload"
+        );
         let bursts = size_bytes.div_ceil(self.cfg.burst_bytes);
         let mut rng = SmallRng::seed_from_u64(seed);
         // (next issue time, client id) min-heap.
@@ -198,7 +204,11 @@ mod tests {
         // A lone client sees close to the unloaded latency (occasional
         // same-bank tRC gaps add a little).
         assert!(report.mean_latency_ns >= no_load * 0.99);
-        assert!(report.mean_latency_ns <= no_load * 1.5, "{}", report.mean_latency_ns);
+        assert!(
+            report.mean_latency_ns <= no_load * 1.5,
+            "{}",
+            report.mean_latency_ns
+        );
     }
 
     #[test]
@@ -206,21 +216,33 @@ mod tests {
         let mut ddr = DdrChannel::ddr4_2400();
         let report = ddr.run_closed_loop(64, 20_000, 64, 2);
         let peak = ddr.config().peak_gb_per_s();
-        assert!(report.data_gb_per_s > peak * 0.5, "got {}", report.data_gb_per_s);
+        assert!(
+            report.data_gb_per_s > peak * 0.5,
+            "got {}",
+            report.data_gb_per_s
+        );
         assert!(report.data_gb_per_s <= peak * 1.01);
     }
 
     #[test]
     fn latency_rises_with_load() {
-        let low = DdrChannel::ddr4_2400().run_closed_loop(1, 2_000, 64, 3).mean_latency_ns;
-        let high = DdrChannel::ddr4_2400().run_closed_loop(64, 2_000, 64, 3).mean_latency_ns;
+        let low = DdrChannel::ddr4_2400()
+            .run_closed_loop(1, 2_000, 64, 3)
+            .mean_latency_ns;
+        let high = DdrChannel::ddr4_2400()
+            .run_closed_loop(64, 2_000, 64, 3)
+            .mean_latency_ns;
         assert!(high > low * 1.5, "queueing must show: {low} vs {high}");
     }
 
     #[test]
     fn larger_requests_move_more_data() {
-        let small = DdrChannel::ddr4_2400().run_closed_loop(16, 5_000, 64, 4).data_gb_per_s;
-        let large = DdrChannel::ddr4_2400().run_closed_loop(16, 5_000, 256, 4).data_gb_per_s;
+        let small = DdrChannel::ddr4_2400()
+            .run_closed_loop(16, 5_000, 64, 4)
+            .data_gb_per_s;
+        let large = DdrChannel::ddr4_2400()
+            .run_closed_loop(16, 5_000, 256, 4)
+            .data_gb_per_s;
         assert!(large > small);
     }
 

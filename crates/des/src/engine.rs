@@ -86,7 +86,12 @@ impl<M> EngineCore<M> {
         debug_assert!(time >= self.time, "cannot schedule into the past");
         let seq = self.seq;
         self.seq += 1;
-        self.queue.push(Reverse(Scheduled { time, seq, target, msg }));
+        self.queue.push(Reverse(Scheduled {
+            time,
+            seq,
+            target,
+            msg,
+        }));
     }
 }
 
@@ -257,7 +262,10 @@ impl<M> Engine<M> {
             let mut component = self.components[slot]
                 .take()
                 .unwrap_or_else(|| panic!("{} dispatched re-entrantly", self.names[slot]));
-            let mut ctx = Ctx { core: &mut self.core, self_id: ev.target };
+            let mut ctx = Ctx {
+                core: &mut self.core,
+                self_id: ev.target,
+            };
             component.on_message(ev.msg, &mut ctx);
             self.components[slot] = Some(component);
         }

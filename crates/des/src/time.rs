@@ -156,7 +156,10 @@ impl Delay {
     /// Panics if `ns` is negative or not finite.
     #[inline]
     pub fn from_ns_f64(ns: f64) -> Delay {
-        assert!(ns.is_finite() && ns >= 0.0, "delay must be finite and non-negative");
+        assert!(
+            ns.is_finite() && ns >= 0.0,
+            "delay must be finite and non-negative"
+        );
         Delay((ns * 1e3).round() as u64)
     }
 
@@ -168,7 +171,10 @@ impl Delay {
     /// Panics if `us` is negative or not finite.
     #[inline]
     pub fn from_us_f64(us: f64) -> Delay {
-        assert!(us.is_finite() && us >= 0.0, "delay must be finite and non-negative");
+        assert!(
+            us.is_finite() && us >= 0.0,
+            "delay must be finite and non-negative"
+        );
         Delay((us * 1e6).round() as u64)
     }
 

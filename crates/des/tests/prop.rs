@@ -40,7 +40,10 @@ fn run_schedule(events: &[(u64, u32)]) -> Vec<(u64, u32)> {
         e.schedule(Time::from_ps(t), id, payload);
     }
     e.run_to_quiescence();
-    e.component::<Recorder>(id).expect("recorder present").log.clone()
+    e.component::<Recorder>(id)
+        .expect("recorder present")
+        .log
+        .clone()
 }
 
 proptest! {

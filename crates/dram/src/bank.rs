@@ -83,7 +83,11 @@ impl Bank {
         let pre_start = last_col_done.max(start + t.t_ras);
         let bank_free = pre_start + t.t_rp;
         self.complete(start, bank_free);
-        AccessTiming { start, data_ready, bank_free }
+        AccessTiming {
+            start,
+            data_ready,
+            bank_free,
+        }
     }
 
     /// Schedules a closed-page write of `bursts` 32 B beats.
@@ -99,7 +103,11 @@ impl Bank {
         let pre_start = (last_data + t.t_wr).max(start + t.t_ras);
         let bank_free = pre_start + t.t_rp;
         self.complete(start, bank_free);
-        AccessTiming { start, data_ready, bank_free }
+        AccessTiming {
+            start,
+            data_ready,
+            bank_free,
+        }
     }
 
     fn complete(&mut self, start: Time, bank_free: Time) {
@@ -134,7 +142,7 @@ mod tests {
         let a = b.schedule_read(Time::ZERO, 1, &t);
         assert_eq!(a.start, Time::ZERO);
         assert_eq!(a.data_ready.as_ps(), 27_500); // tRCD + tCL
-        // tRAS (27.5 ns) dominates one burst, then tRP.
+                                                  // tRAS (27.5 ns) dominates one burst, then tRP.
         assert_eq!(a.bank_free.as_ps(), 41_250);
     }
 

@@ -38,7 +38,12 @@ impl DataBus {
     /// Panics if `beat` is zero.
     pub fn new(beat: Delay) -> DataBus {
         assert!(!beat.is_zero(), "bus beat must be positive");
-        DataBus { beat, free_at: Time::ZERO, beats_moved: 0, busy_ps: 0 }
+        DataBus {
+            beat,
+            free_at: Time::ZERO,
+            beats_moved: 0,
+            busy_ps: 0,
+        }
     }
 
     /// The configured beat time.

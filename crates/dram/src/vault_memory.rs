@@ -118,7 +118,11 @@ impl VaultMemory {
         if self.banks.is_empty() {
             return 0.0;
         }
-        self.banks.iter().map(|b| b.utilization(elapsed)).sum::<f64>() / self.banks.len() as f64
+        self.banks
+            .iter()
+            .map(|b| b.utilization(elapsed))
+            .sum::<f64>()
+            / self.banks.len() as f64
     }
 }
 
@@ -184,7 +188,10 @@ mod tests {
         }
         // Per access the bank is busy ~max(tRAS, tRCD+4*tCCD)+tRP = 41.25ns.
         let per_access_ns = last.as_ps() as f64 / 1e3 / reads as f64;
-        assert!((per_access_ns - 41.25).abs() < 1.0, "measured {per_access_ns} ns");
+        assert!(
+            (per_access_ns - 41.25).abs() < 1.0,
+            "measured {per_access_ns} ns"
+        );
     }
 
     #[test]

@@ -1,13 +1,21 @@
 //! `repro` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! repro [--full] [--seed N] [--out DIR] <experiment...|all|--list>
+//! repro [--full] [--json] [--seed N] [--out DIR] <experiment...|all|--list>
 //! ```
+//!
+//! By default each experiment's tables print as ASCII. With `--json` the
+//! run emits one JSON document on stdout — an array of experiment
+//! outcomes, each table as `{"title", "headers", "rows"}` — so results
+//! can be consumed by scripts without scraping. `--out DIR` additionally
+//! writes one CSV per table (plus one JSON file per experiment when
+//! `--json` is given).
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use hmc_experiments::{canonical_name, run_by_name, ExpContext, Scale, EXPERIMENTS};
+use hmc_experiments::{canonical_name, run_by_name, ExpContext, Outcome, Scale, EXPERIMENTS};
+use hmc_sim::stats::json_escape;
 
 struct Args {
     scale: Scale,
@@ -15,6 +23,7 @@ struct Args {
     out: Option<PathBuf>,
     names: Vec<String>,
     list: bool,
+    json: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -24,6 +33,7 @@ fn parse_args() -> Result<Args, String> {
         out: None,
         names: Vec::new(),
         list: false,
+        json: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -31,6 +41,7 @@ fn parse_args() -> Result<Args, String> {
             "--full" => args.scale = Scale::Full,
             "--quick" => args.scale = Scale::Quick,
             "--list" => args.list = true,
+            "--json" => args.json = true,
             "--seed" => {
                 let v = it.next().ok_or("--seed needs a value")?;
                 args.seed = v.parse().map_err(|e| format!("bad seed: {e}"))?;
@@ -50,7 +61,7 @@ fn parse_args() -> Result<Args, String> {
 }
 
 fn usage() {
-    eprintln!("usage: repro [--full] [--seed N] [--out DIR] <experiment...|all|--list>");
+    eprintln!("usage: repro [--full] [--json] [--seed N] [--out DIR] <experiment...|all|--list>");
     eprintln!("experiments: {}", EXPERIMENTS.join(" "));
     eprintln!("aliases: fig10 fig11 fig12 (one combined sweep)");
 }
@@ -58,12 +69,41 @@ fn usage() {
 fn sanitize(title: &str) -> String {
     title
         .chars()
-        .map(|c| if c.is_ascii_alphanumeric() { c.to_ascii_lowercase() } else { '_' })
+        .map(|c| {
+            if c.is_ascii_alphanumeric() {
+                c.to_ascii_lowercase()
+            } else {
+                '_'
+            }
+        })
         .collect::<String>()
         .split('_')
         .filter(|s| !s.is_empty())
         .collect::<Vec<_>>()
         .join("_")
+}
+
+/// One experiment outcome as a JSON object.
+fn outcome_json(outcome: &Outcome) -> String {
+    let tables: Vec<String> = outcome
+        .tables
+        .iter()
+        .map(|(title, table)| {
+            // Splice the table's own {"headers":...,"rows":...} fields
+            // into an object that also carries the title.
+            let body = table.to_json();
+            format!(
+                "{{\"title\":\"{}\",{}",
+                json_escape(title),
+                body.strip_prefix('{').expect("table JSON is an object")
+            )
+        })
+        .collect();
+    format!(
+        "{{\"name\":\"{}\",\"tables\":[{}]}}",
+        json_escape(outcome.name),
+        tables.join(",")
+    )
 }
 
 fn main() -> ExitCode {
@@ -100,20 +140,38 @@ fn main() -> ExitCode {
         }
     }
     names.dedup();
-    let ctx = ExpContext { scale: args.scale, seed: args.seed };
+    let ctx = ExpContext {
+        scale: args.scale,
+        seed: args.seed,
+    };
     if let Some(dir) = &args.out {
         if let Err(e) = std::fs::create_dir_all(dir) {
             eprintln!("error: cannot create {}: {e}", dir.display());
             return ExitCode::FAILURE;
         }
     }
+    let mut json_outcomes: Vec<String> = Vec::new();
     for name in names {
         let start = std::time::Instant::now();
         let outcome = run_by_name(&name, &ctx).expect("validated above");
-        for (title, table) in &outcome.tables {
-            println!("## {title}\n");
-            println!("{table}");
+        if args.json {
+            let doc = outcome_json(&outcome);
             if let Some(dir) = &args.out {
+                let path = dir.join(format!("{}.json", outcome.name));
+                if let Err(e) = std::fs::write(&path, &doc) {
+                    eprintln!("error: cannot write {}: {e}", path.display());
+                    return ExitCode::FAILURE;
+                }
+            }
+            json_outcomes.push(doc);
+        } else {
+            for (title, table) in &outcome.tables {
+                println!("## {title}\n");
+                println!("{table}");
+            }
+        }
+        if let Some(dir) = &args.out {
+            for (title, table) in &outcome.tables {
                 let path = dir.join(format!("{}_{}.csv", outcome.name, sanitize(title)));
                 if let Err(e) = std::fs::write(&path, table.to_csv()) {
                     eprintln!("error: cannot write {}: {e}", path.display());
@@ -121,7 +179,14 @@ fn main() -> ExitCode {
                 }
             }
         }
-        eprintln!("[{}] done in {:.1}s", outcome.name, start.elapsed().as_secs_f64());
+        eprintln!(
+            "[{}] done in {:.1}s",
+            outcome.name,
+            start.elapsed().as_secs_f64()
+        );
+    }
+    if args.json {
+        println!("[{}]", json_outcomes.join(","));
     }
     ExitCode::SUCCESS
 }

@@ -33,12 +33,18 @@ pub struct ExpContext {
 impl ExpContext {
     /// A quick-scale context.
     pub fn quick(seed: u64) -> ExpContext {
-        ExpContext { scale: Scale::Quick, seed }
+        ExpContext {
+            scale: Scale::Quick,
+            seed,
+        }
     }
 
     /// A full-scale context.
     pub fn full(seed: u64) -> ExpContext {
-        ExpContext { scale: Scale::Full, seed }
+        ExpContext {
+            scale: Scale::Full,
+            seed,
+        }
     }
 
     /// GUPS warmup window.
@@ -123,9 +129,12 @@ where
     if n == 0 {
         return Vec::new();
     }
-    let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4).min(n);
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4)
+        .min(n);
     if threads <= 1 {
-        return items.iter().map(|t| f(t)).collect();
+        return items.iter().map(&f).collect();
     }
     let next = AtomicUsize::new(0);
     let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
@@ -133,9 +142,9 @@ where
     let f = &f;
     let next = &next;
     let slots_ref = &slots;
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(move |_| loop {
+            scope.spawn(move || loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= n {
                     break;
@@ -144,8 +153,7 @@ where
                 *slots_ref[i].lock().expect("result slot") = Some(r);
             });
         }
-    })
-    .expect("worker panicked");
+    });
     slots
         .into_iter()
         .map(|m| m.into_inner().expect("slot lock").expect("job completed"))

@@ -32,19 +32,23 @@ pub fn ddr_comparison(ctx: &ExpContext) -> Table {
     let ddr_no_load = ddr.no_load_latency().as_ns_f64();
     let ddr_peak = DdrChannel::ddr4_2400().run_closed_loop(64, 50_000, 64, seed);
 
-    let mut t = Table::new(["system", "no-load latency (ns)", "peak random bandwidth (GB/s)"]);
+    let mut t = Table::new([
+        "system",
+        "no-load latency (ns)",
+        "peak random bandwidth (GB/s)",
+    ]);
     t.row([
         "HMC (full measured stack)".to_owned(),
         format!("{hmc_no_load:.0}"),
-        format!("{:.1} (counted bidirectional)", hmc_peak.total_bandwidth_gbs()),
+        format!(
+            "{:.1} (counted bidirectional)",
+            hmc_peak.total_bandwidth_gbs()
+        ),
     ]);
     t.row([
         "HMC (data payload only)".to_owned(),
         format!("{hmc_no_load:.0}"),
-        format!(
-            "{:.1}",
-            hmc_peak.total_bandwidth_gbs() * 128.0 / 160.0
-        ),
+        format!("{:.1}", hmc_peak.total_bandwidth_gbs() * 128.0 / 160.0),
     ]);
     t.row([
         "DDR4-2400 channel".to_owned(),
@@ -73,13 +77,19 @@ pub fn rw_mix(ctx: &ExpContext) -> Vec<RwMixPoint> {
     let ctx = *ctx;
     parallel_map(mixes, move |&write_percent| {
         let seed = ctx.seed_for("ext-rw", u64::from(write_percent));
-        let op = GupsOp::Mix { size: PayloadSize::B128, write_percent };
-        let report =
-            gups_run(&ctx, seed, AccessPattern::Vaults { count: 16 }, op, 9);
+        let op = GupsOp::Mix {
+            size: PayloadSize::B128,
+            write_percent,
+        };
+        let report = gups_run(&ctx, seed, AccessPattern::Vaults { count: 16 }, op, 9);
         let reads = report.total_reads() as f64;
         let writes = report.total_writes() as f64;
-        let rd = RequestKind::Read { size: PayloadSize::B128 };
-        let wr = RequestKind::Write { size: PayloadSize::B128 };
+        let rd = RequestKind::Read {
+            size: PayloadSize::B128,
+        };
+        let wr = RequestKind::Write {
+            size: PayloadSize::B128,
+        };
         let elapsed_ps = report.elapsed.as_ps() as f64;
         let request_bytes = reads * rd.request_bytes() as f64 + writes * wr.request_bytes() as f64;
         let response_bytes =
@@ -95,7 +105,12 @@ pub fn rw_mix(ctx: &ExpContext) -> Vec<RwMixPoint> {
 
 /// Renders the mix sweep.
 pub fn rw_mix_table(points: &[RwMixPoint]) -> Table {
-    let mut t = Table::new(["writes (%)", "request dir (GB/s)", "response dir (GB/s)", "total (GB/s)"]);
+    let mut t = Table::new([
+        "writes (%)",
+        "request dir (GB/s)",
+        "response dir (GB/s)",
+        "total (GB/s)",
+    ]);
     for p in points {
         t.row([
             p.write_percent.to_string(),
@@ -114,7 +129,10 @@ mod tests {
 
     #[test]
     fn ddr_beats_hmc_on_latency_loses_on_counted_bandwidth() {
-        let ctx = ExpContext { scale: Scale::Smoke, seed: 20 };
+        let ctx = ExpContext {
+            scale: Scale::Smoke,
+            seed: 20,
+        };
         let table = ddr_comparison(&ctx);
         let csv = table.to_csv();
         // Structure only; the quantitative claims live in the module's
@@ -125,9 +143,17 @@ mod tests {
 
     #[test]
     fn mixed_traffic_balances_directions() {
-        let ctx = ExpContext { scale: Scale::Smoke, seed: 21 };
+        let ctx = ExpContext {
+            scale: Scale::Smoke,
+            seed: 21,
+        };
         let points = rw_mix(&ctx);
-        let at = |wp: u8| points.iter().find(|p| p.write_percent == wp).expect("mix point");
+        let at = |wp: u8| {
+            points
+                .iter()
+                .find(|p| p.write_percent == wp)
+                .expect("mix point")
+        };
         // Pure reads: response-heavy. Pure writes: request-heavy.
         assert!(at(0).response_gbs > 4.0 * at(0).request_gbs);
         assert!(at(100).request_gbs > 4.0 * at(100).response_gbs);
@@ -139,10 +165,21 @@ mod tests {
         // each direction stays below its per-direction effective capacity.
         let balanced = at(50).total_gbs;
         let best_extreme = at(0).total_gbs.max(at(100).total_gbs);
-        assert!(balanced > best_extreme * 0.8, "mix collapsed: {balanced} vs {best_extreme}");
+        assert!(
+            balanced > best_extreme * 0.8,
+            "mix collapsed: {balanced} vs {best_extreme}"
+        );
         for p in &points {
-            assert!(p.request_gbs < 21.5, "request dir above capacity: {}", p.request_gbs);
-            assert!(p.response_gbs < 21.5, "response dir above capacity: {}", p.response_gbs);
+            assert!(
+                p.request_gbs < 21.5,
+                "request dir above capacity: {}",
+                p.request_gbs
+            );
+            assert!(
+                p.response_gbs < 21.5,
+                "response dir above capacity: {}",
+                p.response_gbs
+            );
         }
     }
 }

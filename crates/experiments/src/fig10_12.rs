@@ -28,8 +28,9 @@ pub struct CombosData {
 
 /// Runs the combination sweep for one request size.
 pub fn run(ctx: &ExpContext, size: PayloadSize) -> CombosData {
-    let combos: Vec<Vec<VaultId>> =
-        vault_combinations(16, 4).step_by(ctx.combo_stride()).collect();
+    let combos: Vec<Vec<VaultId>> = vault_combinations(16, 4)
+        .step_by(ctx.combo_stride())
+        .collect();
     let ctx_copy = *ctx;
     let averages: Vec<f64> = parallel_map(combos.clone(), move |combo| {
         let reads = ctx_copy.stream_reads();
@@ -55,7 +56,11 @@ pub fn run(ctx: &ExpContext, size: PayloadSize) -> CombosData {
             per_vault_ns[v.index()].push(*avg);
         }
     }
-    CombosData { size, per_vault_ns, combos_run: combos.len() }
+    CombosData {
+        size,
+        per_vault_ns,
+        combos_run: combos.len(),
+    }
 }
 
 /// The shared latency range of a data set (global min/max across vaults).
@@ -144,7 +149,11 @@ pub fn fig12_table(data: &CombosData) -> Table {
     for (b, row_counts) in counts.iter().enumerate() {
         let max = row_counts.iter().copied().max().unwrap_or(0).max(1);
         let mut row = vec![format!("{:.0}ns", template.bin_center(b))];
-        row.extend(row_counts.iter().map(|&c| format!("{:.3}", c as f64 / max as f64)));
+        row.extend(
+            row_counts
+                .iter()
+                .map(|&c| format!("{:.3}", c as f64 / max as f64)),
+        );
         t.row(row);
     }
     t
@@ -156,7 +165,10 @@ mod tests {
     use crate::common::{ExpContext, Scale};
 
     fn tiny_ctx() -> ExpContext {
-        ExpContext { scale: Scale::Smoke, seed: 10 }
+        ExpContext {
+            scale: Scale::Smoke,
+            seed: 10,
+        }
     }
 
     /// One reduced sweep exercised end to end; checks sample bookkeeping

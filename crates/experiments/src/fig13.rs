@@ -52,7 +52,10 @@ pub fn run(ctx: &ExpContext) -> Vec<Fig13Point> {
 
 /// Renders one size's panel: rows are port counts, columns are patterns.
 pub fn render(points: &[Fig13Point], size: PayloadSize) -> Table {
-    let patterns: Vec<String> = AccessPattern::paper_sweep().iter().map(|p| p.label()).collect();
+    let patterns: Vec<String> = AccessPattern::paper_sweep()
+        .iter()
+        .map(|p| p.label())
+        .collect();
     let mut headers = vec!["ports".to_owned()];
     headers.extend(patterns.iter().cloned());
     let mut t = Table::new(headers);
@@ -79,17 +82,26 @@ mod tests {
     /// slope/flat structure.
     #[test]
     fn bottlenecked_patterns_flatten() {
-        let ctx = ExpContext { scale: Scale::Smoke, seed: 13 };
+        let ctx = ExpContext {
+            scale: Scale::Smoke,
+            seed: 13,
+        };
         // Run just the patterns the assertions need, at 3 port counts, by
         // filtering after the full quick run would be wasteful; instead
         // call gups_run directly.
         let bw = |pattern: AccessPattern, ports: usize, bytes: u32| {
             let size = PayloadSize::new(bytes).unwrap();
-            let seed = ctx.seed_for("fig13-test", pattern.total_banks(&AddressMap::hmc_gen2_default()) as u64 * 100 + ports as u64);
+            let seed = ctx.seed_for(
+                "fig13-test",
+                pattern.total_banks(&AddressMap::hmc_gen2_default()) as u64 * 100 + ports as u64,
+            );
             gups_run(&ctx, seed, pattern, GupsOp::Read(size), ports).total_bandwidth_gbs()
         };
         // A single bank is bottlenecked immediately: 1 port ≈ 9 ports.
-        let one_bank = AccessPattern::Banks { vault: VaultId(0), count: 1 };
+        let one_bank = AccessPattern::Banks {
+            vault: VaultId(0),
+            count: 1,
+        };
         let b1 = bw(one_bank, 1, 128);
         let b9 = bw(one_bank, 9, 128);
         assert!(b9 < b1 * 1.6, "1-bank curve must be flat: {b1} → {b9}");

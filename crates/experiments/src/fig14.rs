@@ -33,7 +33,10 @@ pub fn run(ctx: &ExpContext) -> Vec<Fig14Point> {
     }
     let ctx = *ctx;
     parallel_map(jobs, move |&(banks, size)| {
-        let pattern = AccessPattern::Banks { vault: VaultId(0), count: banks };
+        let pattern = AccessPattern::Banks {
+            vault: VaultId(0),
+            count: banks,
+        };
         let seed = ctx.seed_for("fig14", u64::from(banks) << 16 | u64::from(size.bytes()));
         let report = gups_run(&ctx, seed, pattern, GupsOp::Read(size), 9);
         Fig14Point {
@@ -47,8 +50,11 @@ pub fn run(ctx: &ExpContext) -> Vec<Fig14Point> {
 
 /// Mean outstanding across sizes for the given bank count.
 pub fn average_outstanding(points: &[Fig14Point], banks: u8) -> f64 {
-    let vals: Vec<f64> =
-        points.iter().filter(|p| p.banks == banks).map(|p| p.outstanding).collect();
+    let vals: Vec<f64> = points
+        .iter()
+        .filter(|p| p.banks == banks)
+        .map(|p| p.outstanding)
+        .collect();
     vals.iter().sum::<f64>() / vals.len() as f64
 }
 
@@ -91,8 +97,11 @@ pub fn render(points: &[Fig14Point]) -> Table {
 
 /// Mean vault-resident peak across sizes for the given bank count.
 pub fn average_vault_peak(points: &[Fig14Point], banks: u8) -> f64 {
-    let vals: Vec<f64> =
-        points.iter().filter(|p| p.banks == banks).map(|p| p.vault_peak as f64).collect();
+    let vals: Vec<f64> = points
+        .iter()
+        .filter(|p| p.banks == banks)
+        .map(|p| p.vault_peak as f64)
+        .collect();
     vals.iter().sum::<f64>() / vals.len() as f64
 }
 
@@ -103,7 +112,10 @@ mod tests {
 
     #[test]
     fn outstanding_grows_with_bank_count_and_caps_at_tags() {
-        let ctx = ExpContext { scale: Scale::Smoke, seed: 14 };
+        let ctx = ExpContext {
+            scale: Scale::Smoke,
+            seed: 14,
+        };
         let points = run(&ctx);
         let two = average_outstanding(&points, 2);
         let four = average_outstanding(&points, 4);

@@ -28,7 +28,11 @@ pub fn run(ctx: &ExpContext) -> Vec<Fig6Point> {
     }
     let ctx = *ctx;
     parallel_map(jobs, move |&(pattern, size)| {
-        let seed = ctx.seed_for("fig6", pattern.total_banks(&AddressMap::hmc_gen2_default()) as u64 * 1000 + u64::from(size.bytes()));
+        let seed = ctx.seed_for(
+            "fig6",
+            pattern.total_banks(&AddressMap::hmc_gen2_default()) as u64 * 1000
+                + u64::from(size.bytes()),
+        );
         let report = gups_run(&ctx, seed, pattern, GupsOp::Read(size), 9);
         Fig6Point {
             pattern: pattern.label(),
@@ -62,7 +66,10 @@ mod tests {
     /// the paper's orderings at smoke scale.
     #[test]
     fn orderings_match_paper() {
-        let ctx = ExpContext { scale: Scale::Smoke, seed: 42 };
+        let ctx = ExpContext {
+            scale: Scale::Smoke,
+            seed: 42,
+        };
         let point = |pattern: AccessPattern, bytes: u32| {
             let size = PayloadSize::new(bytes).unwrap();
             let seed = ctx.seed_for("fig6-test", u64::from(bytes));
@@ -71,7 +78,10 @@ mod tests {
         };
         let v16 = AccessPattern::Vaults { count: 16 };
         let v1 = AccessPattern::Vaults { count: 1 };
-        let b1 = AccessPattern::Banks { vault: VaultId(0), count: 1 };
+        let b1 = AccessPattern::Banks {
+            vault: VaultId(0),
+            count: 1,
+        };
         let (bw16_16, lat16_16) = point(v16, 16);
         let (bw16_128, lat16_128) = point(v16, 128);
         let (bw1v_128, _) = point(v1, 128);
@@ -84,7 +94,10 @@ mod tests {
         assert!(bwb1_128 < 0.5 * bw16_128);
         // The most distributed 128 B pattern reaches the ~23 GB/s link
         // ceiling (±20%); one vault caps well below it.
-        assert!((18.0..=28.0).contains(&bw16_128), "link ceiling off: {bw16_128}");
+        assert!(
+            (18.0..=28.0).contains(&bw16_128),
+            "link ceiling off: {bw16_128}"
+        );
         assert!(bw1v_128 < 0.65 * bw16_128);
     }
 

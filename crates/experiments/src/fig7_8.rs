@@ -43,14 +43,20 @@ pub fn run(ctx: &ExpContext, max_n: usize) -> Vec<LowLoadPoint> {
         let vaults: Vec<u8> = (0..16u8).step_by(ctx.vault_stride()).collect();
         let mut acc = 0.0;
         for &v in &vaults {
-            let seed =
-                ctx.seed_for("fig7_8", (n as u64) << 16 | u64::from(size.bytes()) << 8 | u64::from(v));
+            let seed = ctx.seed_for(
+                "fig7_8",
+                (n as u64) << 16 | u64::from(size.bytes()) << 8 | u64::from(v),
+            );
             let map = AddressMap::hmc_gen2_default();
             let trace = random_reads_in_banks(&map, VaultId(v), 16, size, n, seed);
             let report = stream_run(seed, vec![trace]);
             acc += report.mean_latency_us();
         }
-        LowLoadPoint { n_requests: n, size, latency_us: acc / vaults.len() as f64 }
+        LowLoadPoint {
+            n_requests: n,
+            size,
+            latency_us: acc / vaults.len() as f64,
+        }
     })
 }
 
@@ -84,7 +90,10 @@ mod tests {
 
     #[test]
     fn figure7_shape_holds() {
-        let ctx = ExpContext { scale: Scale::Smoke, seed: 7 };
+        let ctx = ExpContext {
+            scale: Scale::Smoke,
+            seed: 7,
+        };
         let points = run(&ctx, 55);
         let at = |n: usize, bytes: u32| {
             points
@@ -111,10 +120,12 @@ mod tests {
 
     #[test]
     fn figure8_saturates_after_linear_region() {
-        let ctx = ExpContext { scale: Scale::Smoke, seed: 8 };
+        let ctx = ExpContext {
+            scale: Scale::Smoke,
+            seed: 8,
+        };
         let points = run(&ctx, 350);
-        let series: Vec<&LowLoadPoint> =
-            points.iter().filter(|p| p.size.bytes() == 128).collect();
+        let series: Vec<&LowLoadPoint> = points.iter().filter(|p| p.size.bytes() == 128).collect();
         let first = series.first().unwrap().latency_us;
         let last = series.last().unwrap().latency_us;
         assert!(last > 2.0 * first, "latency must rise under load");

@@ -33,8 +33,10 @@ pub fn run(ctx: &ExpContext, pinned_vault: u8) -> Vec<Fig9Point> {
     parallel_map(jobs, move |&(sweep, size)| {
         let reads = ctx.stream_reads();
         let map = AddressMap::hmc_gen2_default();
-        let base =
-            ctx.seed_for("fig9", u64::from(pinned_vault) << 24 | u64::from(sweep) << 8 | u64::from(size.bytes()));
+        let base = ctx.seed_for(
+            "fig9",
+            u64::from(pinned_vault) << 24 | u64::from(sweep) << 8 | u64::from(size.bytes()),
+        );
         let mut traces = Vec::new();
         for port in 0..4u64 {
             let vault = if port < 3 { pinned_vault } else { sweep };
@@ -47,7 +49,11 @@ pub fn run(ctx: &ExpContext, pinned_vault: u8) -> Vec<Fig9Point> {
             ));
         }
         let report = stream_run(base, traces);
-        Fig9Point { sweep_vault: sweep, size, max_latency_us: report.max_latency_us() }
+        Fig9Point {
+            sweep_vault: sweep,
+            size,
+            max_latency_us: report.max_latency_us(),
+        }
     })
 }
 
@@ -99,7 +105,10 @@ mod tests {
         // Quick scale: the collision penalty is a queue-growth effect at
         // ~96% vault utilization, which needs a few hundred requests per
         // port to emerge from noise.
-        let ctx = ExpContext { scale: Scale::Quick, seed: 9 };
+        let ctx = ExpContext {
+            scale: Scale::Quick,
+            seed: 9,
+        };
         let pinned = 5;
         let points = run(&ctx, pinned);
         // Section IV-C: "the maximum observed latency increases up to 40%

@@ -20,6 +20,7 @@
 
 pub mod common;
 pub mod ext;
+pub mod ext_fabric;
 pub mod fig10_12;
 pub mod fig13;
 pub mod fig14;
@@ -42,8 +43,18 @@ pub struct Outcome {
 
 /// Canonical experiment names, in presentation order.
 pub const EXPERIMENTS: &[&str] = &[
-    "table1", "fig6", "fig7", "fig8", "fig9", "fig10-12", "fig13", "fig14", "ext-ddr",
+    "table1",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10-12",
+    "fig13",
+    "fig14",
+    "ext-ddr",
     "ext-rw",
+    "ext-chain",
+    "ext-star",
 ];
 
 /// Resolves aliases (`fig10`, `fig11`, `fig12` share one sweep).
@@ -73,8 +84,7 @@ pub fn run_by_name(name: &str, ctx: &ExpContext) -> Option<Outcome> {
             Outcome {
                 name: "fig6",
                 tables: vec![(
-                    "Figure 6: latency vs bidirectional bandwidth (9 ports, read-only)"
-                        .to_owned(),
+                    "Figure 6: latency vs bidirectional bandwidth (9 ports, read-only)".to_owned(),
                     fig6::render(&points),
                 )],
             }
@@ -124,7 +134,10 @@ pub fn run_by_name(name: &str, ctx: &ExpContext) -> Option<Outcome> {
             let mut tables = Vec::new();
             for d in &data {
                 tables.push((
-                    format!("Figure 10 ({}): latency histogram per vault (normalized)", d.size),
+                    format!(
+                        "Figure 10 ({}): latency histogram per vault (normalized)",
+                        d.size
+                    ),
                     fig10_12::fig10_table(d),
                 ));
             }
@@ -141,7 +154,10 @@ pub fn run_by_name(name: &str, ctx: &ExpContext) -> Option<Outcome> {
                     fig10_12::fig12_table(d),
                 ));
             }
-            Outcome { name: "fig10-12", tables }
+            Outcome {
+                name: "fig10-12",
+                tables,
+            }
         }
         "fig13" => {
             let points = fig13::run(ctx);
@@ -154,7 +170,10 @@ pub fn run_by_name(name: &str, ctx: &ExpContext) -> Option<Outcome> {
                     )
                 })
                 .collect();
-            Outcome { name: "fig13", tables }
+            Outcome {
+                name: "fig13",
+                tables,
+            }
         }
         "fig14" => {
             let points = fig14::run(ctx);
@@ -178,6 +197,20 @@ pub fn run_by_name(name: &str, ctx: &ExpContext) -> Option<Outcome> {
             tables: vec![(
                 "Ext-B: read/write mix vs per-direction bandwidth".to_owned(),
                 ext::rw_mix_table(&ext::rw_mix(ctx)),
+            )],
+        },
+        "ext-chain" => Outcome {
+            name: "ext-chain",
+            tables: vec![(
+                "Ext-C: chained cubes — latency/bandwidth vs hop count".to_owned(),
+                ext_fabric::chain_table(&ext_fabric::chain(ctx)),
+            )],
+        },
+        "ext-star" => Outcome {
+            name: "ext-star",
+            tables: vec![(
+                "Ext-D: star of 4 cubes — near/far vault locality".to_owned(),
+                ext_fabric::star_table(&ext_fabric::star(ctx)),
             )],
         },
         _ => unreachable!("canonical names are exhaustive"),

@@ -7,8 +7,9 @@ use hmc_sim::prelude::*;
 /// Renders Table I from the packet-layer encoding.
 pub fn render() -> Table {
     let mut t = Table::new(["type", "read", "write"]);
-    let sizes: Vec<PayloadSize> =
-        (1..=8).map(|n| PayloadSize::new(n * 16).expect("legal size")).collect();
+    let sizes: Vec<PayloadSize> = (1..=8)
+        .map(|n| PayloadSize::new(n * 16).expect("legal size"))
+        .collect();
     let span = |vals: Vec<u32>| {
         let lo = *vals.iter().min().expect("nonempty");
         let hi = *vals.iter().max().expect("nonempty");
@@ -20,13 +21,33 @@ pub fn render() -> Table {
     };
     t.row([
         "request".to_owned(),
-        span(sizes.iter().map(|&s| RequestKind::Read { size: s }.request_flits()).collect()),
-        span(sizes.iter().map(|&s| RequestKind::Write { size: s }.request_flits()).collect()),
+        span(
+            sizes
+                .iter()
+                .map(|&s| RequestKind::Read { size: s }.request_flits())
+                .collect(),
+        ),
+        span(
+            sizes
+                .iter()
+                .map(|&s| RequestKind::Write { size: s }.request_flits())
+                .collect(),
+        ),
     ]);
     t.row([
         "response".to_owned(),
-        span(sizes.iter().map(|&s| RequestKind::Read { size: s }.response_flits()).collect()),
-        span(sizes.iter().map(|&s| RequestKind::Write { size: s }.response_flits()).collect()),
+        span(
+            sizes
+                .iter()
+                .map(|&s| RequestKind::Read { size: s }.response_flits())
+                .collect(),
+        ),
+        span(
+            sizes
+                .iter()
+                .map(|&s| RequestKind::Write { size: s }.response_flits())
+                .collect(),
+        ),
     ]);
     t
 }

@@ -1,0 +1,245 @@
+//! Source-routing tables for multi-cube fabrics.
+//!
+//! HMC chaining is *source-routed*: the host stamps each request with a
+//! 3-bit CUB field and every cube's link layer forwards packets whose CUB
+//! does not match its own id toward the destination. The [`RouteTable`]
+//! here is the static next-hop function the cubes consult; it is built
+//! once per topology and guaranteed total, loop-free and deterministic
+//! (the fabric property tests lock those invariants down).
+
+use core::fmt;
+
+use crate::config::{CubeId, Topology};
+
+/// A dense next-hop table: `next_hop(src, dst)` for every cube pair.
+///
+/// # Examples
+///
+/// ```
+/// use hmc_fabric::{CubeId, RouteTable, Topology};
+///
+/// let routes = RouteTable::for_topology(Topology::Chain, 4);
+/// assert_eq!(routes.next_hop(CubeId(0), CubeId(3)), CubeId(1));
+/// assert_eq!(routes.hops(CubeId(0), CubeId(3)), 3);
+/// assert_eq!(
+///     routes.path(CubeId(3), CubeId(0)),
+///     vec![CubeId(3), CubeId(2), CubeId(1), CubeId(0)]
+/// );
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RouteTable {
+    n: u8,
+    /// Flattened `n × n`: `next[src * n + dst]`, with `next[c * n + c] = c`.
+    next: Vec<u8>,
+}
+
+impl RouteTable {
+    /// Builds the deterministic shortest-path table for `topology` over
+    /// `n` cubes.
+    ///
+    /// Tie-breaking is fixed: on a ring with an even cube count, the two
+    /// directions to the antipodal cube are equally long and the
+    /// clockwise (ascending-id) direction is chosen.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or above [`crate::FabricConfig::MAX_CUBES`].
+    pub fn for_topology(topology: Topology, n: u8) -> RouteTable {
+        assert!(n >= 1, "a fabric needs at least one cube");
+        assert!(
+            n <= crate::FabricConfig::MAX_CUBES,
+            "the 3-bit CUB field addresses at most 8 cubes"
+        );
+        let nn = usize::from(n);
+        let mut next = vec![0u8; nn * nn];
+        for src in 0..n {
+            for dst in 0..n {
+                next[usize::from(src) * nn + usize::from(dst)] = if src == dst {
+                    src
+                } else {
+                    match topology {
+                        Topology::Chain => {
+                            if dst > src {
+                                src + 1
+                            } else {
+                                src - 1
+                            }
+                        }
+                        Topology::Star => {
+                            if src == 0 {
+                                dst
+                            } else {
+                                0
+                            }
+                        }
+                        Topology::Ring => {
+                            let cw = (i16::from(dst) - i16::from(src)).rem_euclid(i16::from(n));
+                            let ccw = i16::from(n) - cw;
+                            if cw <= ccw {
+                                (src + 1) % n
+                            } else {
+                                (src + n - 1) % n
+                            }
+                        }
+                    }
+                };
+            }
+        }
+        RouteTable { n, next }
+    }
+
+    /// Number of cubes covered by the table.
+    #[inline]
+    pub fn cube_count(&self) -> u8 {
+        self.n
+    }
+
+    /// The next cube on the route from `from` to `to` (`from` itself when
+    /// already at the destination).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either id is out of range.
+    #[inline]
+    pub fn next_hop(&self, from: CubeId, to: CubeId) -> CubeId {
+        let nn = usize::from(self.n);
+        CubeId(self.next[from.index() * nn + to.index()])
+    }
+
+    /// The full route from `from` to `to`, both endpoints included.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the table contains a loop (construction makes this
+    /// impossible; the check guards hand-built tables).
+    pub fn path(&self, from: CubeId, to: CubeId) -> Vec<CubeId> {
+        let mut path = vec![from];
+        let mut at = from;
+        while at != to {
+            let next = self.next_hop(at, to);
+            assert!(
+                !path.contains(&next),
+                "route table loops at {at} toward {to}"
+            );
+            path.push(next);
+            at = next;
+        }
+        path
+    }
+
+    /// Number of cube-to-cube link traversals from `from` to `to`.
+    pub fn hops(&self, from: CubeId, to: CubeId) -> u32 {
+        (self.path(from, to).len() - 1) as u32
+    }
+
+    /// Checks the table against a topology's adjacency: every hop must
+    /// follow an existing fabric link, every destination must be reached
+    /// (totality), and no route may revisit a cube (loop-freedom).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated invariant.
+    pub fn validate(&self, topology: Topology) -> Result<(), String> {
+        for src in 0..self.n {
+            for dst in 0..self.n {
+                let (from, to) = (CubeId(src), CubeId(dst));
+                let mut at = from;
+                let mut visited = vec![false; usize::from(self.n)];
+                visited[at.index()] = true;
+                while at != to {
+                    let next = self.next_hop(at, to);
+                    if !topology.neighbors(self.n, at).contains(&next) {
+                        return Err(format!(
+                            "{at}->{to}: next hop {next} is not a {} neighbor of {at}",
+                            topology.label()
+                        ));
+                    }
+                    if visited[next.index()] {
+                        return Err(format!("{from}->{to}: route revisits {next}"));
+                    }
+                    visited[next.index()] = true;
+                    at = next;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for RouteTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "route table over {} cubes (next hops):", self.n)?;
+        for src in 0..self.n {
+            write!(f, "  from {src}:")?;
+            for dst in 0..self.n {
+                write!(f, " {}", self.next_hop(CubeId(src), CubeId(dst)).0)?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chain_routes_walk_the_line() {
+        let r = RouteTable::for_topology(Topology::Chain, 5);
+        assert_eq!(r.hops(CubeId(0), CubeId(4)), 4);
+        assert_eq!(r.hops(CubeId(4), CubeId(0)), 4);
+        assert_eq!(r.next_hop(CubeId(2), CubeId(0)), CubeId(1));
+        r.validate(Topology::Chain).unwrap();
+    }
+
+    #[test]
+    fn star_routes_are_at_most_two_hops() {
+        let r = RouteTable::for_topology(Topology::Star, 6);
+        for a in 0..6 {
+            for b in 0..6 {
+                let h = r.hops(CubeId(a), CubeId(b));
+                let expected = match (a, b) {
+                    (x, y) if x == y => 0,
+                    (0, _) | (_, 0) => 1,
+                    _ => 2,
+                };
+                assert_eq!(h, expected, "{a}->{b}");
+            }
+        }
+        r.validate(Topology::Star).unwrap();
+    }
+
+    #[test]
+    fn ring_takes_shortest_direction_clockwise_on_ties() {
+        let r = RouteTable::for_topology(Topology::Ring, 6);
+        assert_eq!(r.next_hop(CubeId(0), CubeId(1)), CubeId(1));
+        assert_eq!(r.next_hop(CubeId(0), CubeId(5)), CubeId(5));
+        // Antipodal tie: clockwise.
+        assert_eq!(r.next_hop(CubeId(0), CubeId(3)), CubeId(1));
+        assert_eq!(r.hops(CubeId(0), CubeId(3)), 3);
+        r.validate(Topology::Ring).unwrap();
+    }
+
+    #[test]
+    fn two_cube_ring_degenerates_to_chain() {
+        let r = RouteTable::for_topology(Topology::Ring, 2);
+        assert_eq!(r.next_hop(CubeId(0), CubeId(1)), CubeId(1));
+        assert_eq!(r.hops(CubeId(1), CubeId(0)), 1);
+        r.validate(Topology::Ring).unwrap();
+    }
+
+    #[test]
+    fn display_renders_every_row() {
+        let r = RouteTable::for_topology(Topology::Chain, 3);
+        let s = r.to_string();
+        assert!(s.contains("from 0:"));
+        assert!(s.contains("from 2:"));
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 8 cubes")]
+    fn cub_field_limit_enforced() {
+        let _ = RouteTable::for_topology(Topology::Chain, 9);
+    }
+}

@@ -1,0 +1,1100 @@
+//! The fabric simulation: host, cubes and pass-through stages wired onto
+//! the deterministic event engine.
+//!
+//! A [`FabricSim`] generalizes the single-cube measurement system to a
+//! memory network. Cube 0 carries the host links; every other cube is
+//! reached through HMC-style source routing: the host stamps each request
+//! with its destination cube and the link layer of every transit cube
+//! forwards it through a pass-through crossbar ([`hmc_noc::SwitchCore`])
+//! onto the next cube-to-cube link. Responses retrace the route. Because
+//! the pass-through crossbar is a real arbitrated switch with finite
+//! buffers and credits, transit traffic contends with traffic terminating
+//! at the cube — the multi-cube extension of the paper's central claim
+//! that the NoC, not the DRAM, governs loaded latency.
+//!
+//! With `cube_count == 1` the component graph is exactly the single-cube
+//! system (host wired straight to the device, no pass-through stage), so
+//! single-cube results are unchanged by the fabric machinery.
+
+use hmc_des::{Component, ComponentId, Ctx, Delay, Engine, Time};
+use hmc_device::{DeviceConfig, DeviceOutput, HmcDevice};
+use hmc_host::{HostConfig, HostEvent, HostModel, Port, Traffic};
+use hmc_link::{LinkConfig, LinkTx, LinkWidth};
+use hmc_noc::{SwitchConfig, SwitchCore, SwitchEntry};
+use hmc_packet::{LinkId, PortId, RequestPacket, ResponsePacket};
+
+use crate::config::{CubeId, FabricConfig};
+use crate::report::{CubeReport, PortReport, RunReport, TransitStats};
+use crate::route::RouteTable;
+
+/// Default GUPS tag-pool size: 64 tags per port. Nine ports give the 576
+/// maximum outstanding requests consistent with the paper's Figure 14
+/// (≈535 measured for 4-bank patterns, just under the tag ceiling).
+pub const GUPS_TAGS: u16 = 64;
+
+/// Default stream tag-pool size: 80 tags per port, matching the Figure 8
+/// saturation knee (the paper's latency stops growing near 100 in-flight
+/// requests).
+pub const STREAM_TAGS: u16 = 80;
+
+/// Specification of one traffic port of a fabric system.
+#[derive(Debug, Clone)]
+pub struct FabricPortSpec {
+    /// Traffic source.
+    pub traffic: Traffic,
+    /// Tag-pool size (maximum outstanding requests).
+    pub tags: u16,
+    /// The cube this port's traffic targets (the CUB field the host
+    /// stamps on every request).
+    pub cube: CubeId,
+}
+
+impl FabricPortSpec {
+    /// A GUPS port with the default tag pool, targeting `cube`.
+    pub fn gups(
+        filter: hmc_mapping::AddressFilter,
+        op: hmc_host::GupsOp,
+        cube: CubeId,
+    ) -> FabricPortSpec {
+        FabricPortSpec {
+            traffic: Traffic::Gups { filter, op },
+            tags: GUPS_TAGS,
+            cube,
+        }
+    }
+
+    /// A stream port with the default tag pool, targeting `cube`.
+    pub fn stream(trace: hmc_workloads::Trace, cube: CubeId) -> FabricPortSpec {
+        FabricPortSpec {
+            traffic: Traffic::Stream { trace },
+            tags: STREAM_TAGS,
+            cube,
+        }
+    }
+
+    /// Overrides the tag-pool size.
+    pub fn with_tags(mut self, tags: u16) -> FabricPortSpec {
+        self.tags = tags;
+        self
+    }
+}
+
+/// A packet in flight on the fabric, stamped with its source route anchors:
+/// the destination cube (requests) and the host link affinity that carries
+/// it back out (responses exit the fabric on the host link the request
+/// entered on).
+#[derive(Debug, Clone, Copy)]
+struct TransitMsg {
+    /// Destination cube of a request; responses always head for cube 0.
+    dest: CubeId,
+    /// The host link the transaction entered on; doubles as the device
+    /// link used at the destination cube.
+    host_link: LinkId,
+    body: TransitBody,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum TransitBody {
+    Req(RequestPacket),
+    Resp(ResponsePacket),
+}
+
+impl TransitMsg {
+    fn flits(&self) -> u32 {
+        match &self.body {
+            TransitBody::Req(pkt) => pkt.flits(),
+            TransitBody::Resp(pkt) => pkt.flits(),
+        }
+    }
+}
+
+/// Messages exchanged between the components.
+enum Msg {
+    /// One FPGA cycle at the host.
+    HostTick,
+    /// Deactivate GUPS ports and freeze monitors (end of measurement).
+    HostStop,
+    /// Clear monitors (end of warmup).
+    HostResetStats,
+    /// A response fully arrived at the host on `link`.
+    HostResponse { link: LinkId, pkt: ResponsePacket },
+    /// A response finished draining to its port.
+    PortDeliver { pkt: ResponsePacket },
+    /// Request-direction tokens freed toward the host's transmitter.
+    ReturnRequestTokens { link: LinkId, flits: u32 },
+    /// A request fully arrived at a device on `link`.
+    DeviceRequest { link: LinkId, pkt: RequestPacket },
+    /// Internal device work is due.
+    DeviceWake,
+    /// The downstream receiver freed response-direction buffer space.
+    ReturnResponseTokens { link: LinkId, flits: u32 },
+    /// A packet fully arrived at a pass-through stage on `input`.
+    AdapterArrive { input: usize, msg: TransitMsg },
+    /// A packet cleared the crossbar and enters the egress serializer
+    /// behind `port`.
+    AdapterEgress { port: usize, msg: TransitMsg },
+    /// Downstream credits freed for a crossbar output.
+    AdapterCredits { output: usize, flits: u32 },
+    /// Link tokens returned to the serializer behind `port`.
+    AdapterLinkTokens { port: usize, flits: u32 },
+    /// Deferred pass-through work is due.
+    AdapterWake,
+}
+
+/// How a run terminates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RunMode {
+    /// GUPS ports tick until the stop time, then drain.
+    GupsUntil(Time),
+    /// Stream ports tick until every trace is issued and answered.
+    Stream,
+}
+
+/// Where the host's request traffic goes.
+enum Downstream {
+    /// Single cube: straight into the device, as in the paper's system.
+    Direct { device: ComponentId },
+    /// Multi-cube: into cube 0's pass-through stage, stamped with each
+    /// port's destination cube.
+    Fabric {
+        adapter: ComponentId,
+        /// Index of the first host-facing port on cube 0's crossbar.
+        host_port_base: usize,
+        /// Destination cube per host port id.
+        port_cube: Vec<CubeId>,
+    },
+}
+
+struct HostComp {
+    model: HostModel,
+    down: Option<Downstream>,
+    mode: RunMode,
+    period: Delay,
+    measure_start: Time,
+    measure_end: Option<Time>,
+}
+
+impl HostComp {
+    fn relay(&self, events: Vec<HostEvent>, ctx: &mut Ctx<'_, Msg>) {
+        let down = self.down.as_ref().expect("host wired before first message");
+        let me = ctx.self_id();
+        for ev in events {
+            match ev {
+                HostEvent::RequestArrival { link, pkt, at } => match down {
+                    Downstream::Direct { device } => {
+                        ctx.send_at(at, *device, Msg::DeviceRequest { link, pkt });
+                    }
+                    Downstream::Fabric {
+                        adapter,
+                        host_port_base,
+                        port_cube,
+                    } => {
+                        let dest = port_cube[pkt.port.index()];
+                        let msg = TransitMsg {
+                            dest,
+                            host_link: link,
+                            body: TransitBody::Req(pkt),
+                        };
+                        let input = host_port_base + link.index();
+                        ctx.send_at(at, *adapter, Msg::AdapterArrive { input, msg });
+                    }
+                },
+                HostEvent::ResponseDrained { pkt, at, .. } => {
+                    ctx.send_at(at, me, Msg::PortDeliver { pkt });
+                }
+                HostEvent::ResponseTokens { link, flits, at } => match down {
+                    Downstream::Direct { device } => {
+                        ctx.send_at(at, *device, Msg::ReturnResponseTokens { link, flits });
+                    }
+                    Downstream::Fabric {
+                        adapter,
+                        host_port_base,
+                        ..
+                    } => {
+                        let port = host_port_base + link.index();
+                        ctx.send_at(at, *adapter, Msg::AdapterLinkTokens { port, flits });
+                    }
+                },
+            }
+        }
+    }
+
+    fn should_tick_again(&self, next: Time) -> bool {
+        match self.mode {
+            RunMode::GupsUntil(stop) => next < stop,
+            RunMode::Stream => !self.model.all_done(),
+        }
+    }
+}
+
+impl Component<Msg> for HostComp {
+    fn on_message(&mut self, msg: Msg, ctx: &mut Ctx<'_, Msg>) {
+        match msg {
+            Msg::HostTick => {
+                let events = self.model.tick(ctx.now());
+                self.relay(events, ctx);
+                let next = ctx.now() + self.period;
+                if self.should_tick_again(next) {
+                    ctx.send_self(self.period, Msg::HostTick);
+                }
+            }
+            Msg::HostStop => {
+                self.model.set_all_active(false);
+                self.model.freeze_stats();
+                self.measure_end = Some(ctx.now());
+            }
+            Msg::HostResetStats => {
+                self.model.reset_stats();
+                self.measure_start = ctx.now();
+            }
+            Msg::HostResponse { link, pkt } => {
+                let events = self.model.on_response_arrival(ctx.now(), link, pkt);
+                self.relay(events, ctx);
+            }
+            Msg::PortDeliver { pkt } => {
+                self.model.deliver_response(ctx.now(), &pkt);
+            }
+            Msg::ReturnRequestTokens { link, flits } => {
+                let events = self.model.on_request_tokens(ctx.now(), link, flits);
+                self.relay(events, ctx);
+            }
+            _ => unreachable!("message addressed elsewhere reached the host"),
+        }
+    }
+
+    fn name(&self) -> &str {
+        "host"
+    }
+}
+
+/// Where a device's upstream traffic (responses, freed tokens) goes.
+enum Upstream {
+    /// Single cube: straight back to the host.
+    Host(ComponentId),
+    /// Multi-cube: into the cube's own pass-through stage; device link
+    /// `l` feeds crossbar input `l` (device ports come first).
+    Adapter(ComponentId),
+}
+
+struct DeviceComp {
+    device: HmcDevice,
+    up: Upstream,
+    wake_at: Option<Time>,
+}
+
+impl Component<Msg> for DeviceComp {
+    fn on_message(&mut self, msg: Msg, ctx: &mut Ctx<'_, Msg>) {
+        let now = ctx.now();
+        if self.wake_at.is_some_and(|w| w <= now) {
+            self.wake_at = None;
+        }
+        match msg {
+            Msg::DeviceRequest { link, pkt } => self.device.on_request(now, link, pkt),
+            Msg::ReturnResponseTokens { link, flits } => {
+                self.device.return_response_tokens(link, flits);
+            }
+            Msg::DeviceWake => {}
+            _ => unreachable!("message addressed elsewhere reached a device"),
+        }
+        for out in self.device.advance(now) {
+            match out {
+                DeviceOutput::Response { link, pkt, at } => match self.up {
+                    Upstream::Host(host) => {
+                        ctx.send_at(at, host, Msg::HostResponse { link, pkt });
+                    }
+                    Upstream::Adapter(adapter) => {
+                        let msg = TransitMsg {
+                            dest: CubeId::HOST,
+                            host_link: link,
+                            body: TransitBody::Resp(pkt),
+                        };
+                        ctx.send_at(
+                            at,
+                            adapter,
+                            Msg::AdapterArrive {
+                                input: link.index(),
+                                msg,
+                            },
+                        );
+                    }
+                },
+                DeviceOutput::RequestTokens { link, flits } => match self.up {
+                    Upstream::Host(host) => {
+                        ctx.send(Delay::ZERO, host, Msg::ReturnRequestTokens { link, flits });
+                    }
+                    Upstream::Adapter(adapter) => {
+                        ctx.send(
+                            Delay::ZERO,
+                            adapter,
+                            Msg::AdapterCredits {
+                                output: link.index(),
+                                flits,
+                            },
+                        );
+                    }
+                },
+            }
+        }
+        if let Some(t) = self.device.next_wake() {
+            debug_assert!(t >= now, "device wake in the past");
+            if self.wake_at.is_none_or(|w| w > t) {
+                let me = ctx.self_id();
+                ctx.send_at(t, me, Msg::DeviceWake);
+                self.wake_at = Some(t);
+            }
+        }
+    }
+
+    fn name(&self) -> &str {
+        "device"
+    }
+}
+
+/// Port layout of one cube's pass-through crossbar:
+/// `[device links, fabric links (by ascending neighbor id), host links]`,
+/// host links existing only on cube 0.
+#[derive(Debug, Clone)]
+struct AdapterLayout {
+    dev_links: usize,
+    neighbors: Vec<CubeId>,
+    host_links: usize,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PortClass {
+    /// Local device link `l`.
+    Dev(usize),
+    /// Fabric link slot `i` (toward `neighbors[i]`).
+    Fabric(usize),
+    /// Host link `l` (cube 0 only).
+    Host(usize),
+}
+
+impl AdapterLayout {
+    fn count(&self) -> usize {
+        self.dev_links + self.neighbors.len() + self.host_links
+    }
+
+    fn dev_port(&self, link: LinkId) -> usize {
+        link.index()
+    }
+
+    fn fabric_port(&self, slot: usize) -> usize {
+        self.dev_links + slot
+    }
+
+    fn host_port(&self, link: LinkId) -> usize {
+        self.dev_links + self.neighbors.len() + link.index()
+    }
+
+    fn classify(&self, port: usize) -> PortClass {
+        if port < self.dev_links {
+            PortClass::Dev(port)
+        } else if port < self.dev_links + self.neighbors.len() {
+            PortClass::Fabric(port - self.dev_links)
+        } else {
+            PortClass::Host(port - self.dev_links - self.neighbors.len())
+        }
+    }
+
+    /// The fabric port whose link leads to `cube`.
+    fn port_toward(&self, cube: CubeId) -> usize {
+        let slot = self
+            .neighbors
+            .iter()
+            .position(|&n| n == cube)
+            .unwrap_or_else(|| panic!("no fabric link toward {cube}"));
+        self.fabric_port(slot)
+    }
+}
+
+/// The far end of one fabric edge.
+#[derive(Debug, Clone, Copy)]
+struct FabricEdge {
+    /// The neighboring cube's pass-through component.
+    peer: ComponentId,
+    /// The crossbar input port on the peer that this edge's serializer
+    /// delivers into (and whose drain returns our link tokens).
+    peer_port: usize,
+}
+
+/// One cube's pass-through stage: the link-layer crossbar that joins the
+/// local device, the cube-to-cube links and (on cube 0) the host links.
+struct AdapterComp {
+    cube: CubeId,
+    layout: AdapterLayout,
+    routes: RouteTable,
+    sw: SwitchCore<TransitMsg>,
+    /// Egress serializer behind each fabric/host port (`None` on device
+    /// ports, whose receiver is the device's own link input buffer).
+    tx: Vec<Option<LinkTx<TransitMsg>>>,
+    /// Fabric edge wiring per port (`None` on non-fabric ports).
+    edges: Vec<Option<FabricEdge>>,
+    device: ComponentId,
+    host: ComponentId,
+    wake_at: Option<Time>,
+}
+
+impl AdapterComp {
+    fn route_output(&self, msg: &TransitMsg) -> usize {
+        match msg.body {
+            TransitBody::Req(_) => {
+                if msg.dest == self.cube {
+                    self.layout.dev_port(msg.host_link)
+                } else {
+                    self.layout
+                        .port_toward(self.routes.next_hop(self.cube, msg.dest))
+                }
+            }
+            TransitBody::Resp(_) => {
+                if self.cube == CubeId::HOST {
+                    self.layout.host_port(msg.host_link)
+                } else {
+                    self.layout
+                        .port_toward(self.routes.next_hop(self.cube, CubeId::HOST))
+                }
+            }
+        }
+    }
+
+    fn pump(&mut self, now: Time, ctx: &mut Ctx<'_, Msg>) {
+        let me = ctx.self_id();
+        loop {
+            let mut progress = false;
+            for d in self.sw.service(now) {
+                progress = true;
+                // Input drained: return the space to whoever serialized
+                // into it.
+                match self.layout.classify(d.input) {
+                    PortClass::Dev(l) => {
+                        ctx.send(
+                            Delay::ZERO,
+                            self.device,
+                            Msg::ReturnResponseTokens {
+                                link: LinkId(l as u8),
+                                flits: d.flits,
+                            },
+                        );
+                    }
+                    PortClass::Fabric(slot) => {
+                        let edge = self.edges[self.layout.fabric_port(slot)]
+                            .expect("fabric port has an edge");
+                        ctx.send(
+                            Delay::ZERO,
+                            edge.peer,
+                            Msg::AdapterLinkTokens {
+                                port: edge.peer_port,
+                                flits: d.flits,
+                            },
+                        );
+                    }
+                    PortClass::Host(l) => {
+                        ctx.send(
+                            Delay::ZERO,
+                            self.host,
+                            Msg::ReturnRequestTokens {
+                                link: LinkId(l as u8),
+                                flits: d.flits,
+                            },
+                        );
+                    }
+                }
+                // Forward out of the crossbar.
+                match self.layout.classify(d.output) {
+                    PortClass::Dev(l) => {
+                        let TransitBody::Req(pkt) = d.payload.body else {
+                            unreachable!("responses never route to the local device")
+                        };
+                        ctx.send_at(
+                            d.at,
+                            self.device,
+                            Msg::DeviceRequest {
+                                link: LinkId(l as u8),
+                                pkt,
+                            },
+                        );
+                    }
+                    PortClass::Fabric(_) | PortClass::Host(_) => {
+                        ctx.send_at(
+                            d.at,
+                            me,
+                            Msg::AdapterEgress {
+                                port: d.output,
+                                msg: d.payload,
+                            },
+                        );
+                    }
+                }
+            }
+            // Egress serializers: push what tokens allow onto the wires.
+            for port in 0..self.layout.count() {
+                let Some(tx) = self.tx[port].as_mut() else {
+                    continue;
+                };
+                for delivery in tx.service(now) {
+                    progress = true;
+                    // The egress slot frees once the packet is committed
+                    // to the wire schedule.
+                    self.sw.return_credits(port, delivery.flits);
+                    match self.layout.classify(port) {
+                        PortClass::Fabric(_) => {
+                            let edge = self.edges[port].expect("fabric port has an edge");
+                            ctx.send_at(
+                                delivery.at,
+                                edge.peer,
+                                Msg::AdapterArrive {
+                                    input: edge.peer_port,
+                                    msg: delivery.payload,
+                                },
+                            );
+                        }
+                        PortClass::Host(l) => {
+                            let TransitBody::Resp(pkt) = delivery.payload.body else {
+                                unreachable!("only responses exit toward the host")
+                            };
+                            ctx.send_at(
+                                delivery.at,
+                                self.host,
+                                Msg::HostResponse {
+                                    link: LinkId(l as u8),
+                                    pkt,
+                                },
+                            );
+                        }
+                        PortClass::Dev(_) => unreachable!("device ports have no serializer"),
+                    }
+                }
+            }
+            if !progress {
+                break;
+            }
+        }
+        if self.wake_at.is_some_and(|w| w <= now) {
+            self.wake_at = None;
+        }
+        if let Some(t) = self.sw.next_wake(now) {
+            if self.wake_at.is_none_or(|w| w > t) {
+                ctx.send_at(t, me, Msg::AdapterWake);
+                self.wake_at = Some(t);
+            }
+        }
+    }
+
+    fn transit_stats(&self) -> TransitStats {
+        TransitStats {
+            forwarded: self.sw.forwarded(),
+            arbitration_conflicts: self.sw.arbitration_conflicts(),
+            peak_input_flits: (0..self.layout.count())
+                .map(|p| self.sw.peak_input_flits(p))
+                .collect(),
+            link_stats: self.tx.iter().flatten().map(|tx| tx.stats()).collect(),
+        }
+    }
+}
+
+impl Component<Msg> for AdapterComp {
+    fn on_message(&mut self, msg: Msg, ctx: &mut Ctx<'_, Msg>) {
+        let now = ctx.now();
+        match msg {
+            Msg::AdapterArrive { input, msg } => {
+                let entry = SwitchEntry {
+                    output: self.route_output(&msg),
+                    flits: msg.flits(),
+                    payload: msg,
+                };
+                self.sw
+                    .try_enqueue(input, entry)
+                    .unwrap_or_else(|_| panic!("pass-through input overflow: tokens violated"));
+            }
+            Msg::AdapterEgress { port, msg } => {
+                let flits = msg.flits();
+                self.tx[port]
+                    .as_mut()
+                    .expect("egress targets a serialized port")
+                    .enqueue(msg, flits);
+            }
+            Msg::AdapterCredits { output, flits } => {
+                self.sw.return_credits(output, flits);
+            }
+            Msg::AdapterLinkTokens { port, flits } => {
+                self.tx[port]
+                    .as_mut()
+                    .expect("tokens target a serialized port")
+                    .return_tokens(flits);
+            }
+            Msg::AdapterWake => {}
+            _ => unreachable!("message addressed elsewhere reached a pass-through stage"),
+        }
+        self.pump(now, ctx);
+    }
+
+    fn name(&self) -> &str {
+        "passthrough"
+    }
+}
+
+/// The internal device→pass-through handoff: the device's upstream
+/// serializer feeds the crossbar at the logic layer's datapath rate
+/// (16 B / 0.8 ns = 20 GB/s) with no SerDes or protocol overhead — the
+/// real external link is modelled by the pass-through stage's own
+/// serializers.
+fn internal_handoff_link(input_buffer_flits: u32) -> LinkConfig {
+    LinkConfig {
+        width: LinkWidth::Full,
+        lane_gbps: 10.0,
+        serdes_latency: Delay::ZERO,
+        protocol_overhead: 0.0,
+        input_buffer_flits,
+        min_packet_time: Delay::ZERO,
+    }
+}
+
+/// A complete simulated measurement system: FPGA host plus a network of
+/// HMC cubes on a deterministic event engine.
+///
+/// One `FabricSim` performs one run ([`FabricSim::run_gups`] or
+/// [`FabricSim::run_streams`]) and is then consumed by the report.
+///
+/// # Examples
+///
+/// ```
+/// use hmc_des::Delay;
+/// use hmc_fabric::{CubeId, FabricConfig, FabricPortSpec, FabricSim};
+/// use hmc_host::GupsOp;
+/// use hmc_mapping::AccessPattern;
+/// use hmc_packet::PayloadSize;
+///
+/// // Two chained cubes; one port hammers the far cube.
+/// let cfg = FabricConfig::chain(42, 2);
+/// let filter = AccessPattern::Vaults { count: 16 }.filter(&cfg.cube.map);
+/// let far = FabricPortSpec::gups(filter, GupsOp::Read(PayloadSize::B64), CubeId(1));
+/// let report = FabricSim::new(cfg, vec![far])
+///     .run_gups(Delay::from_us(5), Delay::from_us(20));
+/// assert!(report.total_accesses() > 0);
+/// assert_eq!(report.cubes.len(), 2);
+/// ```
+pub struct FabricSim {
+    engine: Engine<Msg>,
+    host: ComponentId,
+    devices: Vec<ComponentId>,
+    adapters: Vec<ComponentId>,
+    port_cubes: Vec<CubeId>,
+    started: bool,
+}
+
+impl FabricSim {
+    /// Builds a fabric system with one port per spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid, `specs` is empty, or a spec
+    /// targets a cube outside the fabric.
+    pub fn new(cfg: FabricConfig, specs: Vec<FabricPortSpec>) -> FabricSim {
+        cfg.validate().expect("valid fabric config");
+        assert!(!specs.is_empty(), "a system needs at least one port");
+        for s in &specs {
+            assert!(
+                s.cube.0 < cfg.cube_count,
+                "port targets {} outside the {}-cube fabric",
+                s.cube,
+                cfg.cube_count
+            );
+        }
+        let n = usize::from(cfg.cube_count);
+        let port_cubes: Vec<CubeId> = specs.iter().map(|s| s.cube).collect();
+
+        // Device configuration per mode: in a fabric, the device's
+        // upstream serializer becomes the internal handoff into the
+        // pass-through stage.
+        let dev_cfg: DeviceConfig = if n == 1 {
+            cfg.cube.clone()
+        } else {
+            DeviceConfig {
+                link: internal_handoff_link(cfg.hop.input_capacity_flits),
+                ..cfg.cube.clone()
+            }
+        };
+        let probe = HmcDevice::new(dev_cfg.clone());
+        let mut host_cfg: HostConfig = cfg.host.clone();
+        // Request-direction tokens guard the first receiver's input
+        // buffer: the cube's link RX directly, or cube 0's pass-through
+        // input.
+        host_cfg.link.input_buffer_flits = if n == 1 {
+            probe.request_tokens_per_link()
+        } else {
+            cfg.hop.input_capacity_flits
+        };
+        let ports: Vec<Port> = specs
+            .into_iter()
+            .enumerate()
+            .map(|(i, spec)| {
+                let seed = cfg
+                    .seed
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    .wrapping_add(i as u64 + 1);
+                Port::new(PortId(i as u8), spec.traffic, spec.tags, seed)
+            })
+            .collect();
+        let host_model = HostModel::new(host_cfg, ports);
+        let period = host_model.config().fpga_period;
+
+        let mut engine = Engine::new();
+        let host = engine.add_component(Box::new(HostComp {
+            model: host_model,
+            down: None,
+            mode: RunMode::Stream,
+            period,
+            measure_start: Time::ZERO,
+            measure_end: None,
+        }));
+        let devices: Vec<ComponentId> = (0..n)
+            .map(|_| {
+                engine.add_component(Box::new(DeviceComp {
+                    device: HmcDevice::new(dev_cfg.clone()),
+                    up: Upstream::Host(host),
+                    wake_at: None,
+                }))
+            })
+            .collect();
+
+        if n == 1 {
+            // The paper's single-cube system: host and device wired
+            // directly, exactly as before the fabric existed.
+            engine
+                .component_mut::<HostComp>(host)
+                .expect("host registered")
+                .down = Some(Downstream::Direct { device: devices[0] });
+            return FabricSim {
+                engine,
+                host,
+                devices,
+                adapters: Vec::new(),
+                port_cubes,
+                started: false,
+            };
+        }
+
+        // Multi-cube: one pass-through stage per cube.
+        let routes = cfg.routes();
+        let dev_links = dev_cfg.link_count();
+        let host_links = usize::from(cfg.host.link_count);
+        let layouts: Vec<AdapterLayout> = (0..n)
+            .map(|c| AdapterLayout {
+                dev_links,
+                neighbors: cfg.topology.neighbors(cfg.cube_count, CubeId(c as u8)),
+                host_links: if c == 0 { host_links } else { 0 },
+            })
+            .collect();
+        let adapters: Vec<ComponentId> = (0..n)
+            .map(|c| {
+                let layout = layouts[c].clone();
+                let count = layout.count();
+                let sw_cfg = SwitchConfig {
+                    inputs: count,
+                    outputs: count,
+                    input_capacity_flits: cfg.hop.input_capacity_flits,
+                    hop_latency: cfg.hop.passthrough_latency,
+                    flit_time: cfg.hop.flit_time,
+                };
+                let mut credits = vec![0u32; count];
+                let mut tx: Vec<Option<LinkTx<TransitMsg>>> = Vec::with_capacity(count);
+                for (p, credit) in credits.iter_mut().enumerate() {
+                    match layout.classify(p) {
+                        PortClass::Dev(_) => {
+                            // Downstream buffer: the device's link RX
+                            // (its request token pool).
+                            *credit = probe.request_tokens_per_link();
+                            tx.push(None);
+                        }
+                        PortClass::Fabric(_) => {
+                            *credit = cfg.hop.egress_capacity_flits;
+                            tx.push(Some(LinkTx::new(&LinkConfig {
+                                input_buffer_flits: cfg.hop.input_capacity_flits,
+                                ..cfg.hop.link
+                            })));
+                        }
+                        PortClass::Host(_) => {
+                            *credit = cfg.hop.egress_capacity_flits;
+                            // Toward the host: the cube's own external
+                            // link model, tokens guarding the host RX
+                            // buffer — as the device's serializer does on
+                            // a single-cube system.
+                            tx.push(Some(LinkTx::new(&LinkConfig {
+                                min_packet_time: Delay::ZERO,
+                                ..cfg.cube.link
+                            })));
+                        }
+                    }
+                }
+                let caps = vec![cfg.hop.input_capacity_flits; count];
+                engine.add_component(Box::new(AdapterComp {
+                    cube: CubeId(c as u8),
+                    layout,
+                    routes: routes.clone(),
+                    sw: SwitchCore::with_input_capacities(sw_cfg, &caps, &credits),
+                    tx,
+                    edges: vec![None; count],
+                    device: devices[c],
+                    host,
+                    wake_at: None,
+                }))
+            })
+            .collect();
+
+        // Wire the fabric edges (peer component + peer input port).
+        for c in 0..n {
+            let edges: Vec<(usize, FabricEdge)> = layouts[c]
+                .neighbors
+                .iter()
+                .enumerate()
+                .map(|(slot, &peer_cube)| {
+                    let my_port = layouts[c].fabric_port(slot);
+                    let peer_port = layouts[peer_cube.index()].port_toward(CubeId(c as u8));
+                    (
+                        my_port,
+                        FabricEdge {
+                            peer: adapters[peer_cube.index()],
+                            peer_port,
+                        },
+                    )
+                })
+                .collect();
+            let adapter = engine
+                .component_mut::<AdapterComp>(adapters[c])
+                .expect("adapter registered");
+            for (port, edge) in edges {
+                adapter.edges[port] = Some(edge);
+            }
+        }
+        for c in 0..n {
+            engine
+                .component_mut::<DeviceComp>(devices[c])
+                .expect("device registered")
+                .up = Upstream::Adapter(adapters[c]);
+        }
+        engine
+            .component_mut::<HostComp>(host)
+            .expect("host registered")
+            .down = Some(Downstream::Fabric {
+            adapter: adapters[0],
+            host_port_base: layouts[0].host_port(LinkId(0)),
+            port_cube: port_cubes.clone(),
+        });
+
+        FabricSim {
+            engine,
+            host,
+            devices,
+            adapters,
+            port_cubes,
+            started: false,
+        }
+    }
+
+    /// Runs the GUPS firmware: every port generates random requests for
+    /// `warmup + measure`, monitors reset after `warmup`, and the
+    /// measurement freezes at the end while in-flight traffic drains.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the system was already run.
+    pub fn run_gups(&mut self, warmup: Delay, measure: Delay) -> RunReport {
+        assert!(!self.started, "a FabricSim performs a single run");
+        self.started = true;
+        let stop_at = Time::ZERO + warmup + measure;
+        {
+            let host = self
+                .engine
+                .component_mut::<HostComp>(self.host)
+                .expect("host");
+            host.mode = RunMode::GupsUntil(stop_at);
+            host.model.set_all_active(true);
+        }
+        self.engine.schedule(Time::ZERO, self.host, Msg::HostTick);
+        self.engine
+            .schedule(Time::ZERO + warmup, self.host, Msg::HostResetStats);
+        self.engine.schedule(stop_at, self.host, Msg::HostStop);
+        self.engine.run_to_quiescence();
+        self.collect()
+    }
+
+    /// Runs the multi-port stream firmware: every port replays its trace
+    /// as fast as tags allow; the run ends when all responses are home.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the system was already run.
+    pub fn run_streams(&mut self) -> RunReport {
+        assert!(!self.started, "a FabricSim performs a single run");
+        self.started = true;
+        {
+            let host = self
+                .engine
+                .component_mut::<HostComp>(self.host)
+                .expect("host");
+            host.mode = RunMode::Stream;
+        }
+        self.engine.schedule(Time::ZERO, self.host, Msg::HostTick);
+        self.engine.run_to_quiescence();
+        self.collect()
+    }
+
+    /// Peak-occupancy census of one cube's internal buffers after a run;
+    /// a calibration/debugging aid.
+    #[doc(hidden)]
+    pub fn device_peak_census(&self, cube: CubeId) -> Vec<(String, u64)> {
+        self.engine
+            .component::<DeviceComp>(self.devices[cube.index()])
+            .expect("device registered")
+            .device
+            .peak_census()
+    }
+
+    fn collect(&mut self) -> RunReport {
+        let sim_end = self.engine.now();
+        let host = self.engine.component::<HostComp>(self.host).expect("host");
+        let measure_end = host.measure_end.unwrap_or(sim_end);
+        let elapsed = measure_end.saturating_since(host.measure_start);
+        let ports = host
+            .model
+            .ports()
+            .iter()
+            .map(|p| PortReport {
+                port: p.id(),
+                issued: p.issued(),
+                completed: p.completed(),
+                latency: *p.latency(),
+                bytes: *p.bytes(),
+                reads: p.reads_recorded(),
+                writes: p.writes_recorded(),
+                cube: self.port_cubes[p.id().index()],
+            })
+            .collect();
+        let cubes: Vec<CubeReport> = self
+            .devices
+            .iter()
+            .enumerate()
+            .map(|(c, &id)| {
+                let device = self
+                    .engine
+                    .component::<DeviceComp>(id)
+                    .expect("device registered")
+                    .device
+                    .stats();
+                let transit = self.adapters.get(c).map(|&aid| {
+                    self.engine
+                        .component::<AdapterComp>(aid)
+                        .expect("adapter registered")
+                        .transit_stats()
+                });
+                CubeReport {
+                    cube: CubeId(c as u8),
+                    device,
+                    transit,
+                }
+            })
+            .collect();
+        RunReport {
+            ports,
+            elapsed,
+            device: cubes[0].device.clone(),
+            cubes,
+            sim_end,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hmc_mapping::{AccessPattern, VaultId};
+    use hmc_packet::PayloadSize;
+    use hmc_workloads::random_reads_in_banks;
+
+    fn one_read_trace(cfg: &FabricConfig, seed: u64) -> hmc_workloads::Trace {
+        random_reads_in_banks(&cfg.cube.map, VaultId(0), 16, PayloadSize::B64, 1, seed)
+    }
+
+    #[test]
+    fn single_cube_fabric_has_no_passthrough() {
+        let cfg = FabricConfig::single(
+            hmc_device::DeviceConfig::ac510_hmc(),
+            hmc_host::HostConfig::ac510_default(),
+            3,
+        );
+        let trace = one_read_trace(&cfg, 3);
+        let report =
+            FabricSim::new(cfg, vec![FabricPortSpec::stream(trace, CubeId(0))]).run_streams();
+        assert_eq!(report.cubes.len(), 1);
+        assert!(report.cubes[0].transit.is_none());
+        assert_eq!(report.transit_forwarded(), 0);
+    }
+
+    #[test]
+    fn remote_requests_are_serviced_by_the_remote_cube() {
+        let cfg = FabricConfig::chain(5, 3);
+        let trace = random_reads_in_banks(&cfg.cube.map, VaultId(1), 4, PayloadSize::B32, 50, 5);
+        let report =
+            FabricSim::new(cfg, vec![FabricPortSpec::stream(trace, CubeId(2))]).run_streams();
+        assert_eq!(report.ports[0].completed, 50);
+        assert_eq!(report.cubes[2].device.requests_received, 50);
+        assert_eq!(report.cubes[0].device.requests_received, 0);
+        assert_eq!(report.cubes[1].device.requests_received, 0);
+        // Transit: cube 0 and cube 1 each forwarded request and response.
+        for c in [0, 1] {
+            let t = report.cubes[c].transit.as_ref().unwrap();
+            assert!(t.forwarded >= 100, "cube {c} forwarded {}", t.forwarded);
+        }
+    }
+
+    #[test]
+    fn fabric_runs_are_deterministic() {
+        let run = |seed: u64| {
+            let cfg = FabricConfig::star(seed, 4);
+            let filter = AccessPattern::Vaults { count: 16 }.filter(&cfg.cube.map);
+            let specs: Vec<FabricPortSpec> = (0..4)
+                .map(|c| {
+                    FabricPortSpec::gups(
+                        filter,
+                        hmc_host::GupsOp::Read(PayloadSize::B64),
+                        CubeId(c),
+                    )
+                })
+                .collect();
+            let r = FabricSim::new(cfg, specs).run_gups(Delay::from_us(5), Delay::from_us(15));
+            (
+                r.total_accesses(),
+                r.aggregate_latency().total_ps(),
+                r.transit_forwarded(),
+                r.total_switch_conflicts(),
+            )
+        };
+        assert_eq!(run(11), run(11));
+        assert_ne!(run(11), run(12));
+    }
+
+    #[test]
+    fn farther_cubes_cost_more_unloaded_latency() {
+        let mut prev = 0.0;
+        for target in 0..3u8 {
+            let cfg = FabricConfig::chain(7, 3);
+            let trace = one_read_trace(&cfg, 7);
+            let report = FabricSim::new(cfg, vec![FabricPortSpec::stream(trace, CubeId(target))])
+                .run_streams();
+            let ns = report.mean_latency_ns();
+            assert!(
+                ns > prev,
+                "latency must grow with hop count: cube{target} {ns} ns vs {prev} ns"
+            );
+            prev = ns;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the")]
+    fn ports_cannot_target_missing_cubes() {
+        let cfg = FabricConfig::chain(0, 2);
+        let trace = one_read_trace(&cfg, 0);
+        let _ = FabricSim::new(cfg, vec![FabricPortSpec::stream(trace, CubeId(5))]);
+    }
+}

@@ -1,0 +1,102 @@
+//! Property tests for fabric source routing: route tables are total,
+//! loop-free, adjacency-respecting and deterministic.
+
+use hmc_fabric::{CubeId, FabricConfig, RouteTable, Topology};
+use proptest::prelude::*;
+
+fn topologies() -> impl Strategy<Value = Topology> {
+    prop_oneof![
+        Just(Topology::Chain),
+        Just(Topology::Star),
+        Just(Topology::Ring)
+    ]
+}
+
+proptest! {
+    /// Totality: every (src, dst) pair has a route that terminates at the
+    /// destination within n−1 hops.
+    #[test]
+    fn routes_are_total(topology in topologies(), n in 1u8..9) {
+        let table = RouteTable::for_topology(topology, n);
+        for src in 0..n {
+            for dst in 0..n {
+                let path = table.path(CubeId(src), CubeId(dst));
+                prop_assert_eq!(*path.first().unwrap(), CubeId(src));
+                prop_assert_eq!(*path.last().unwrap(), CubeId(dst));
+                prop_assert!(
+                    path.len() <= usize::from(n),
+                    "{}-cube {}: {}->{} takes {} hops",
+                    n, topology.label(), src, dst, path.len() - 1
+                );
+            }
+        }
+    }
+
+    /// Loop-freedom and adjacency: validate() accepts every generated
+    /// table, i.e. no route revisits a cube and every hop follows a
+    /// physical fabric link.
+    #[test]
+    fn routes_are_loop_free_and_adjacent(topology in topologies(), n in 1u8..9) {
+        let table = RouteTable::for_topology(topology, n);
+        prop_assert!(table.validate(topology).is_ok());
+    }
+
+    /// Determinism: building the table twice yields identical tables, and
+    /// the seed plays no role in routing (routes are a pure function of
+    /// topology and cube count — two fabrics with different seeds route
+    /// identically).
+    #[test]
+    fn routes_are_deterministic(topology in topologies(), n in 1u8..9, seed_a in any::<u64>(), seed_b in any::<u64>()) {
+        let x = RouteTable::for_topology(topology, n);
+        let y = RouteTable::for_topology(topology, n);
+        prop_assert_eq!(&x, &y);
+        let mut fa = FabricConfig::ac510(topology, n, seed_a);
+        fa.seed = seed_a;
+        let mut fb = FabricConfig::ac510(topology, n, seed_b);
+        fb.seed = seed_b;
+        prop_assert_eq!(fa.routes(), fb.routes());
+    }
+
+    /// Routes are symmetric in length: the hop count from a to b equals
+    /// the hop count from b to a in every supported topology (responses
+    /// pay exactly what requests paid).
+    #[test]
+    fn hop_counts_are_symmetric(topology in topologies(), n in 1u8..9) {
+        let table = RouteTable::for_topology(topology, n);
+        for a in 0..n {
+            for b in 0..n {
+                prop_assert_eq!(
+                    table.hops(CubeId(a), CubeId(b)),
+                    table.hops(CubeId(b), CubeId(a))
+                );
+            }
+        }
+    }
+
+    /// Every hop strictly shrinks the remaining distance (the routes are
+    /// shortest-path greedy, so they cannot stall or detour).
+    #[test]
+    fn hops_strictly_approach_the_destination(topology in topologies(), n in 2u8..9) {
+        let table = RouteTable::for_topology(topology, n);
+        for src in 0..n {
+            for dst in 0..n {
+                if src == dst {
+                    continue;
+                }
+                let mut at = CubeId(src);
+                let mut remaining = table.hops(at, CubeId(dst));
+                while at != CubeId(dst) {
+                    let next = table.next_hop(at, CubeId(dst));
+                    let next_remaining = table.hops(next, CubeId(dst));
+                    prop_assert!(
+                        next_remaining < remaining,
+                        "{}: hop {}->{} does not approach {}",
+                        topology.label(), at, next, dst
+                    );
+                    at = next;
+                    remaining = next_remaining;
+                }
+            }
+        }
+    }
+}

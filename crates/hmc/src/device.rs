@@ -68,9 +68,17 @@ enum InternalEvent {
     /// A request reaches a vault controller's ingress buffer.
     VaultArrival(DeviceRequest),
     /// A request crosses from quadrant `from` to quadrant `to`.
-    XqRequest { from: usize, to: usize, req: DeviceRequest },
+    XqRequest {
+        from: usize,
+        to: usize,
+        req: DeviceRequest,
+    },
     /// A response crosses from quadrant `from` to quadrant `to`.
-    XqResponse { from: usize, to: usize, resp: DeviceResponse },
+    XqResponse {
+        from: usize,
+        to: usize,
+        resp: DeviceResponse,
+    },
     /// A response reaches the upstream link serializer.
     LinkPush(DeviceResponse),
     /// Bank `bank` of vault `vault` finishes its in-service request.
@@ -226,16 +234,23 @@ impl HmcDevice {
                     resp_credits[p] = cfg.switch.link_egress_flits;
                 }
             }
-            req_sw.push(SwitchCore::with_input_capacities(sw_cfg, &input_caps, &req_credits));
-            resp_sw.push(SwitchCore::with_input_capacities(sw_cfg, &input_caps, &resp_credits));
+            req_sw.push(SwitchCore::with_input_capacities(
+                sw_cfg,
+                &input_caps,
+                &req_credits,
+            ));
+            resp_sw.push(SwitchCore::with_input_capacities(
+                sw_cfg,
+                &input_caps,
+                &resp_credits,
+            ));
         }
         let vaults = (0..g.vaults)
-            .map(|_| {
-                VaultCtrl::new(usize::from(g.banks_per_vault), cfg.timing, &cfg.vault)
-            })
+            .map(|_| VaultCtrl::new(usize::from(g.banks_per_vault), cfg.timing, &cfg.vault))
             .collect();
-        let link_tx =
-            (0..cfg.link_count()).map(|_| LinkTx::new(&cfg.link)).collect::<Vec<_>>();
+        let link_tx = (0..cfg.link_count())
+            .map(|_| LinkTx::new(&cfg.link))
+            .collect::<Vec<_>>();
         let vault_count = usize::from(g.vaults);
         HmcDevice {
             cfg,
@@ -368,7 +383,10 @@ impl HmcDevice {
                     progress = true;
                     if d.input == LINK_PORT {
                         let link = self.link_of_quad[q].expect("link-attached quadrant");
-                        outputs.push(DeviceOutput::RequestTokens { link, flits: d.flits });
+                        outputs.push(DeviceOutput::RequestTokens {
+                            link,
+                            flits: d.flits,
+                        });
                     } else if self.ports.is_xq(d.input) {
                         let sender = self.ports.xq_peer(q, d.input);
                         let port = self.ports.xq_port(sender, q);
@@ -376,7 +394,14 @@ impl HmcDevice {
                     }
                     if self.ports.is_xq(d.output) {
                         let to = self.ports.xq_peer(q, d.output);
-                        self.schedule(d.at, InternalEvent::XqRequest { from: q, to, req: d.payload });
+                        self.schedule(
+                            d.at,
+                            InternalEvent::XqRequest {
+                                from: q,
+                                to,
+                                req: d.payload,
+                            },
+                        );
                     } else {
                         debug_assert!(self.ports.vault_slot(d.output).is_some());
                         self.schedule(
@@ -406,7 +431,14 @@ impl HmcDevice {
                     } else {
                         debug_assert!(self.ports.is_xq(d.output));
                         let to = self.ports.xq_peer(q, d.output);
-                        self.schedule(d.at, InternalEvent::XqResponse { from: q, to, resp: d.payload });
+                        self.schedule(
+                            d.at,
+                            InternalEvent::XqResponse {
+                                from: q,
+                                to,
+                                resp: d.payload,
+                            },
+                        );
                     }
                 }
             }
@@ -556,8 +588,10 @@ impl HmcDevice {
         }
         // Completed responses → response switch.
         while let Some((bank, req)) = self.vaults[v].ready_response() {
-            let resp =
-                DeviceResponse { pkt: ResponsePacket::for_request(&req.pkt), link: req.link };
+            let resp = DeviceResponse {
+                pkt: ResponsePacket::for_request(&req.pkt),
+                link: req.link,
+            };
             let flits = resp.pkt.flits();
             let entry = SwitchEntry {
                 output: self.route_response(q, &resp),
@@ -576,7 +610,10 @@ impl HmcDevice {
         // Idle banks with queued work → DRAM.
         let ctrl_out = self.cfg.vault.ctrl_latency;
         for (bank, completion) in self.vaults[v].start_services(now) {
-            self.schedule(completion + ctrl_out, InternalEvent::BankComplete { vault: v, bank });
+            self.schedule(
+                completion + ctrl_out,
+                InternalEvent::BankComplete { vault: v, bank },
+            );
             progress = true;
         }
         progress
@@ -589,7 +626,8 @@ impl HmcDevice {
     fn route_request(&self, q: usize, req: &DeviceRequest) -> usize {
         let dest_quad = usize::from(req.vault.0) / self.ports.vaults_per_quad;
         if dest_quad == q {
-            self.ports.vault_port(usize::from(req.vault.0) % self.ports.vaults_per_quad)
+            self.ports
+                .vault_port(usize::from(req.vault.0) % self.ports.vaults_per_quad)
         } else {
             self.ports.xq_port(q, dest_quad)
         }
@@ -603,5 +641,4 @@ impl HmcDevice {
             self.ports.xq_port(q, dest_quad)
         }
     }
-
 }

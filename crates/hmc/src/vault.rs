@@ -84,9 +84,9 @@ impl VaultCtrl {
     /// space, so overflow is a flow-control protocol bug.
     pub fn push_ingress(&mut self, req: DeviceRequest) {
         let flits = req.pkt.flits();
-        self.ingress.push(flits, req).unwrap_or_else(|_| {
-            panic!("vault ingress overflow: credit protocol violated")
-        });
+        self.ingress
+            .push(flits, req)
+            .unwrap_or_else(|_| panic!("vault ingress overflow: credit protocol violated"));
         self.note_outstanding();
     }
 
@@ -118,7 +118,9 @@ impl VaultCtrl {
             if self.engines[bank] != BankEngine::Idle {
                 continue;
             }
-            let Some(req) = self.bank_queues[bank].pop() else { continue };
+            let Some(req) = self.bank_queues[bank].pop() else {
+                continue;
+            };
             let completion = match req.pkt.kind {
                 RequestKind::Read { .. } => self.memory.read(now, bank, req.bursts),
                 RequestKind::Write { .. } => self.memory.write(now, bank, req.bursts),
@@ -177,7 +179,11 @@ impl VaultCtrl {
     /// Panics if the bank has no completed request or is not the oldest
     /// ready response.
     pub fn take_completed(&mut self, bank: usize) -> DeviceRequest {
-        assert_eq!(self.ready.front(), Some(&bank), "responses egress in completion order");
+        assert_eq!(
+            self.ready.front(),
+            Some(&bank),
+            "responses egress in completion order"
+        );
         self.ready.pop_front();
         match std::mem::replace(&mut self.engines[bank], BankEngine::Idle) {
             BankEngine::Completed(req) => {
@@ -211,7 +217,11 @@ impl VaultCtrl {
     /// in service or blocked).
     pub fn outstanding(&self) -> usize {
         let queued: usize = self.bank_queues.iter().map(|q| q.len()).sum();
-        let busy = self.engines.iter().filter(|e| **e != BankEngine::Idle).count();
+        let busy = self
+            .engines
+            .iter()
+            .filter(|e| **e != BankEngine::Idle)
+            .count();
         self.ingress.len() + queued + busy
     }
 
@@ -245,7 +255,9 @@ mod tests {
                 port: PortId(0),
                 tag: Tag(tag),
                 addr: Address::new(0),
-                kind: RequestKind::Read { size: PayloadSize::B32 },
+                kind: RequestKind::Read {
+                    size: PayloadSize::B32,
+                },
             },
             link: LinkId(0),
             vault: VaultId(0),
@@ -289,7 +301,10 @@ mod tests {
 
     #[test]
     fn hol_blocking_at_ingress() {
-        let tuning = VaultTuning { bank_queue_capacity: 1, ..VaultTuning::default() };
+        let tuning = VaultTuning {
+            bank_queue_capacity: 1,
+            ..VaultTuning::default()
+        };
         let mut v = VaultCtrl::new(2, DramTiming::hmc_gen2(), &tuning);
         // Fill bank 0's queue, then put a bank-0 request in front of a
         // bank-1 request in the ingress.
@@ -318,7 +333,10 @@ mod tests {
 
     #[test]
     fn ingress_capacity_respected() {
-        let tuning = VaultTuning { ingress_capacity_flits: 9, ..VaultTuning::default() };
+        let tuning = VaultTuning {
+            ingress_capacity_flits: 9,
+            ..VaultTuning::default()
+        };
         let v = VaultCtrl::new(16, DramTiming::hmc_gen2(), &tuning);
         assert!(v.can_accept(9));
         assert!(!v.can_accept(10));
@@ -327,7 +345,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "credit protocol violated")]
     fn ingress_overflow_panics() {
-        let tuning = VaultTuning { ingress_capacity_flits: 9, ..VaultTuning::default() };
+        let tuning = VaultTuning {
+            ingress_capacity_flits: 9,
+            ..VaultTuning::default()
+        };
         let mut v = VaultCtrl::new(16, DramTiming::hmc_gen2(), &tuning);
         for t in 0..10 {
             v.push_ingress(req(0, t));

@@ -43,7 +43,13 @@ impl Driver {
                 v
             })
             .collect();
-        Driver { hmc, budget, to_send, responses: Vec::new(), request_tokens_returned: 0 }
+        Driver {
+            hmc,
+            budget,
+            to_send,
+            responses: Vec::new(),
+            request_tokens_returned: 0,
+        }
     }
 
     fn run(&mut self) {
@@ -89,7 +95,11 @@ impl Driver {
     }
 
     fn last_response_at(&self) -> Time {
-        self.responses.iter().map(|&(at, _, _)| at).max().unwrap_or(Time::ZERO)
+        self.responses
+            .iter()
+            .map(|&(at, _, _)| at)
+            .max()
+            .unwrap_or(Time::ZERO)
     }
 }
 
@@ -129,9 +139,15 @@ fn cross_quadrant_requests_take_longer() {
     // in each direction.
     let near = latency_to_vault(0);
     let far = latency_to_vault(15);
-    assert!(far > near, "cross-quadrant path must be slower: {near} !< {far}");
+    assert!(
+        far > near,
+        "cross-quadrant path must be slower: {near} !< {far}"
+    );
     let delta_ns = (far - near).as_ns_f64();
-    assert!(delta_ns < 41.0, "hop penalty {delta_ns} ns should be small vs DRAM");
+    assert!(
+        delta_ns < 41.0,
+        "hop penalty {delta_ns} ns should be small vs DRAM"
+    );
 }
 
 #[test]
@@ -155,9 +171,16 @@ fn every_request_gets_exactly_one_response_and_all_tokens_return() {
     }
     let mut driver = Driver::new(hmc, per_link);
     driver.run();
-    assert_eq!(driver.responses.len() as u64, sent, "every request answered exactly once");
+    assert_eq!(
+        driver.responses.len() as u64,
+        sent,
+        "every request answered exactly once"
+    );
     // Every request flit that entered a link buffer must be credited back.
-    assert_eq!(driver.request_tokens_returned, sent, "all request tokens returned");
+    assert_eq!(
+        driver.request_tokens_returned, sent,
+        "all request tokens returned"
+    );
     let stats = driver.hmc.stats();
     assert_eq!(stats.requests_received, sent);
     assert_eq!(stats.responses_sent, sent);
@@ -177,8 +200,9 @@ fn single_vault_data_bandwidth_caps_near_10_gbs() {
     let map = cfg.map;
     let hmc = HmcDevice::new(cfg);
     let reads = 512u16;
-    let pkts: Vec<RequestPacket> =
-        (0..reads).map(|i| read_packet(&map, 0, (i % 16) as u8, i, PayloadSize::B128)).collect();
+    let pkts: Vec<RequestPacket> = (0..reads)
+        .map(|i| read_packet(&map, 0, (i % 16) as u8, i, PayloadSize::B128))
+        .collect();
     let mut driver = Driver::new(hmc, vec![pkts, Vec::new()]);
     driver.run();
     let data_bytes = f64::from(reads) * 128.0;
@@ -199,8 +223,11 @@ fn spread_requests_outrun_single_bank_requests() {
         let hmc = HmcDevice::new(cfg);
         let pkts: Vec<RequestPacket> = (0..128u16)
             .map(|i| {
-                let (vault, bank) =
-                    if spread { ((i % 16) as u8, (i / 16 % 16) as u8) } else { (0, 0) };
+                let (vault, bank) = if spread {
+                    ((i % 16) as u8, (i / 16 % 16) as u8)
+                } else {
+                    (0, 0)
+                };
                 read_packet(&map, vault, bank, i, PayloadSize::B64)
             })
             .collect();
@@ -254,8 +281,9 @@ fn flat_crossbar_topology_also_works() {
     cfg.link_quadrants = vec![hmc_mapping::QuadrantId(0)];
     let map = cfg.map;
     let hmc = HmcDevice::new(cfg);
-    let pkts: Vec<RequestPacket> =
-        (0..32u16).map(|i| read_packet(&map, (i % 16) as u8, 0, i, PayloadSize::B64)).collect();
+    let pkts: Vec<RequestPacket> = (0..32u16)
+        .map(|i| read_packet(&map, (i % 16) as u8, 0, i, PayloadSize::B64))
+        .collect();
     let mut driver = Driver::new(hmc, vec![pkts]);
     driver.run();
     assert_eq!(driver.responses.len(), 32);
@@ -271,7 +299,9 @@ fn writes_complete_and_ack_with_one_flit() {
             port: PortId(0),
             tag: Tag(i),
             addr: map.encode(VaultId((i % 16) as u8), BankId(0), 0, 0),
-            kind: RequestKind::Write { size: PayloadSize::B64 },
+            kind: RequestKind::Write {
+                size: PayloadSize::B64,
+            },
         })
         .collect();
     let mut driver = Driver::new(hmc, vec![pkts, Vec::new()]);
@@ -290,7 +320,9 @@ fn ignored_high_address_bits_do_not_crash() {
         port: PortId(0),
         tag: Tag(0),
         addr: Address::new((1 << 33) | 0x80),
-        kind: RequestKind::Read { size: PayloadSize::B16 },
+        kind: RequestKind::Read {
+            size: PayloadSize::B16,
+        },
     };
     let mut driver = Driver::new(hmc, vec![vec![pkt], Vec::new()]);
     driver.run();

@@ -81,13 +81,25 @@ impl HostModel {
             .iter()
             .map(|_| BoundedQueue::new(cfg.port_fifo_packets))
             .collect::<Vec<_>>();
-        let link_tx = (0..cfg.link_count).map(|_| LinkTx::new(&cfg.link)).collect::<Vec<_>>();
-        let staged =
-            (0..cfg.link_count).map(|_| std::collections::VecDeque::new()).collect();
+        let link_tx = (0..cfg.link_count)
+            .map(|_| LinkTx::new(&cfg.link))
+            .collect::<Vec<_>>();
+        let staged = (0..cfg.link_count)
+            .map(|_| std::collections::VecDeque::new())
+            .collect();
         let stage_admit_at = vec![Time::ZERO; usize::from(cfg.link_count)];
         let arb = RoundRobinArbiter::new(ports.len());
         let rx_busy = vec![Time::ZERO; ports.len()];
-        HostModel { cfg, ports, fifos, arb, staged, stage_admit_at, link_tx, rx_busy }
+        HostModel {
+            cfg,
+            ports,
+            fifos,
+            arb,
+            staged,
+            stage_admit_at,
+            link_tx,
+            rx_busy,
+        }
     }
 
     /// The configuration in effect.
@@ -118,8 +130,7 @@ impl HostModel {
         for (l, staged) in self.staged.iter_mut().enumerate() {
             while let Some(&(ready, pkt)) = staged.front() {
                 if ready > now
-                    || self.link_tx[l].backlog_flits(now) + pkt.flits()
-                        > self.cfg.link_fifo_flits
+                    || self.link_tx[l].backlog_flits(now) + pkt.flits() > self.cfg.link_fifo_flits
                 {
                     break;
                 }
@@ -138,14 +149,19 @@ impl HostModel {
                 .enumerate()
                 .filter(|&(l, _)| self.stage_admit_at[l] <= now)
                 .map(|(l, tx)| {
-                    (l, self.cfg.link_fifo_flits.saturating_sub(tx.backlog_flits(now)))
+                    (
+                        l,
+                        self.cfg
+                            .link_fifo_flits
+                            .saturating_sub(tx.backlog_flits(now)),
+                    )
                 })
                 .max_by_key(|&(l, room)| (room, std::cmp::Reverse(l)));
             let Some((link, room)) = candidate else { break };
             let fifos = &self.fifos;
-            let granted = self.arb.grant(|p| {
-                fifos[p].peek().is_some_and(|pkt| pkt.flits() <= room)
-            });
+            let granted = self
+                .arb
+                .grant(|p| fifos[p].peek().is_some_and(|pkt| pkt.flits() <= room));
             let Some(p) = granted else { break };
             let pkt = self.fifos[p].pop().expect("granted head exists");
             self.stage_admit_at[link] = now + self.cfg.fpga_period;
@@ -182,12 +198,20 @@ impl HostModel {
         let done = start + self.cfg.port_rx_flit_time * drain_flits;
         self.rx_busy[slot] = done;
         vec![
-            HostEvent::ResponseDrained { port, pkt, at: done },
+            HostEvent::ResponseDrained {
+                port,
+                pkt,
+                at: done,
+            },
             // Tokens return as soon as the packet leaves the link RX ring
             // for the controller's (pipelined) response path; holding them
             // through the pipeline would throttle the link far below its
             // measured throughput.
-            HostEvent::ResponseTokens { link, flits, at: now },
+            HostEvent::ResponseTokens {
+                link,
+                flits,
+                at: now,
+            },
         ]
     }
 
@@ -273,7 +297,10 @@ mod tests {
             .map(|i| {
                 Port::new(
                     PortId(i as u8),
-                    Traffic::Gups { filter, op: GupsOp::Read(PayloadSize::B32) },
+                    Traffic::Gups {
+                        filter,
+                        op: GupsOp::Read(PayloadSize::B32),
+                    },
                     tags,
                     i as u64,
                 )
@@ -311,7 +338,10 @@ mod tests {
         // Nothing can reach the wire before the controller pipeline
         // latency elapses.
         let early = drive(&mut h, 40);
-        assert!(arrivals(&early).is_empty(), "arrival before the pipeline drained");
+        assert!(
+            arrivals(&early).is_empty(),
+            "arrival before the pipeline drained"
+        );
         let later = drive(&mut h, 60);
         assert!(!arrivals(&later).is_empty(), "pipeline never drained");
     }
@@ -324,7 +354,10 @@ mod tests {
         let events = drive(&mut h, cycles);
         let n = arrivals(&events).len() as u64;
         assert!(n > 0);
-        assert!(n <= cycles * 2, "more than one admission per link per cycle");
+        assert!(
+            n <= cycles * 2,
+            "more than one admission per link per cycle"
+        );
     }
 
     #[test]
@@ -337,7 +370,10 @@ mod tests {
                 per_link[link.index()] += 1;
             }
         }
-        assert!(per_link[0] > 0 && per_link[1] > 0, "both links used: {per_link:?}");
+        assert!(
+            per_link[0] > 0 && per_link[1] > 0,
+            "both links used: {per_link:?}"
+        );
     }
 
     #[test]
@@ -382,7 +418,11 @@ mod tests {
         for c in 0..120u64 {
             more.extend(h.tick(Time::from_us(5) + period * c));
         }
-        assert_eq!(arrivals(&more).len(), 1, "freed tag allows exactly one more");
+        assert_eq!(
+            arrivals(&more).len(),
+            1,
+            "freed tag allows exactly one more"
+        );
     }
 
     #[test]

@@ -211,8 +211,11 @@ impl Port {
                     GupsOp::Read(s) => RequestKind::Read { size: s },
                     GupsOp::Write(s) => RequestKind::Write { size: s },
                     GupsOp::ReadModifyWrite => RequestKind::ReadModifyWrite,
-                    GupsOp::Mix { size, write_percent } => {
-                        if self.rng.gen_range(0..100) < write_percent {
+                    GupsOp::Mix {
+                        size,
+                        write_percent,
+                    } => {
+                        if self.rng.gen_range(0u8..100) < write_percent {
                             RequestKind::Write { size }
                         } else {
                             RequestKind::Read { size }
@@ -227,10 +230,18 @@ impl Port {
                 op
             }
         };
-        let tag = self.tags.allocate(now).expect("wants_to_issue implies a free tag");
+        let tag = self
+            .tags
+            .allocate(now)
+            .expect("wants_to_issue implies a free tag");
         self.kind_by_tag[usize::from(tag.0)] = Some(op.kind);
         self.issued += 1;
-        Some(RequestPacket { port: self.id, tag, addr: op.addr, kind: op.kind })
+        Some(RequestPacket {
+            port: self.id,
+            tag,
+            addr: op.addr,
+            kind: op.kind,
+        })
     }
 
     /// Completes the transaction `pkt` answers: frees its tag and records
@@ -338,7 +349,10 @@ mod tests {
         let filter = AccessPattern::Vaults { count: 16 }.filter(&map);
         Port::new(
             PortId(0),
-            Traffic::Gups { filter, op: GupsOp::Read(PayloadSize::B32) },
+            Traffic::Gups {
+                filter,
+                op: GupsOp::Read(PayloadSize::B32),
+            },
             tags,
             7,
         )
@@ -416,7 +430,10 @@ mod tests {
         let filter = AccessPattern::Vaults { count: 2 }.filter(&map);
         let mut p = Port::new(
             PortId(1),
-            Traffic::Gups { filter, op: GupsOp::Read(PayloadSize::B64) },
+            Traffic::Gups {
+                filter,
+                op: GupsOp::Read(PayloadSize::B64),
+            },
             64,
             3,
         );
@@ -436,7 +453,10 @@ mod tests {
             PortId(0),
             Traffic::Gups {
                 filter,
-                op: GupsOp::Mix { size: PayloadSize::B64, write_percent: 50 },
+                op: GupsOp::Mix {
+                    size: PayloadSize::B64,
+                    write_percent: 50,
+                },
             },
             200,
             11,
@@ -451,7 +471,10 @@ mod tests {
                 RequestKind::ReadModifyWrite => {}
             }
         }
-        assert!(reads > 50 && writes > 50, "mix is roughly balanced: {reads}/{writes}");
+        assert!(
+            reads > 50 && writes > 50,
+            "mix is roughly balanced: {reads}/{writes}"
+        );
     }
 
     #[test]

@@ -101,8 +101,8 @@ impl LinkConfig {
     /// Time to serialize one flit including protocol overhead — the
     /// effective per-flit cost the transaction layer experiences.
     pub fn effective_flit_time(&self) -> Delay {
-        let ns = FLIT_BYTES as f64 / self.raw_gb_per_s_per_direction()
-            * (1.0 + self.protocol_overhead);
+        let ns =
+            FLIT_BYTES as f64 / self.raw_gb_per_s_per_direction() * (1.0 + self.protocol_overhead);
         Delay::from_ns_f64(ns)
     }
 

@@ -161,7 +161,11 @@ impl<P> LinkTx<P> {
             cursor = end;
             self.stats.packets_sent += 1;
             self.stats.flits_sent += u64::from(flits);
-            out.push(LinkDelivery { at: end + self.serdes_latency, flits, payload });
+            out.push(LinkDelivery {
+                at: end + self.serdes_latency,
+                flits,
+                payload,
+            });
         }
         self.busy_until = cursor;
         out
@@ -206,7 +210,10 @@ mod tests {
         assert_eq!(out.len(), 2);
         let per_pkt = cfg().effective_flit_time() * 9u32;
         assert_eq!(out[0].at, Time::ZERO + per_pkt + cfg().serdes_latency);
-        assert_eq!(out[1].at, Time::ZERO + per_pkt + per_pkt + cfg().serdes_latency);
+        assert_eq!(
+            out[1].at,
+            Time::ZERO + per_pkt + per_pkt + cfg().serdes_latency
+        );
     }
 
     #[test]
@@ -241,7 +248,10 @@ mod tests {
         let elapsed_ps = (last - Time::ZERO).as_ps() as f64 - cfg().serdes_latency.as_ps() as f64;
         let gbs = bytes * 1e3 / elapsed_ps;
         let expected = cfg().effective_gb_per_s_per_direction();
-        assert!((gbs - expected).abs() < 0.2, "measured {gbs}, expected {expected}");
+        assert!(
+            (gbs - expected).abs() < 0.2,
+            "measured {gbs}, expected {expected}"
+        );
     }
 
     #[test]

@@ -86,7 +86,12 @@ pub struct Geometry {
 impl Geometry {
     /// The 4 GB HMC 1.1 Gen2 geometry used throughout the paper.
     pub const fn hmc_gen2() -> Geometry {
-        Geometry { vaults: 16, quadrants: 4, banks_per_vault: 16, bank_bytes: 16 << 20 }
+        Geometry {
+            vaults: 16,
+            quadrants: 4,
+            banks_per_vault: 16,
+            bank_bytes: 16 << 20,
+        }
     }
 
     /// Vaults per quadrant.
@@ -139,9 +144,12 @@ impl Geometry {
     /// Returns a description of the first violated constraint.
     pub fn validate(&self) -> Result<(), String> {
         if self.vaults == 0 || !self.vaults.is_power_of_two() {
-            return Err(format!("vault count {} must be a nonzero power of two", self.vaults));
+            return Err(format!(
+                "vault count {} must be a nonzero power of two",
+                self.vaults
+            ));
         }
-        if self.quadrants == 0 || self.vaults % self.quadrants != 0 {
+        if self.quadrants == 0 || !self.vaults.is_multiple_of(self.quadrants) {
             return Err(format!(
                 "quadrants {} must divide vaults {}",
                 self.quadrants, self.vaults
@@ -157,7 +165,10 @@ impl Geometry {
             ));
         }
         if self.bank_bytes == 0 || !self.bank_bytes.is_power_of_two() {
-            return Err(format!("bank bytes {} must be a nonzero power of two", self.bank_bytes));
+            return Err(format!(
+                "bank bytes {} must be a nonzero power of two",
+                self.bank_bytes
+            ));
         }
         Ok(())
     }

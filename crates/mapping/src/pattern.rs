@@ -54,7 +54,10 @@ impl AddressFilter {
 
     /// The identity filter (no bits forced).
     pub const fn pass_all() -> AddressFilter {
-        AddressFilter { mask: u64::MAX, anti_mask: 0 }
+        AddressFilter {
+            mask: u64::MAX,
+            anti_mask: 0,
+        }
     }
 
     /// Applies the filter to a raw generated value.
@@ -117,11 +120,10 @@ impl AccessPattern {
             .iter()
             .map(|&count| AccessPattern::Vaults { count })
             .collect();
-        v.extend(
-            [8u8, 4, 2, 1]
-                .iter()
-                .map(|&count| AccessPattern::Banks { vault: VaultId(0), count }),
-        );
+        v.extend([8u8, 4, 2, 1].iter().map(|&count| AccessPattern::Banks {
+            vault: VaultId(0),
+            count,
+        }));
         v
     }
 
@@ -164,8 +166,7 @@ impl AccessPattern {
                 // Zero out the whole vault field and the fixed bank bits,
                 // then force the vault id back in with the anti-mask.
                 let vault_field = (u64::from(g.vaults) - 1) << map.vault_shift();
-                let fixed_banks = ((u64::from(g.banks_per_vault) - 1)
-                    ^ (u64::from(count) - 1))
+                let fixed_banks = ((u64::from(g.banks_per_vault) - 1) ^ (u64::from(count) - 1))
                     << map.bank_shift();
                 let mask = !(vault_field | fixed_banks);
                 let anti = u64::from(vault.0) << map.vault_shift();
@@ -204,12 +205,14 @@ impl fmt::Display for AccessPattern {
 /// bank of one vault (the paper's least-distributed pattern).
 pub fn single_bank_filter(map: &AddressMap, vault: VaultId, bank: BankId) -> AddressFilter {
     let g = map.geometry();
-    assert!(vault.0 < g.vaults && bank.0 < g.banks_per_vault, "location out of range");
+    assert!(
+        vault.0 < g.vaults && bank.0 < g.banks_per_vault,
+        "location out of range"
+    );
     let vault_field = (u64::from(g.vaults) - 1) << map.vault_shift();
     let bank_field = (u64::from(g.banks_per_vault) - 1) << map.bank_shift();
     let mask = !(vault_field | bank_field);
-    let anti =
-        (u64::from(vault.0) << map.vault_shift()) | (u64::from(bank.0) << map.bank_shift());
+    let anti = (u64::from(vault.0) << map.vault_shift()) | (u64::from(bank.0) << map.bank_shift());
     AddressFilter::new(mask, anti)
 }
 
@@ -232,7 +235,10 @@ mod tests {
     fn banks_pattern_confines_vault_and_banks() {
         let m = map();
         for count in [1u8, 2, 4, 8] {
-            let p = AccessPattern::Banks { vault: VaultId(5), count };
+            let p = AccessPattern::Banks {
+                vault: VaultId(5),
+                count,
+            };
             let f = p.filter(&m);
             let mut vaults = BTreeSet::new();
             let mut banks = BTreeSet::new();
@@ -304,7 +310,11 @@ mod tests {
         assert_eq!(AccessPattern::Vaults { count: 16 }.total_banks(&m), 256);
         assert_eq!(AccessPattern::Vaults { count: 1 }.total_banks(&m), 16);
         assert_eq!(
-            AccessPattern::Banks { vault: VaultId(0), count: 2 }.total_banks(&m),
+            AccessPattern::Banks {
+                vault: VaultId(0),
+                count: 2
+            }
+            .total_banks(&m),
             2
         );
     }

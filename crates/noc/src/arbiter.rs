@@ -33,7 +33,12 @@ impl RoundRobinArbiter {
     /// Panics if `n` is zero.
     pub fn new(n: usize) -> RoundRobinArbiter {
         assert!(n > 0, "arbiter needs at least one requester");
-        RoundRobinArbiter { n, next: 0, grants: 0, conflicts: 0 }
+        RoundRobinArbiter {
+            n,
+            next: 0,
+            grants: 0,
+            conflicts: 0,
+        }
     }
 
     /// Number of requesters.

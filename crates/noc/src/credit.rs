@@ -29,7 +29,10 @@ pub struct Credits {
 impl Credits {
     /// Creates a counter with `max` credits, all available.
     pub fn new(max: u32) -> Credits {
-        Credits { max, available: max }
+        Credits {
+            max,
+            available: max,
+        }
     }
 
     /// The total credit pool size.

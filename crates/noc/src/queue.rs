@@ -39,7 +39,12 @@ impl<T> BoundedQueue<T> {
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> BoundedQueue<T> {
         assert!(capacity > 0, "queue capacity must be positive");
-        BoundedQueue { items: VecDeque::new(), capacity, peak: 0, total_enqueued: 0 }
+        BoundedQueue {
+            items: VecDeque::new(),
+            capacity,
+            peak: 0,
+            total_enqueued: 0,
+        }
     }
 
     /// The configured capacity.
@@ -148,7 +153,12 @@ impl<T> FlitQueue<T> {
     /// Panics if the capacity is zero.
     pub fn new(capacity_flits: u32) -> FlitQueue<T> {
         assert!(capacity_flits > 0, "queue capacity must be positive");
-        FlitQueue { items: VecDeque::new(), capacity_flits, occupancy: 0, peak: 0 }
+        FlitQueue {
+            items: VecDeque::new(),
+            capacity_flits,
+            occupancy: 0,
+            peak: 0,
+        }
     }
 
     /// The configured capacity in flits.

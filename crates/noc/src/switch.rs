@@ -151,7 +151,11 @@ impl<P> SwitchCore<P> {
             cfg.outputs,
             "one credit pool per output"
         );
-        assert_eq!(input_capacity_flits.len(), cfg.inputs, "one capacity per input");
+        assert_eq!(
+            input_capacity_flits.len(),
+            cfg.inputs,
+            "one capacity per input"
+        );
         assert!(
             input_capacity_flits.iter().all(|&c| c > 0),
             "input capacities must be positive"
@@ -163,8 +167,13 @@ impl<P> SwitchCore<P> {
             input_flits: vec![0; cfg.inputs],
             peak_input_flits: vec![0; cfg.inputs],
             output_free: vec![Time::ZERO; cfg.outputs],
-            output_credits: downstream_credit_flits.iter().map(|&c| Credits::new(c)).collect(),
-            arbs: (0..cfg.outputs).map(|_| RoundRobinArbiter::new(cfg.inputs)).collect(),
+            output_credits: downstream_credit_flits
+                .iter()
+                .map(|&c| Credits::new(c))
+                .collect(),
+            arbs: (0..cfg.outputs)
+                .map(|_| RoundRobinArbiter::new(cfg.inputs))
+                .collect(),
             forwarded: 0,
         }
     }
@@ -202,8 +211,7 @@ impl<P> SwitchCore<P> {
             return Err(SwitchFull(entry));
         }
         self.input_flits[input] += entry.flits;
-        self.peak_input_flits[input] =
-            self.peak_input_flits[input].max(self.input_flits[input]);
+        self.peak_input_flits[input] = self.peak_input_flits[input].max(self.input_flits[input]);
         self.inputs[input].push_back(entry);
         Ok(())
     }
@@ -318,7 +326,11 @@ mod tests {
     }
 
     fn entry(output: usize, flits: u32, id: u32) -> SwitchEntry<u32> {
-        SwitchEntry { output, flits, payload: id }
+        SwitchEntry {
+            output,
+            flits,
+            payload: id,
+        }
     }
 
     #[test]
@@ -400,7 +412,10 @@ mod tests {
         sw.try_enqueue(0, entry(0, 4, 0)).unwrap();
         sw.try_enqueue(0, entry(1, 1, 1)).unwrap();
         let out = sw.service(Time::ZERO);
-        assert!(out.is_empty(), "HOL: packet for output 1 blocked behind head");
+        assert!(
+            out.is_empty(),
+            "HOL: packet for output 1 blocked behind head"
+        );
     }
 
     #[test]

@@ -158,7 +158,11 @@ pub struct ResponsePacket {
 impl ResponsePacket {
     /// Builds the response matching `req`.
     pub fn for_request(req: &RequestPacket) -> ResponsePacket {
-        ResponsePacket { port: req.port, tag: req.tag, kind: req.kind }
+        ResponsePacket {
+            port: req.port,
+            tag: req.tag,
+            kind: req.kind,
+        }
     }
 
     /// Flits occupied on the response link.
@@ -224,15 +228,21 @@ mod tests {
     #[test]
     fn round_trip_bytes_match_paper_formula() {
         // A 128 B read moves 16 B of request and 144 B of response.
-        let rd128 = RequestKind::Read { size: PayloadSize::B128 };
+        let rd128 = RequestKind::Read {
+            size: PayloadSize::B128,
+        };
         assert_eq!(rd128.request_bytes(), 16);
         assert_eq!(rd128.response_bytes(), 144);
         assert_eq!(rd128.round_trip_bytes(), 160);
         // A 16 B read moves 16 B + 32 B = 48 B.
-        let rd16 = RequestKind::Read { size: PayloadSize::B16 };
+        let rd16 = RequestKind::Read {
+            size: PayloadSize::B16,
+        };
         assert_eq!(rd16.round_trip_bytes(), 48);
         // A 64 B write moves 80 B + 16 B = 96 B.
-        let wr64 = RequestKind::Write { size: PayloadSize::B64 };
+        let wr64 = RequestKind::Write {
+            size: PayloadSize::B64,
+        };
         assert_eq!(wr64.round_trip_bytes(), 96);
     }
 
@@ -250,7 +260,9 @@ mod tests {
             port: PortId(4),
             tag: Tag(17),
             addr: Address::new(0x1000),
-            kind: RequestKind::Read { size: PayloadSize::B32 },
+            kind: RequestKind::Read {
+                size: PayloadSize::B32,
+            },
         };
         let resp = ResponsePacket::for_request(&req);
         assert_eq!(resp.port, req.port);
@@ -267,8 +279,14 @@ mod tests {
 
     #[test]
     fn reads_identified_as_reads() {
-        assert!(RequestKind::Read { size: PayloadSize::B16 }.is_read());
-        assert!(!RequestKind::Write { size: PayloadSize::B16 }.is_read());
+        assert!(RequestKind::Read {
+            size: PayloadSize::B16
+        }
+        .is_read());
+        assert!(!RequestKind::Write {
+            size: PayloadSize::B16
+        }
+        .is_read());
         assert!(!RequestKind::ReadModifyWrite.is_read());
     }
 
@@ -278,9 +296,13 @@ mod tests {
             port: PortId(0),
             tag: Tag(1),
             addr: Address::new(0),
-            kind: RequestKind::Write { size: PayloadSize::B64 },
+            kind: RequestKind::Write {
+                size: PayloadSize::B64,
+            },
         };
         assert!(req.to_string().contains("WR64"));
-        assert!(ResponsePacket::for_request(&req).to_string().contains("resp"));
+        assert!(ResponsePacket::for_request(&req)
+            .to_string()
+            .contains("resp"));
     }
 }

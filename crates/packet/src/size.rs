@@ -68,8 +68,12 @@ impl PayloadSize {
     pub const MAX_BYTES: u32 = 128;
 
     /// The four sizes the paper sweeps in every experiment.
-    pub const PAPER_SWEEP: [PayloadSize; 4] =
-        [PayloadSize::B16, PayloadSize::B32, PayloadSize::B64, PayloadSize::B128];
+    pub const PAPER_SWEEP: [PayloadSize; 4] = [
+        PayloadSize::B16,
+        PayloadSize::B32,
+        PayloadSize::B64,
+        PayloadSize::B128,
+    ];
 
     /// Creates a payload size after validating it is a flit multiple in
     /// `16..=128`.
@@ -79,7 +83,7 @@ impl PayloadSize {
     /// Returns [`InvalidPayloadSize`] if `bytes` is zero, not a multiple of
     /// 16, or greater than 128.
     pub fn new(bytes: u32) -> Result<PayloadSize, InvalidPayloadSize> {
-        if bytes == 0 || bytes % FLIT_BYTES as u32 != 0 || bytes > Self::MAX_BYTES {
+        if bytes == 0 || !bytes.is_multiple_of(FLIT_BYTES as u32) || bytes > Self::MAX_BYTES {
             return Err(InvalidPayloadSize { bytes });
         }
         Ok(PayloadSize(bytes))

@@ -101,13 +101,12 @@ impl fmt::Display for BandwidthMeter {
 /// let n = hmc_stats::little_law_outstanding(10.0e9, 3.5e-6, 128);
 /// assert!((n - 273.4).abs() < 0.1);
 /// ```
-pub fn little_law_outstanding(
-    data_bytes_per_s: f64,
-    latency_s: f64,
-    request_bytes: u32,
-) -> f64 {
+pub fn little_law_outstanding(data_bytes_per_s: f64, latency_s: f64, request_bytes: u32) -> f64 {
     assert!(request_bytes > 0, "request size must be positive");
-    assert!(data_bytes_per_s >= 0.0 && latency_s >= 0.0, "rates must be non-negative");
+    assert!(
+        data_bytes_per_s >= 0.0 && latency_s >= 0.0,
+        "rates must be non-negative"
+    );
     data_bytes_per_s * latency_s / f64::from(request_bytes)
 }
 

@@ -39,7 +39,11 @@ impl Histogram {
     pub fn new(lo: f64, hi: f64, bins: usize) -> Histogram {
         assert!(bins > 0, "histogram needs at least one bin");
         assert!(lo.is_finite() && hi.is_finite() && lo < hi, "invalid range");
-        Histogram { lo, hi, counts: vec![0; bins] }
+        Histogram {
+            lo,
+            hi,
+            counts: vec![0; bins],
+        }
     }
 
     /// The inclusive lower bound of the range.
@@ -95,7 +99,10 @@ impl Histogram {
         if total == 0 {
             return vec![0.0; self.counts.len()];
         }
-        self.counts.iter().map(|&c| c as f64 / total as f64).collect()
+        self.counts
+            .iter()
+            .map(|&c| c as f64 / total as f64)
+            .collect()
     }
 
     /// Per-bin counts normalized by the largest bin (the paper's Figure 12
@@ -125,7 +132,10 @@ impl Histogram {
     /// Panics if `i` is out of range.
     pub fn bin_bounds(&self, i: usize) -> (f64, f64) {
         assert!(i < self.counts.len(), "bin index out of range");
-        (self.lo + i as f64 * self.bin_width(), self.lo + (i + 1) as f64 * self.bin_width())
+        (
+            self.lo + i as f64 * self.bin_width(),
+            self.lo + (i + 1) as f64 * self.bin_width(),
+        )
     }
 
     /// Merges another histogram with identical geometry.
@@ -145,7 +155,14 @@ impl Histogram {
 
 impl fmt::Display for Histogram {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "hist[{:.1}..{:.1})x{} n={}", self.lo, self.hi, self.bins(), self.count())
+        write!(
+            f,
+            "hist[{:.1}..{:.1})x{} n={}",
+            self.lo,
+            self.hi,
+            self.bins(),
+            self.count()
+        )
     }
 }
 
@@ -196,7 +213,11 @@ impl SharedRange {
     /// Returns `None` if no samples were observed.
     pub fn histogram(&self, bins: usize) -> Option<Histogram> {
         let (lo, hi) = self.bounds()?;
-        let hi = if hi > lo { hi + (hi - lo) * 1e-9 } else { lo + 1.0 };
+        let hi = if hi > lo {
+            hi + (hi - lo) * 1e-9
+        } else {
+            lo + 1.0
+        };
         Some(Histogram::new(lo, hi, bins))
     }
 }

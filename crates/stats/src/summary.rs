@@ -30,7 +30,13 @@ pub struct Summary {
 impl Summary {
     /// An empty summary.
     pub fn new() -> Summary {
-        Summary { count: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+        Summary {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
     }
 
     /// Builds a summary over an iterator of samples.

@@ -31,7 +31,10 @@ impl Table {
         I: IntoIterator<Item = S>,
         S: Into<String>,
     {
-        Table { headers: headers.into_iter().map(Into::into).collect(), rows: Vec::new() }
+        Table {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Appends one row.
@@ -45,7 +48,11 @@ impl Table {
         S: Into<String>,
     {
         let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
-        assert_eq!(cells.len(), self.headers.len(), "row width must match header");
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width must match header"
+        );
         self.rows.push(cells);
         self
     }
@@ -95,6 +102,37 @@ impl Table {
         out
     }
 
+    /// The column headers.
+    pub fn headers(&self) -> &[String] {
+        &self.headers
+    }
+
+    /// The data rows.
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+
+    /// Renders the table as a JSON object
+    /// (`{"headers": [...], "rows": [[...], ...]}`), for machine-readable
+    /// experiment dumps. Serde is deliberately not used: the workspace
+    /// builds offline, so serialization is hand-rolled here with full
+    /// string escaping ([`json_escape`]).
+    pub fn to_json(&self) -> String {
+        let arr = |cells: &[String]| -> String {
+            let quoted: Vec<String> = cells
+                .iter()
+                .map(|c| format!("\"{}\"", json_escape(c)))
+                .collect();
+            format!("[{}]", quoted.join(","))
+        };
+        let rows: Vec<String> = self.rows.iter().map(|r| arr(r)).collect();
+        format!(
+            "{{\"headers\":{},\"rows\":[{}]}}",
+            arr(&self.headers),
+            rows.join(",")
+        )
+    }
+
     /// Renders RFC-4180-ish CSV (quotes cells containing commas, quotes or
     /// newlines).
     pub fn to_csv(&self) -> String {
@@ -117,6 +155,25 @@ impl Table {
         }
         out
     }
+}
+
+/// Escapes a string for inclusion inside a JSON string literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 impl fmt::Display for Table {
@@ -173,5 +230,30 @@ mod tests {
         let mut t = Table::new(["h"]);
         t.row(["v"]);
         assert_eq!(t.to_string(), t.to_ascii());
+    }
+
+    #[test]
+    fn json_round_trips_structure_and_escapes() {
+        let mut t = Table::new(["name", "value"]);
+        t.row(["say \"hi\"", "1"]);
+        t.row(["line\nbreak", "2"]);
+        let json = t.to_json();
+        assert_eq!(
+            json,
+            "{\"headers\":[\"name\",\"value\"],\"rows\":[[\"say \\\"hi\\\"\",\"1\"],[\"line\\nbreak\",\"2\"]]}"
+        );
+    }
+
+    #[test]
+    fn json_escape_covers_control_chars() {
+        assert_eq!(json_escape("a\\b\t\u{1}"), "a\\\\b\\t\\u0001");
+    }
+
+    #[test]
+    fn accessors_expose_contents() {
+        let mut t = Table::new(["a"]);
+        t.row(["x"]);
+        assert_eq!(t.headers(), ["a".to_owned()]);
+        assert_eq!(t.rows(), [vec!["x".to_owned()]]);
     }
 }

@@ -64,7 +64,10 @@ pub fn random_reads_in_banks(
     seed: u64,
 ) -> Trace {
     let g = map.geometry();
-    assert!(banks >= 1 && banks <= g.banks_per_vault, "bank count out of range");
+    assert!(
+        banks >= 1 && banks <= g.banks_per_vault,
+        "bank count out of range"
+    );
     let mut rng = SmallRng::seed_from_u64(seed);
     let rows = map.rows_per_bank();
     let block = map.block_size().bytes();
@@ -106,7 +109,11 @@ pub fn linear_reads(base: Address, size: PayloadSize, count: usize) -> Trace {
 /// ```
 pub fn vault_combinations(n: u8, k: u8) -> VaultCombinations {
     assert!(k <= n, "cannot choose {k} from {n}");
-    VaultCombinations { n, state: (0..k).map(VaultId).collect(), done: k == 0 }
+    VaultCombinations {
+        n,
+        state: (0..k).map(VaultId).collect(),
+        done: k == 0,
+    }
 }
 
 /// Iterator returned by [`vault_combinations`].
@@ -247,7 +254,10 @@ mod tests {
         let m = map();
         let t = random_reads_in_vaults(&m, &[VaultId(0)], PayloadSize::B16, 1000, 7);
         let banks: BTreeSet<u8> = t.ops().iter().map(|op| m.decode(op.addr).bank.0).collect();
-        assert!(banks.len() >= 12, "uniform draw should hit most banks, got {banks:?}");
+        assert!(
+            banks.len() >= 12,
+            "uniform draw should hit most banks, got {banks:?}"
+        );
         let _ = BankId(0);
     }
 }

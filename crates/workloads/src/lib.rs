@@ -29,7 +29,7 @@ mod generate;
 mod trace;
 
 pub use generate::{
-    binomial, linear_reads, random_reads_in_banks, random_reads_in_vaults,
-    vault_combinations, VaultCombinations,
+    binomial, linear_reads, random_reads_in_banks, random_reads_in_vaults, vault_combinations,
+    VaultCombinations,
 };
 pub use trace::{ParseTraceError, Trace, TraceOp};

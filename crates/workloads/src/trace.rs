@@ -31,12 +31,18 @@ pub struct TraceOp {
 impl TraceOp {
     /// A read of `size` bytes at `addr`.
     pub fn read(addr: Address, size: PayloadSize) -> TraceOp {
-        TraceOp { addr, kind: RequestKind::Read { size } }
+        TraceOp {
+            addr,
+            kind: RequestKind::Read { size },
+        }
     }
 
     /// A write of `size` bytes at `addr`.
     pub fn write(addr: Address, size: PayloadSize) -> TraceOp {
-        TraceOp { addr, kind: RequestKind::Write { size } }
+        TraceOp {
+            addr,
+            kind: RequestKind::Write { size },
+        }
     }
 }
 
@@ -80,20 +86,30 @@ impl FromStr for TraceOp {
     /// Parses `"<R|W|A> <addr> <size>"`, address in decimal or `0x` hex.
     fn from_str(s: &str) -> Result<TraceOp, ParseTraceError> {
         let mut parts = s.split_whitespace();
-        let op = parts.next().ok_or_else(|| ParseTraceError::new("empty line"))?;
-        let addr_s = parts.next().ok_or_else(|| ParseTraceError::new("missing address"))?;
-        let size_s = parts.next().ok_or_else(|| ParseTraceError::new("missing size"))?;
+        let op = parts
+            .next()
+            .ok_or_else(|| ParseTraceError::new("empty line"))?;
+        let addr_s = parts
+            .next()
+            .ok_or_else(|| ParseTraceError::new("missing address"))?;
+        let size_s = parts
+            .next()
+            .ok_or_else(|| ParseTraceError::new("missing size"))?;
         if parts.next().is_some() {
             return Err(ParseTraceError::new("trailing tokens"));
         }
-        let raw = if let Some(hex) = addr_s.strip_prefix("0x").or_else(|| addr_s.strip_prefix("0X")) {
+        let raw = if let Some(hex) = addr_s
+            .strip_prefix("0x")
+            .or_else(|| addr_s.strip_prefix("0X"))
+        {
             u64::from_str_radix(hex, 16)
         } else {
             addr_s.parse()
         }
         .map_err(|e| ParseTraceError::new(format!("bad address {addr_s:?}: {e}")))?;
-        let bytes: u32 =
-            size_s.parse().map_err(|e| ParseTraceError::new(format!("bad size: {e}")))?;
+        let bytes: u32 = size_s
+            .parse()
+            .map_err(|e| ParseTraceError::new(format!("bad size: {e}")))?;
         let size = PayloadSize::new(bytes).map_err(|e| ParseTraceError::new(e.to_string()))?;
         let addr = Address::new(raw);
         match op {
@@ -103,7 +119,10 @@ impl FromStr for TraceOp {
                 if bytes != 16 {
                     return Err(ParseTraceError::new("atomics are 16 B"));
                 }
-                Ok(TraceOp { addr, kind: RequestKind::ReadModifyWrite })
+                Ok(TraceOp {
+                    addr,
+                    kind: RequestKind::ReadModifyWrite,
+                })
             }
             other => Err(ParseTraceError::new(format!("unknown op {other:?}"))),
         }
@@ -152,9 +171,9 @@ impl Trace {
             if line.is_empty() || line.starts_with('#') {
                 continue;
             }
-            let op: TraceOp = line
-                .parse()
-                .map_err(|e: ParseTraceError| ParseTraceError::new(format!("line {}: {e}", i + 1)))?;
+            let op: TraceOp = line.parse().map_err(|e: ParseTraceError| {
+                ParseTraceError::new(format!("line {}: {e}", i + 1))
+            })?;
             ops.push(op);
         }
         Ok(Trace { ops })
@@ -193,7 +212,9 @@ impl Trace {
 
 impl FromIterator<TraceOp> for Trace {
     fn from_iter<I: IntoIterator<Item = TraceOp>>(iter: I) -> Trace {
-        Trace { ops: iter.into_iter().collect() }
+        Trace {
+            ops: iter.into_iter().collect(),
+        }
     }
 }
 

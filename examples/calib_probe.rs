@@ -5,7 +5,10 @@ fn run_seed(seed: u64, measure_us: u64) {
     let cfg = SystemConfig::ac510(seed);
     let map = cfg.device.map;
     let filter = AccessPattern::Vaults { count: 16 }.filter(&map);
-    let op = GupsOp::Mix { size: PayloadSize::B128, write_percent: 50 };
+    let op = GupsOp::Mix {
+        size: PayloadSize::B128,
+        write_percent: 50,
+    };
     let ports = vec![PortSpec::gups(filter, op); 9];
     let mut sim = SystemSim::new(cfg, ports);
     let report = sim.run_gups(Delay::from_us(30), Delay::from_us(measure_us));

@@ -16,15 +16,17 @@ use hmc_sim::workloads::random_reads_in_vaults;
 fn main() {
     let seed = 11;
     println!("random 64 B reads at increasing parallelism:\n");
-    println!("{:>12} {:>22} {:>22}", "in flight", "DDR4-2400 (ns)", "HMC stack (ns)");
+    println!(
+        "{:>12} {:>22} {:>22}",
+        "in flight", "DDR4-2400 (ns)", "HMC stack (ns)"
+    );
     let map = AddressMap::hmc_gen2_default();
     let all_vaults: Vec<VaultId> = (0..16).map(VaultId).collect();
     for mlp in [1usize, 4, 16, 64] {
         let ddr = DdrChannel::ddr4_2400().run_closed_loop(mlp, 5_000, 64, seed);
         // HMC: one stream port whose tag pool bounds in-flight requests.
         let cfg = SystemConfig::ac510(seed);
-        let trace =
-            random_reads_in_vaults(&map, &all_vaults, PayloadSize::B64, 2_000, seed);
+        let trace = random_reads_in_vaults(&map, &all_vaults, PayloadSize::B64, 2_000, seed);
         let spec = PortSpec::stream(trace).with_tags(mlp as u16);
         let hmc = SystemSim::new(cfg, vec![spec]).run_streams();
         println!(
@@ -40,10 +42,12 @@ fn main() {
     let cfg = SystemConfig::ac510(seed);
     let filter = AccessPattern::Vaults { count: 16 }.filter(&map);
     let ports = vec![PortSpec::gups(filter, GupsOp::Read(PayloadSize::B128)); 9];
-    let hmc_peak =
-        SystemSim::new(cfg, ports).run_gups(Delay::from_us(50), Delay::from_us(200));
+    let hmc_peak = SystemSim::new(cfg, ports).run_gups(Delay::from_us(50), Delay::from_us(200));
     println!("peak random-read throughput:");
-    println!("  DDR4-2400 channel : {:5.1} GB/s of data", ddr_peak.data_gb_per_s);
+    println!(
+        "  DDR4-2400 channel : {:5.1} GB/s of data",
+        ddr_peak.data_gb_per_s
+    );
     println!(
         "  HMC (two links)   : {:5.1} GB/s of data ({:5.1} GB/s counted with packet overheads)",
         hmc_peak.total_bandwidth_gbs() * 128.0 / 160.0,

@@ -29,8 +29,7 @@ fn main() {
             println!();
         }
     }
-    let vaults: std::collections::BTreeSet<u8> =
-        footprint.iter().map(|l| l.vault.0).collect();
+    let vaults: std::collections::BTreeSet<u8> = footprint.iter().map(|l| l.vault.0).collect();
     let banks: std::collections::BTreeSet<u8> = footprint.iter().map(|l| l.bank.0).collect();
     println!("  → {} vaults, {} banks\n", vaults.len(), banks.len());
 

@@ -20,15 +20,17 @@ fn main() {
     let map = cfg.device.map;
     let trace = random_reads_in_banks(&map, VaultId(0), 16, PayloadSize::B32, 1, seed);
     let report = SystemSim::new(cfg, vec![PortSpec::stream(trace)]).run_streams();
-    println!("no-load round trip    : {:8.1} ns", report.mean_latency_ns());
+    println!(
+        "no-load round trip    : {:8.1} ns",
+        report.mean_latency_ns()
+    );
 
     // 2. Nine GUPS ports hammering a single vault (bank-level parallelism
     //    only): the vault's ~10 GB/s internal bandwidth is the ceiling.
     let cfg = SystemConfig::ac510(seed);
     let filter = AccessPattern::Vaults { count: 1 }.filter(&map);
     let ports = vec![PortSpec::gups(filter, GupsOp::Read(PayloadSize::B128)); 9];
-    let report =
-        SystemSim::new(cfg, ports).run_gups(Delay::from_us(50), Delay::from_us(200));
+    let report = SystemSim::new(cfg, ports).run_gups(Delay::from_us(50), Delay::from_us(200));
     println!(
         "1 vault, 128B reads   : {:8.2} GB/s at {:7.2} us mean latency",
         report.total_bandwidth_gbs(),
@@ -40,8 +42,7 @@ fn main() {
     let cfg = SystemConfig::ac510(seed);
     let filter = AccessPattern::Vaults { count: 16 }.filter(&map);
     let ports = vec![PortSpec::gups(filter, GupsOp::Read(PayloadSize::B128)); 9];
-    let report =
-        SystemSim::new(cfg, ports).run_gups(Delay::from_us(50), Delay::from_us(200));
+    let report = SystemSim::new(cfg, ports).run_gups(Delay::from_us(50), Delay::from_us(200));
     println!(
         "16 vaults, 128B reads : {:8.2} GB/s at {:7.2} us mean latency",
         report.total_bandwidth_gbs(),

@@ -37,7 +37,13 @@ fn stream_runs_conserve_requests() {
     let all: Vec<VaultId> = (0..16).map(VaultId).collect();
     let specs: Vec<PortSpec> = (0..4u64)
         .map(|p| {
-            PortSpec::stream(random_reads_in_vaults(&map, &all, PayloadSize::B32, 300, 5 + p))
+            PortSpec::stream(random_reads_in_vaults(
+                &map,
+                &all,
+                PayloadSize::B32,
+                300,
+                5 + p,
+            ))
         })
         .collect();
     let report = SystemSim::new(cfg, specs).run_streams();
@@ -49,13 +55,21 @@ fn stream_runs_conserve_requests() {
     assert_eq!(report.device.requests_received, 1_200);
     assert_eq!(report.device.responses_sent, 1_200);
     let serviced: u64 = report.device.per_vault_serviced.iter().sum();
-    assert_eq!(serviced, 1_200, "every request serviced by exactly one vault");
+    assert_eq!(
+        serviced, 1_200,
+        "every request serviced by exactly one vault"
+    );
 }
 
 #[test]
 fn gups_runs_are_deterministic_in_seed() {
     let summary = |seed: u64| {
-        let r = gups(seed, AccessPattern::Vaults { count: 8 }, PayloadSize::B64, 5);
+        let r = gups(
+            seed,
+            AccessPattern::Vaults { count: 8 },
+            PayloadSize::B64,
+            5,
+        );
         (
             r.total_accesses(),
             r.aggregate_latency().total_ps(),
@@ -69,7 +83,15 @@ fn gups_runs_are_deterministic_in_seed() {
 
 #[test]
 fn bandwidth_ceilings_are_ordered_like_figure_6() {
-    let b1 = gups(7, AccessPattern::Banks { vault: VaultId(0), count: 1 }, PayloadSize::B128, 9);
+    let b1 = gups(
+        7,
+        AccessPattern::Banks {
+            vault: VaultId(0),
+            count: 1,
+        },
+        PayloadSize::B128,
+        9,
+    );
     let v1 = gups(7, AccessPattern::Vaults { count: 1 }, PayloadSize::B128, 9);
     let v16 = gups(7, AccessPattern::Vaults { count: 16 }, PayloadSize::B128, 9);
     // Strictly increasing bandwidth with distribution.
@@ -110,7 +132,10 @@ fn monitors_only_record_the_measurement_window() {
     // Total traffic includes warmup and drain, so issued > recorded.
     let recorded = report.total_accesses();
     let issued: u64 = report.ports.iter().map(|p| p.issued).sum();
-    assert!(issued > recorded, "warmup traffic must exist ({issued} vs {recorded})");
+    assert!(
+        issued > recorded,
+        "warmup traffic must exist ({issued} vs {recorded})"
+    );
     // The window is the configured 40 µs.
     assert_eq!(report.elapsed, Delay::from_us(40));
 }
@@ -121,7 +146,10 @@ fn little_law_estimate_is_self_consistent() {
     let n = report.estimated_outstanding();
     // Outstanding can never exceed the aggregate tag pool.
     assert!(n > 1.0, "saturating run keeps requests in flight");
-    assert!(n < f64::from(GUPS_TAGS) * 9.0 * 1.02, "outstanding {n} above tag pool");
+    assert!(
+        n < f64::from(GUPS_TAGS) * 9.0 * 1.02,
+        "outstanding {n} above tag pool"
+    );
 }
 
 #[test]
@@ -132,8 +160,7 @@ fn stream_and_gups_agree_at_low_load() {
     let map = cfg.device.map;
     let filter = AccessPattern::Vaults { count: 16 }.filter(&map);
     let specs = vec![PortSpec::gups(filter, GupsOp::Read(PayloadSize::B32)).with_tags(1)];
-    let gups_report =
-        SystemSim::new(cfg, specs).run_gups(Delay::from_us(5), Delay::from_us(20));
+    let gups_report = SystemSim::new(cfg, specs).run_gups(Delay::from_us(5), Delay::from_us(20));
     let cfg = SystemConfig::ac510(17);
     let trace = random_reads_in_vaults(
         &map,
@@ -156,11 +183,12 @@ fn stream_and_gups_agree_at_low_load() {
 fn writes_round_trip_through_the_full_stack() {
     let cfg = SystemConfig::ac510(19);
     let filter = AccessPattern::Vaults { count: 16 }.filter(&cfg.device.map);
-    let specs =
-        vec![PortSpec::gups(filter, GupsOp::Write(PayloadSize::B128)); 4];
-    let report =
-        SystemSim::new(cfg, specs).run_gups(Delay::from_us(10), Delay::from_us(40));
+    let specs = vec![PortSpec::gups(filter, GupsOp::Write(PayloadSize::B128)); 4];
+    let report = SystemSim::new(cfg, specs).run_gups(Delay::from_us(10), Delay::from_us(40));
     assert!(report.total_writes() > 0, "writes recorded");
     assert_eq!(report.total_reads(), 0, "write-only run");
-    assert!(report.total_bandwidth_gbs() > 5.0, "writes move real bandwidth");
+    assert!(
+        report.total_bandwidth_gbs() > 5.0,
+        "writes move real bandwidth"
+    );
 }
