@@ -3,7 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 
-use hmc_sim::des::{Component, Ctx, Delay, Engine, Time};
+use hmc_sim::des::{AutoWake, Component, Ctx, Delay, Engine, Time, WakeToken};
 use hmc_sim::dram::{DramTiming, VaultMemory};
 use hmc_sim::link::{LinkConfig, LinkTx};
 use hmc_sim::mapping::AddressMap;
@@ -33,6 +33,118 @@ fn bench_engine(c: &mut Criterion) {
                 e.schedule(Time::ZERO, id, ());
                 e
             },
+            |mut e| e.run_to_quiescence(),
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+/// Cycles simulated by the idle-skip comparison benches.
+const TICK_CYCLES: u64 = 100_000;
+/// One "injection" (unit of real work) every 100 cycles — a 1% rate, the
+/// low-load regime where fig6-class sweeps spend most of their time.
+const TICK_INJECT_EVERY: u64 = 100;
+const TICK_PERIOD: Delay = Delay::from_ns(5);
+
+/// The pre-refactor host pattern: one self-message per FPGA cycle, with
+/// real work on 1% of them.
+struct PerCycleTicker {
+    cycle: u64,
+    work: u64,
+}
+
+impl Component<()> for PerCycleTicker {
+    fn on_message(&mut self, _msg: (), ctx: &mut Ctx<'_, ()>) {
+        if self.cycle.is_multiple_of(TICK_INJECT_EVERY) {
+            self.work += 1;
+        }
+        self.cycle += 1;
+        if self.cycle < TICK_CYCLES {
+            ctx.send_self(TICK_PERIOD, ());
+        }
+    }
+}
+
+/// The event-driven pattern: a timer armed straight at the next busy
+/// cycle; the 99 idle cycles in between cost no engine events at all.
+struct IdleSkipTicker {
+    cycle: u64,
+    work: u64,
+    wake: AutoWake,
+}
+
+impl IdleSkipTicker {
+    fn work_and_rearm(&mut self, ctx: &mut Ctx<'_, ()>) {
+        self.work += 1;
+        self.cycle += TICK_INJECT_EVERY;
+        if self.cycle < TICK_CYCLES {
+            let at = Time::ZERO + TICK_PERIOD * self.cycle;
+            self.wake.set(ctx, Some(at));
+        }
+    }
+}
+
+impl Component<()> for IdleSkipTicker {
+    fn on_message(&mut self, _msg: (), ctx: &mut Ctx<'_, ()>) {
+        self.work_and_rearm(ctx);
+    }
+    fn on_wake(&mut self, token: WakeToken, ctx: &mut Ctx<'_, ()>) {
+        if self.wake.fired(token) {
+            self.work_and_rearm(ctx);
+        }
+    }
+}
+
+fn per_cycle_engine() -> Engine<()> {
+    let mut e: Engine<()> = Engine::new();
+    let id = e.add_component(Box::new(PerCycleTicker { cycle: 0, work: 0 }));
+    e.schedule(Time::ZERO, id, ());
+    e
+}
+
+fn idle_skip_engine() -> Engine<()> {
+    let mut e: Engine<()> = Engine::new();
+    let id = e.add_component(Box::new(IdleSkipTicker {
+        cycle: 0,
+        work: 0,
+        wake: AutoWake::new(),
+    }));
+    e.schedule(Time::ZERO, id, ());
+    e
+}
+
+/// Per-cycle ticking vs event-driven wakeups at a 1% injection rate: the
+/// kernel-level version of the host idle-skip refactor. Both variants
+/// perform identical simulated work (1000 injections over 100k cycles);
+/// only the event count differs. The dispatched-message counts print once
+/// so bench logs record the reduction alongside the timings.
+fn bench_idle_skip(c: &mut Criterion) {
+    let mut per_cycle = per_cycle_engine();
+    per_cycle.run_to_quiescence();
+    let mut idle_skip = idle_skip_engine();
+    idle_skip.run_to_quiescence();
+    let (p, i) = (per_cycle.stats(), idle_skip.stats());
+    eprintln!(
+        "idle-skip @1% injection over {TICK_CYCLES} cycles: per-cycle ticking dispatched \
+         {} events, event-driven wakeups dispatched {} ({:.0}x fewer)",
+        p.dispatched,
+        i.dispatched,
+        p.dispatched as f64 / i.dispatched as f64
+    );
+    assert!(
+        i.dispatched * 50 < p.dispatched,
+        "event-driven variant must dispatch ~100x fewer events"
+    );
+    c.bench_function("ticker_per_cycle_1pct_load", |b| {
+        b.iter_batched(
+            per_cycle_engine,
+            |mut e| e.run_to_quiescence(),
+            BatchSize::SmallInput,
+        );
+    });
+    c.bench_function("ticker_event_driven_1pct_load", |b| {
+        b.iter_batched(
+            idle_skip_engine,
             |mut e| e.run_to_quiescence(),
             BatchSize::SmallInput,
         );
@@ -136,6 +248,6 @@ fn config() -> Criterion {
 criterion_group! {
     name = kernel;
     config = config();
-    targets = bench_engine, bench_switch, bench_vault_memory, bench_link, bench_mapping
+    targets = bench_engine, bench_idle_skip, bench_switch, bench_vault_memory, bench_link, bench_mapping
 }
 criterion_main!(kernel);

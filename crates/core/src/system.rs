@@ -164,6 +164,14 @@ impl SystemSim {
         self.inner.run_streams()
     }
 
+    /// Event-engine counters for this system (see
+    /// [`FabricSim::engine_stats`]): with the event-driven core,
+    /// `dispatched` scales with actual traffic instead of with simulated
+    /// FPGA cycles.
+    pub fn engine_stats(&self) -> hmc_des::EngineStats {
+        self.inner.engine_stats()
+    }
+
     /// Peak-occupancy census of the device's internal buffers after a
     /// run; a calibration/debugging aid.
     #[doc(hidden)]

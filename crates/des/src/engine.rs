@@ -1,10 +1,12 @@
-//! The event engine: a deterministic, single-threaded discrete-event loop.
+//! The event engine: a deterministic, single-threaded discrete-event loop
+//! over a two-level scheduler (near-horizon timer wheel + far heap), with
+//! first-class cancellable component timers.
 
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::HashSet;
 use std::fmt;
 
 use crate::time::{Delay, Time};
+use crate::wheel::{Entry, EventQueue};
 
 /// Identifies a component registered with an [`Engine`].
 ///
@@ -27,16 +29,35 @@ impl fmt::Display for ComponentId {
     }
 }
 
+/// Identifies one armed timer wakeup, returned by [`Ctx::wake_at`].
+///
+/// A token is valid for exactly one fire: it can be cancelled with
+/// [`Ctx::cancel_wake`] any time before its deadline is dispatched, and a
+/// component re-arms by requesting a fresh token. Tokens are unique for the
+/// lifetime of an engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct WakeToken(u64);
+
 /// A simulated hardware block that reacts to timestamped messages.
 ///
 /// Handlers receive a [`Ctx`] through which they may schedule further
 /// messages (to themselves or to other components) at the current time or
-/// later. Handlers must not block and must not assume any ordering between
-/// messages carrying the same timestamp other than the engine's FIFO
-/// guarantee (messages scheduled earlier are delivered earlier).
+/// later, and arm or cancel timer wakeups ([`Ctx::wake_at`] /
+/// [`Ctx::cancel_wake`]). Handlers must not block and must not assume any
+/// ordering between messages carrying the same timestamp other than the
+/// engine's FIFO guarantee (messages scheduled earlier are delivered
+/// earlier).
 pub trait Component<M>: AsAnyComponent {
     /// Reacts to `msg`, delivered at time `ctx.now()`.
     fn on_message(&mut self, msg: M, ctx: &mut Ctx<'_, M>);
+
+    /// Reacts to a timer wakeup armed earlier via [`Ctx::wake_at`].
+    ///
+    /// The default implementation ignores the wakeup; components that arm
+    /// timers override it (usually via [`crate::AutoWake`]).
+    fn on_wake(&mut self, token: WakeToken, ctx: &mut Ctx<'_, M>) {
+        let _ = (token, ctx);
+    }
 
     /// A short human-readable name used in panics and debug output.
     fn name(&self) -> &str {
@@ -44,31 +65,20 @@ pub trait Component<M>: AsAnyComponent {
     }
 }
 
-/// One scheduled message. Ordered by `(time, seq)` so the queue pops in
+/// What a scheduled event delivers.
+enum EventKind<M> {
+    /// An ordinary message for [`Component::on_message`].
+    Msg(M),
+    /// A timer fire for [`Component::on_wake`].
+    Wake(WakeToken),
+}
+
+/// One scheduled event: the queue orders by `(time, seq)` so delivery is in
 /// timestamp order with FIFO tie-breaking — the source of the engine's
 /// determinism.
 struct Scheduled<M> {
-    time: Time,
-    seq: u64,
     target: ComponentId,
-    msg: M,
-}
-
-impl<M> PartialEq for Scheduled<M> {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
-    }
-}
-impl<M> Eq for Scheduled<M> {}
-impl<M> PartialOrd for Scheduled<M> {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<M> Ord for Scheduled<M> {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.time, self.seq).cmp(&(other.time, other.seq))
-    }
+    kind: EventKind<M>,
 }
 
 /// The part of the engine visible to a handler while it runs: the clock and
@@ -77,25 +87,51 @@ impl<M> Ord for Scheduled<M> {
 struct EngineCore<M> {
     time: Time,
     seq: u64,
-    queue: BinaryHeap<Reverse<Scheduled<M>>>,
+    queue: EventQueue<Scheduled<M>>,
     dispatched: u64,
+    next_token: u64,
+    /// Tokens armed and not yet fired or cancelled.
+    live_wakes: HashSet<u64>,
+    /// Tokens cancelled while still queued; their queue entries are
+    /// skipped (without advancing the clock) when they surface.
+    cancelled_wakes: HashSet<u64>,
+    wake_fires: u64,
+    wake_cancels: u64,
 }
 
 impl<M> EngineCore<M> {
-    fn push(&mut self, time: Time, target: ComponentId, msg: M) {
+    fn push(&mut self, time: Time, target: ComponentId, kind: EventKind<M>) {
         debug_assert!(time >= self.time, "cannot schedule into the past");
         let seq = self.seq;
         self.seq += 1;
-        self.queue.push(Reverse(Scheduled {
+        self.queue.push(Entry {
             time,
             seq,
-            target,
-            msg,
-        }));
+            item: Scheduled { target, kind },
+        });
+    }
+
+    fn arm_wake(&mut self, at: Time, target: ComponentId) -> WakeToken {
+        let token = WakeToken(self.next_token);
+        self.next_token += 1;
+        self.live_wakes.insert(token.0);
+        self.push(at, target, EventKind::Wake(token));
+        token
+    }
+
+    fn cancel_wake(&mut self, token: WakeToken) -> bool {
+        if self.live_wakes.remove(&token.0) {
+            self.cancelled_wakes.insert(token.0);
+            self.wake_cancels += 1;
+            true
+        } else {
+            false
+        }
     }
 }
 
-/// Handler-side view of the engine: read the clock, schedule messages.
+/// Handler-side view of the engine: read the clock, schedule messages, arm
+/// timers.
 pub struct Ctx<'a, M> {
     core: &'a mut EngineCore<M>,
     self_id: ComponentId,
@@ -121,7 +157,7 @@ impl<'a, M> Ctx<'a, M> {
     #[inline]
     pub fn send(&mut self, delay: Delay, to: ComponentId, msg: M) {
         let at = self.core.time + delay;
-        self.core.push(at, to, msg);
+        self.core.push(at, to, EventKind::Msg(msg));
     }
 
     /// Schedules `msg` for delivery to the current component after `delay`.
@@ -138,21 +174,67 @@ impl<'a, M> Ctx<'a, M> {
     /// Panics in debug builds if `at` is in the past.
     #[inline]
     pub fn send_at(&mut self, at: Time, to: ComponentId, msg: M) {
-        self.core.push(at, to, msg);
+        self.core.push(at, to, EventKind::Msg(msg));
+    }
+
+    /// Arms a timer: the current component's [`Component::on_wake`] runs at
+    /// the absolute instant `at` with the returned token, unless the token
+    /// is cancelled first.
+    ///
+    /// Within one timestamp, wakeups obey the same FIFO rule as messages.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `at` is in the past.
+    #[inline]
+    pub fn wake_at(&mut self, at: Time) -> WakeToken {
+        let id = self.self_id;
+        self.core.arm_wake(at, id)
+    }
+
+    /// Arms a timer `delay` from now; see [`Ctx::wake_at`].
+    #[inline]
+    pub fn wake_after(&mut self, delay: Delay) -> WakeToken {
+        let at = self.core.time + delay;
+        let id = self.self_id;
+        self.core.arm_wake(at, id)
+    }
+
+    /// Cancels an armed timer. Returns `true` if the token was live (its
+    /// wakeup will not be delivered); `false` if it already fired or was
+    /// already cancelled. Cancellation is O(1): the queue entry is skipped
+    /// — without dispatching or advancing the clock — when it surfaces.
+    #[inline]
+    pub fn cancel_wake(&mut self, token: WakeToken) -> bool {
+        self.core.cancel_wake(token)
     }
 }
 
 /// Counters describing an engine run; useful for benchmarking the kernel and
-/// asserting that experiments did real work.
+/// asserting that experiments did real work (or, for the event-driven host
+/// refactor, that they *avoided* work: idle-skip wakeups cut `dispatched`
+/// by an order of magnitude on low-load sweeps).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct EngineStats {
-    /// Total messages dispatched to components.
+    /// Total events dispatched to components (messages plus timer fires;
+    /// cancelled timers are not dispatched and not counted).
     pub dispatched: u64,
-    /// Messages still queued (e.g. after `run_until` stopped at a horizon).
+    /// Events still queued (e.g. after `run_until` stopped at a horizon),
+    /// excluding cancelled-but-unreaped timers.
     pub pending: usize,
+    /// Timer wakeups delivered to [`Component::on_wake`].
+    pub wake_fires: u64,
+    /// Timer wakeups cancelled before firing.
+    pub wake_cancels: u64,
 }
 
 /// A deterministic discrete-event engine over message type `M`.
+///
+/// Events live in a two-level scheduler: a bucketed timer wheel absorbs the
+/// dense near-horizon traffic in O(1) per event, and a binary heap holds
+/// the sparse far tail (see [`crate::wheel`]-level docs in the source).
+/// Delivery order is exactly `(timestamp, insertion order)`, identical to a
+/// single global heap.
 ///
 /// # Examples
 ///
@@ -197,8 +279,13 @@ impl<M> Engine<M> {
             core: EngineCore {
                 time: Time::ZERO,
                 seq: 0,
-                queue: BinaryHeap::new(),
+                queue: EventQueue::new(),
                 dispatched: 0,
+                next_token: 0,
+                live_wakes: HashSet::new(),
+                cancelled_wakes: HashSet::new(),
+                wake_fires: 0,
+                wake_cancels: 0,
             },
             components: Vec::new(),
             names: Vec::new(),
@@ -230,43 +317,75 @@ impl<M> Engine<M> {
     ///
     /// Panics in debug builds if `at` is before the current time.
     pub fn schedule(&mut self, at: Time, to: ComponentId, msg: M) {
-        self.core.push(at, to, msg);
+        self.core.push(at, to, EventKind::Msg(msg));
     }
 
     /// Schedules `msg` for delivery to `to` after `delay` from now.
     pub fn schedule_after(&mut self, delay: Delay, to: ComponentId, msg: M) {
         let at = self.core.time + delay;
-        self.core.push(at, to, msg);
+        self.core.push(at, to, EventKind::Msg(msg));
     }
 
-    /// Runs until the queue is empty. Returns the number of messages
-    /// dispatched by this call.
+    /// Runs until the queue is empty. Returns the number of events
+    /// dispatched by this call. The clock is left at the last dispatched
+    /// event's timestamp (see [`Engine::run_until`]).
     pub fn run_to_quiescence(&mut self) -> u64 {
         self.run_until(Time::MAX)
     }
 
-    /// Runs until the queue is empty or the next message is strictly after
-    /// `horizon`; the clock never advances past `horizon`. Returns the number
-    /// of messages dispatched by this call.
+    /// Runs until the queue is empty or the next event is strictly after
+    /// `horizon`. Returns the number of events dispatched by this call.
+    ///
+    /// # Clock semantics
+    ///
+    /// For a finite `horizon` the clock always ends exactly at `horizon`
+    /// (even if the queue drained earlier), so repeated `run_until` calls
+    /// advance the clock in lockstep with the caller's horizon. As the
+    /// single documented exception, `run_until(Time::MAX)` — the
+    /// quiescence form — leaves the clock at the **last dispatched
+    /// event's timestamp**: advancing to `Time::MAX` would destroy the
+    /// run's "when did the simulation finish" reading and make every
+    /// subsequent `Time` addition overflow. With an empty queue and
+    /// `horizon == Time::MAX` the clock does not move at all. In both
+    /// cases [`EngineStats::pending`] reports 0 after the call; cancelled
+    /// timers never advance the clock.
     pub fn run_until(&mut self, horizon: Time) -> u64 {
         let before = self.core.dispatched;
-        while let Some(Reverse(head)) = self.core.queue.peek() {
-            if head.time > horizon {
+        while let Some(head_time) = self.core.queue.peek_time() {
+            if head_time > horizon {
                 break;
             }
-            let Reverse(ev) = self.core.queue.pop().expect("peeked event vanished");
+            let ev = self.core.queue.pop().expect("peeked event vanished");
+            let token = match ev.item.kind {
+                EventKind::Wake(token) => {
+                    if self.core.cancelled_wakes.remove(&token.0) {
+                        // Cancelled before firing: reap silently. The clock
+                        // must not advance for an event nobody observes.
+                        continue;
+                    }
+                    self.core.live_wakes.remove(&token.0);
+                    self.core.wake_fires += 1;
+                    Some(token)
+                }
+                EventKind::Msg(_) => None,
+            };
             debug_assert!(ev.time >= self.core.time, "event queue went backwards");
             self.core.time = ev.time;
             self.core.dispatched += 1;
-            let slot = ev.target.index();
+            let slot = ev.item.target.index();
             let mut component = self.components[slot]
                 .take()
                 .unwrap_or_else(|| panic!("{} dispatched re-entrantly", self.names[slot]));
             let mut ctx = Ctx {
                 core: &mut self.core,
-                self_id: ev.target,
+                self_id: ev.item.target,
             };
-            component.on_message(ev.msg, &mut ctx);
+            match ev.item.kind {
+                EventKind::Msg(msg) => component.on_message(msg, &mut ctx),
+                EventKind::Wake(_) => {
+                    component.on_wake(token.expect("wake carries its token"), &mut ctx);
+                }
+            }
             self.components[slot] = Some(component);
         }
         if self.core.time < horizon && horizon != Time::MAX {
@@ -303,7 +422,9 @@ impl<M> Engine<M> {
     pub fn stats(&self) -> EngineStats {
         EngineStats {
             dispatched: self.core.dispatched,
-            pending: self.core.queue.len(),
+            pending: self.core.queue.len() - self.core.cancelled_wakes.len(),
+            wake_fires: self.core.wake_fires,
+            wake_cancels: self.core.wake_cancels,
         }
     }
 }
@@ -373,6 +494,23 @@ mod tests {
     }
 
     #[test]
+    fn far_and_near_events_interleave_in_order() {
+        // Mix events across wheel buckets and beyond the wheel horizon
+        // (the far heap) — delivery must still be globally time-ordered.
+        let mut e: Engine<u32> = Engine::new();
+        let id = e.add_component(Box::new(Counter { hits: vec![] }));
+        e.schedule(Time::from_us(100), id, 4);
+        e.schedule(Time::from_ns(1), id, 1);
+        e.schedule(Time::from_us(2), id, 3);
+        e.schedule(Time::from_ns(500), id, 2);
+        e.schedule(Time::from_ms(5), id, 5);
+        e.run_to_quiescence();
+        let c = e.component::<Counter>(id).unwrap();
+        let payloads: Vec<u32> = c.hits.iter().map(|&(_, m)| m).collect();
+        assert_eq!(payloads, vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
     fn run_until_stops_at_horizon() {
         let mut e: Engine<u32> = Engine::new();
         let id = e.add_component(Box::new(Counter { hits: vec![] }));
@@ -384,5 +522,143 @@ mod tests {
         assert_eq!(e.stats().pending, 1);
         e.run_to_quiescence();
         assert_eq!(e.component::<Counter>(id).unwrap().hits.len(), 2);
+    }
+
+    #[test]
+    fn run_until_time_max_leaves_clock_at_last_event() {
+        // The documented quiescence invariant: a Time::MAX horizon does
+        // not drag the clock to the sentinel.
+        let mut e: Engine<u32> = Engine::new();
+        let id = e.add_component(Box::new(Counter { hits: vec![] }));
+        e.schedule(Time::from_ns(7), id, 1);
+        let n = e.run_until(Time::MAX);
+        assert_eq!(n, 1);
+        assert_eq!(e.now(), Time::from_ns(7));
+        assert_eq!(e.stats().pending, 0);
+    }
+
+    #[test]
+    fn run_until_time_max_on_empty_queue_moves_nothing() {
+        let mut e: Engine<u32> = Engine::new();
+        let _ = e.add_component(Box::new(Counter { hits: vec![] }));
+        assert_eq!(e.run_until(Time::MAX), 0);
+        assert_eq!(e.now(), Time::ZERO);
+        assert_eq!(e.stats().pending, 0);
+        // A finite horizon, by contrast, always advances the clock.
+        assert_eq!(e.run_until(Time::from_ns(3)), 0);
+        assert_eq!(e.now(), Time::from_ns(3));
+    }
+
+    /// Arms a wake on the first message; records fires.
+    struct Sleeper {
+        token: Option<WakeToken>,
+        at: Time,
+        fires: Vec<u64>,
+        cancel_on_message: bool,
+    }
+
+    impl Component<u32> for Sleeper {
+        fn on_message(&mut self, _msg: u32, ctx: &mut Ctx<'_, u32>) {
+            match self.token {
+                None => self.token = Some(ctx.wake_at(self.at)),
+                Some(t) if self.cancel_on_message => {
+                    assert!(ctx.cancel_wake(t));
+                    self.token = None;
+                }
+                Some(_) => {}
+            }
+        }
+        fn on_wake(&mut self, token: WakeToken, ctx: &mut Ctx<'_, u32>) {
+            assert_eq!(Some(token), self.token);
+            self.fires.push(ctx.now().as_ps());
+        }
+    }
+
+    #[test]
+    fn wake_at_fires_at_the_deadline() {
+        let mut e: Engine<u32> = Engine::new();
+        let id = e.add_component(Box::new(Sleeper {
+            token: None,
+            at: Time::from_ns(9),
+            fires: vec![],
+            cancel_on_message: false,
+        }));
+        e.schedule(Time::ZERO, id, 0);
+        e.run_to_quiescence();
+        assert_eq!(e.component::<Sleeper>(id).unwrap().fires, vec![9_000]);
+        assert_eq!(e.stats().wake_fires, 1);
+        assert_eq!(e.now(), Time::from_ns(9));
+    }
+
+    #[test]
+    fn cancelled_wake_never_fires_and_moves_no_clock() {
+        let mut e: Engine<u32> = Engine::new();
+        let id = e.add_component(Box::new(Sleeper {
+            token: None,
+            at: Time::from_ns(9),
+            fires: vec![],
+            cancel_on_message: true,
+        }));
+        e.schedule(Time::ZERO, id, 0);
+        e.schedule(Time::from_ns(1), id, 0);
+        e.run_to_quiescence();
+        assert!(e.component::<Sleeper>(id).unwrap().fires.is_empty());
+        assert_eq!(e.stats().wake_fires, 0);
+        assert_eq!(e.stats().wake_cancels, 1);
+        assert_eq!(e.now(), Time::from_ns(1), "reaped timer left clock alone");
+        assert_eq!(e.stats().pending, 0);
+    }
+
+    #[test]
+    fn cancel_after_fire_reports_false() {
+        struct LateCancel {
+            token: Option<WakeToken>,
+        }
+        impl Component<u32> for LateCancel {
+            fn on_message(&mut self, _msg: u32, ctx: &mut Ctx<'_, u32>) {
+                match self.token {
+                    None => self.token = Some(ctx.wake_after(Delay::from_ns(1))),
+                    Some(t) => assert!(!ctx.cancel_wake(t), "token already fired"),
+                }
+            }
+        }
+        let mut e: Engine<u32> = Engine::new();
+        let id = e.add_component(Box::new(LateCancel { token: None }));
+        e.schedule(Time::ZERO, id, 0);
+        e.schedule(Time::from_ns(5), id, 0);
+        e.run_to_quiescence();
+        assert_eq!(e.stats().wake_fires, 1);
+        assert_eq!(e.stats().wake_cancels, 0);
+    }
+
+    #[test]
+    fn wakes_and_messages_share_the_fifo_order() {
+        // A wake armed before a same-timestamp message fires first; armed
+        // after, it fires second.
+        struct Interleave {
+            log: Vec<&'static str>,
+        }
+        impl Component<u32> for Interleave {
+            fn on_message(&mut self, msg: u32, ctx: &mut Ctx<'_, u32>) {
+                self.log.push("msg");
+                if msg == 1 {
+                    // Arm a wake for the SAME timestamp as an already-queued
+                    // message: the message was pushed first, so it leads.
+                    ctx.wake_at(ctx.now() + Delay::from_ns(1));
+                }
+            }
+            fn on_wake(&mut self, _token: WakeToken, _ctx: &mut Ctx<'_, u32>) {
+                self.log.push("wake");
+            }
+        }
+        let mut e: Engine<u32> = Engine::new();
+        let id = e.add_component(Box::new(Interleave { log: vec![] }));
+        e.schedule(Time::ZERO, id, 1);
+        e.schedule(Time::from_ns(1), id, 0);
+        e.run_to_quiescence();
+        assert_eq!(
+            e.component::<Interleave>(id).unwrap().log,
+            vec!["msg", "msg", "wake"]
+        );
     }
 }

@@ -6,16 +6,26 @@
 //! workspace runs on. It provides:
 //!
 //! - [`Time`] / [`Delay`]: picosecond-resolution instants and spans,
-//! - [`Engine`]: a message queue ordered by `(timestamp, insertion order)`,
-//! - [`Component`]: the trait simulated hardware blocks implement.
+//! - [`Engine`]: an event queue ordered by `(timestamp, insertion order)`,
+//!   implemented as a two-level scheduler — a bucketed near-horizon timer
+//!   wheel in front of a binary heap for far-future events,
+//! - [`Component`]: the trait simulated hardware blocks implement,
+//! - first-class timers: [`Ctx::wake_at`] / [`Ctx::cancel_wake`] with a
+//!   [`WakeToken`], so a component sleeps while idle and re-arms or
+//!   cancels its own wakeup instead of ticking every cycle,
+//! - the shared clocked-component protocol ([`Clocked`] + [`AutoWake`]):
+//!   sans-event cores report their next interesting instant and their
+//!   engine wrappers keep exactly one timer armed at it.
 //!
 //! ## Determinism
 //!
-//! The engine pops messages in timestamp order and breaks ties by insertion
-//! order (FIFO). There is no other source of ordering, no wall-clock input
-//! and no threading, so a simulation driven only by seeded randomness is
-//! bit-for-bit reproducible. The integration suite asserts this property for
-//! the full HMC system model.
+//! The engine pops events in timestamp order and breaks ties by insertion
+//! order (FIFO); timer wakeups share the same ordering domain as messages.
+//! There is no other source of ordering, no wall-clock input and no
+//! threading, so a simulation driven only by seeded randomness is
+//! bit-for-bit reproducible. The integration suite asserts this property
+//! for the full HMC system model, and the two-level scheduler is
+//! property-tested to order events exactly as a single global heap would.
 //!
 //! ## Example
 //!
@@ -53,6 +63,9 @@
 
 mod engine;
 mod time;
+pub mod wake;
+mod wheel;
 
-pub use engine::{AsAnyComponent, Component, ComponentId, Ctx, Engine, EngineStats};
+pub use engine::{AsAnyComponent, Component, ComponentId, Ctx, Engine, EngineStats, WakeToken};
 pub use time::{Delay, Time};
+pub use wake::{AutoWake, Clocked};

@@ -1,7 +1,9 @@
 //! Property tests for the event kernel: ordering, FIFO tie-breaking and
-//! determinism under arbitrary schedules.
+//! determinism under arbitrary schedules — including schedules that
+//! straddle the two-level scheduler's wheel/far boundary and timers that
+//! race messages.
 
-use hmc_des::{Component, Ctx, Delay, Engine, Time};
+use hmc_des::{Component, Ctx, Delay, Engine, Time, WakeToken};
 use proptest::prelude::*;
 
 /// Records every delivery as `(time_ps, payload)`.
@@ -83,6 +85,94 @@ proptest! {
         let ra = e.component::<Forwarder>(a).unwrap().received;
         let rb = e.component::<Forwarder>(b).unwrap().received;
         prop_assert_eq!(ra + rb, u64::from(hops) + 1);
+    }
+
+    /// The two-level scheduler orders events exactly as one global heap
+    /// would, even when timestamps span the wheel horizon (~1 µs) so that
+    /// events flow through the far heap, migrate into the wheel, and wrap
+    /// the ring multiple times.
+    #[test]
+    fn wheel_and_far_heap_preserve_global_order(
+        near in prop::collection::vec((0u64..2_000_000, 0u32..1000), 0..150),
+        far in prop::collection::vec((2_000_000u64..50_000_000, 0u32..1000), 0..150),
+    ) {
+        let mut events = near;
+        events.extend(far);
+        let log = run_schedule(&events);
+        prop_assert_eq!(log.len(), events.len());
+        let mut indexed: Vec<(usize, (u64, u32))> = events.into_iter().enumerate().collect();
+        indexed.sort_by_key(|&(i, (t, _))| (t, i));
+        let expected: Vec<(u64, u32)> = indexed.into_iter().map(|(_, ev)| ev).collect();
+        prop_assert_eq!(log, expected);
+    }
+
+    /// A component that re-arms a timer after every wake sees exactly the
+    /// deadlines it asked for, in order, regardless of message traffic
+    /// around them; cancelled deadlines never fire.
+    #[test]
+    fn timers_fire_in_order_and_cancel_cleanly(
+        periods in prop::collection::vec(1u64..20_000, 1..40),
+        cancel_each in any::<bool>(),
+    ) {
+        struct Chain {
+            periods: Vec<u64>,
+            next: usize,
+            token: Option<WakeToken>,
+            fired_at: Vec<u64>,
+            cancel_each: bool,
+        }
+        impl Chain {
+            fn arm(&mut self, ctx: &mut Ctx<'_, u32>) {
+                if let Some(&p) = self.periods.get(self.next) {
+                    self.next += 1;
+                    if self.cancel_each {
+                        // Arm a decoy, cancel it, then arm the real one:
+                        // the decoy must be invisible.
+                        let decoy = ctx.wake_after(Delay::from_ps(p / 2 + 1));
+                        assert!(ctx.cancel_wake(decoy));
+                    }
+                    self.token = Some(ctx.wake_after(Delay::from_ps(p)));
+                }
+            }
+        }
+        impl Component<u32> for Chain {
+            fn on_message(&mut self, _msg: u32, ctx: &mut Ctx<'_, u32>) {
+                if self.token.is_none() {
+                    self.arm(ctx);
+                }
+            }
+            fn on_wake(&mut self, token: WakeToken, ctx: &mut Ctx<'_, u32>) {
+                assert_eq!(Some(token), self.token);
+                self.fired_at.push(ctx.now().as_ps());
+                self.arm(ctx);
+            }
+        }
+        let mut e: Engine<u32> = Engine::new();
+        let id = e.add_component(Box::new(Chain {
+            periods: periods.clone(),
+            next: 0,
+            token: None,
+            fired_at: Vec::new(),
+            cancel_each,
+        }));
+        e.schedule(Time::ZERO, id, 0);
+        // Message noise that must not perturb the timer chain.
+        for i in 0..10u64 {
+            e.schedule(Time::from_ps(i * 3_333), id, 0);
+        }
+        e.run_to_quiescence();
+        let mut expected = Vec::new();
+        let mut t = 0u64;
+        for p in &periods {
+            t += p;
+            expected.push(t);
+        }
+        let fired = e.component::<Chain>(id).unwrap().fired_at.clone();
+        prop_assert_eq!(fired, expected);
+        let stats = e.stats();
+        prop_assert_eq!(stats.wake_fires, periods.len() as u64);
+        prop_assert_eq!(stats.wake_cancels, if cancel_each { periods.len() as u64 } else { 0 });
+        prop_assert_eq!(stats.pending, 0);
     }
 
     /// `run_until` never advances past the horizon and never drops events:

@@ -42,8 +42,15 @@ pub fn chain_lengths(ctx: &ExpContext) -> Vec<u8> {
 
 /// Runs the chain sweep: all traffic targets the cube at the far end.
 pub fn chain(ctx: &ExpContext) -> Vec<ChainPoint> {
+    chain_for_lengths(ctx, chain_lengths(ctx))
+}
+
+/// Runs the chain experiment for an explicit list of chain lengths — the
+/// scale-driven sweep restricted to chosen points (used by the scheduler
+/// determinism regression, which replays the 4-cube chain alone).
+pub fn chain_for_lengths(ctx: &ExpContext, lengths: Vec<u8>) -> Vec<ChainPoint> {
     let ctx = *ctx;
-    parallel_map(chain_lengths(&ctx), move |&n| {
+    parallel_map(lengths, move |&n| {
         let far = CubeId(n - 1);
         let mk = || FabricConfig::chain(ctx.seed_for("ext-chain", u64::from(n)), n);
 
@@ -208,6 +215,24 @@ mod tests {
         // The per-hop increment is at least two SerDes flights (~110 ns).
         let d = points[1].unloaded_ns - points[0].unloaded_ns;
         assert!(d > 110.0, "first hop adds only {d} ns");
+    }
+
+    #[test]
+    fn ext_chain_rendering_is_byte_identical_across_runs() {
+        // Guards the two-level scheduler swap: the 4-cube ext-chain point
+        // (host wakeups, transit crossbars, fabric links, credit
+        // notifications all active) must render to byte-identical JSON on
+        // every run. Any hidden ordering or iteration nondeterminism in
+        // the engine, the timer wheel, or the wake bookkeeping would
+        // perturb latencies and break this.
+        let ctx = ExpContext {
+            scale: Scale::Smoke,
+            seed: 2018,
+        };
+        let a = chain_table(&chain_for_lengths(&ctx, vec![4])).to_json();
+        let b = chain_table(&chain_for_lengths(&ctx, vec![4])).to_json();
+        assert_eq!(a, b, "ext-chain (4 cubes) must replay byte-identically");
+        assert!(a.contains("\"rows\""), "rendering produced real rows");
     }
 
     #[test]

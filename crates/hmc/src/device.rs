@@ -4,7 +4,7 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
-use hmc_des::Time;
+use hmc_des::{Clocked, Time};
 use hmc_link::LinkTx;
 use hmc_mapping::VaultId;
 use hmc_noc::{SwitchConfig, SwitchCore, SwitchEntry};
@@ -461,7 +461,8 @@ impl HmcDevice {
     }
 
     /// The earliest instant at which internal state changes without new
-    /// input, or `None` if the device is quiescent.
+    /// input, or `None` if the device is quiescent. Also available
+    /// through the [`hmc_des::Clocked`] protocol.
     pub fn next_wake(&self) -> Option<Time> {
         let mut wake = self.calendar.peek().map(|Reverse(e)| e.at);
         let consider = |wake: &mut Option<Time>, t: Option<Time>| {
@@ -640,5 +641,13 @@ impl HmcDevice {
         } else {
             self.ports.xq_port(q, dest_quad)
         }
+    }
+}
+
+impl Clocked for HmcDevice {
+    /// The device's internal calendar is absolute, so the report is
+    /// independent of `now`.
+    fn next_wake(&self, _now: Time) -> Option<Time> {
+        HmcDevice::next_wake(self)
     }
 }

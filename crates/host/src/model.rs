@@ -1,7 +1,7 @@
 //! The host controller: per-port FIFOs, arbitration, link scheduling and
 //! response drain — the FPGA half of Figure 5.
 
-use hmc_des::Time;
+use hmc_des::{Clocked, Time};
 use hmc_link::LinkTx;
 use hmc_noc::{BoundedQueue, RoundRobinArbiter};
 use hmc_packet::{LinkId, PortId, RequestPacket, ResponsePacket};
@@ -237,6 +237,48 @@ impl HostModel {
             || self.link_tx.iter().any(|tx| tx.queue_len() > 0)
     }
 
+    /// The next instant at which ticking the host could make progress, or
+    /// `None` while the host is idle (every port blocked on tags or done,
+    /// all pipes drained) — the host-side half of the clocked-component
+    /// protocol that lets the simulation skip idle FPGA cycles entirely.
+    ///
+    /// Ticks live on the FPGA clock grid (multiples of `fpga_period` from
+    /// [`Time::ZERO`]); the reported instant is the first grid point not
+    /// before `now` that has work:
+    ///
+    /// - a port that wants to issue, or a non-empty port FIFO, needs the
+    ///   very next grid point (issue and admission happen once per cycle);
+    /// - a staged packet still in the controller pipeline needs the first
+    ///   grid point at or after its pipeline-exit time (if it is already
+    ///   due but blocked on serializer room, that is the next grid point:
+    ///   room frees as wire time passes, so the host retries each cycle
+    ///   exactly as per-cycle ticking did);
+    /// - packets queued in a link serializer need no wake at all: they
+    ///   are, by construction, token-starved, and the token return message
+    ///   itself pumps the links ([`HostModel::on_request_tokens`]).
+    ///
+    /// Progress driven by inbound traffic (responses arriving, tags
+    /// freeing on delivery) is message-driven and deliberately *not*
+    /// reported here; the surrounding component re-queries after every
+    /// such message.
+    pub fn next_wake(&self, now: Time) -> Option<Time> {
+        let period = self.cfg.fpga_period.as_ps();
+        let grid_ceil = |t: Time| Time::from_ps(t.as_ps().div_ceil(period) * period);
+        let mut wake: Option<Time> = None;
+        let mut propose = |t: Time| {
+            wake = Some(wake.map_or(t, |w| w.min(t)));
+        };
+        if self.ports.iter().any(Port::wants_to_issue) || self.fifos.iter().any(|f| !f.is_empty()) {
+            propose(grid_ceil(now));
+        }
+        for staged in &self.staged {
+            if let Some(&(ready, _)) = staged.front() {
+                propose(grid_ceil(ready.max(now)));
+            }
+        }
+        wake
+    }
+
     /// `true` when every port is done and all plumbing is empty.
     pub fn all_done(&self) -> bool {
         self.ports.iter().all(|p| p.is_done()) && !self.wants_tick()
@@ -280,6 +322,12 @@ impl HostModel {
     /// Total outstanding requests across ports.
     pub fn outstanding(&self) -> u32 {
         self.ports.iter().map(|p| u32::from(p.outstanding())).sum()
+    }
+}
+
+impl Clocked for HostModel {
+    fn next_wake(&self, now: Time) -> Option<Time> {
+        HostModel::next_wake(self, now)
     }
 }
 
@@ -422,6 +470,66 @@ mod tests {
             arrivals(&more).len(),
             1,
             "freed tag allows exactly one more"
+        );
+    }
+
+    #[test]
+    fn next_wake_snaps_to_the_fpga_grid() {
+        let mut h = host_with_gups_ports(1, 4);
+        let period = h.config().fpga_period;
+        assert_eq!(h.next_wake(Time::ZERO), None, "inactive host sleeps");
+        h.set_all_active(true);
+        assert_eq!(
+            h.next_wake(Time::ZERO),
+            Some(Time::ZERO),
+            "an on-grid instant with work is itself the wake"
+        );
+        assert_eq!(
+            h.next_wake(Time::from_ps(1)),
+            Some(Time::ZERO + period),
+            "off-grid queries snap forward to the next FPGA cycle"
+        );
+    }
+
+    #[test]
+    fn staged_pipeline_wake_skips_the_idle_cycles() {
+        let mut h = host_with_gups_ports(1, 1);
+        h.set_all_active(true);
+        let events = h.tick(Time::ZERO);
+        assert!(arrivals(&events).is_empty(), "pipeline holds the request");
+        // One tag, now in flight: the only pending work is the staged
+        // packet's pipeline exit, ~45 cycles out. The host must not ask
+        // to be woken before it.
+        let wake = h.next_wake(Time::ZERO).expect("staged packet needs a wake");
+        let period = h.config().fpga_period;
+        let ctrl = h.config().ctrl_latency_req;
+        assert_eq!(wake.as_ps() % period.as_ps(), 0, "wakes live on the grid");
+        assert!(
+            wake >= Time::ZERO + ctrl,
+            "no wake before the pipeline exit"
+        );
+        assert!(
+            wake > Time::ZERO + period,
+            "idle pipeline cycles are skipped"
+        );
+    }
+
+    #[test]
+    fn tag_starved_host_sleeps_until_delivery() {
+        let mut h = host_with_gups_ports(1, 1);
+        h.set_all_active(true);
+        let issued = arrivals(&drive(&mut h, 120));
+        assert_eq!(issued.len(), 1, "one tag bounds one in-flight request");
+        let now = Time::from_us(5);
+        assert_eq!(
+            h.next_wake(now),
+            None,
+            "tag-starved host with drained pipes reports no wake at all"
+        );
+        h.deliver_response(now, &ResponsePacket::for_request(&issued[0]));
+        assert!(
+            h.next_wake(now).is_some(),
+            "a freed tag makes the next cycle interesting again"
         );
     }
 

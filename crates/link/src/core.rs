@@ -2,7 +2,7 @@
 
 use std::collections::VecDeque;
 
-use hmc_des::{Delay, Time};
+use hmc_des::{Clocked, Delay, Time};
 use hmc_noc::Credits;
 
 use crate::config::LinkConfig;
@@ -133,8 +133,14 @@ impl<P> LinkTx<P> {
     /// its input buffer. On silicon this rides back in the token-return
     /// fields of reverse-direction packets; the simulator delivers it as a
     /// zero-cost message.
-    pub fn return_tokens(&mut self, flits: u32) {
-        self.tokens.put(flits);
+    ///
+    /// Returns `true` if a queued head was starving on tokens — the
+    /// caller should run [`LinkTx::service`]; on `false` nothing was
+    /// blocked and no service pass is needed. (After any service call, a
+    /// non-empty queue implies a token-starved head, so this notification
+    /// is the *only* wake-up a sleeping transmitter needs.)
+    pub fn return_tokens(&mut self, flits: u32) -> bool {
+        self.tokens.put(flits)
     }
 
     /// Serializes as many queued packets as tokens and wire availability
@@ -173,9 +179,9 @@ impl<P> LinkTx<P> {
 
     /// The earliest future time service could progress on its own. Because
     /// [`LinkTx::service`] serializes everything sendable immediately
-    /// (charging wire time forward), the only self-wake is irrelevant;
-    /// token-blocked heads wait for [`LinkTx::return_tokens`]. Exposed for
-    /// interface symmetry.
+    /// (charging wire time forward), there is no self-wake; token-blocked
+    /// heads wait for the [`LinkTx::return_tokens`] notification. Exposed
+    /// for [`Clocked`] protocol symmetry.
     pub fn next_wake(&self, _now: Time) -> Option<Time> {
         None
     }
@@ -190,6 +196,12 @@ impl<P> LinkTx<P> {
     #[inline]
     pub fn stats(&self) -> LinkStats {
         self.stats
+    }
+}
+
+impl<P> Clocked for LinkTx<P> {
+    fn next_wake(&self, now: Time) -> Option<Time> {
+        LinkTx::next_wake(self, now)
     }
 }
 
@@ -265,7 +277,7 @@ mod tests {
         assert_eq!(out.len(), 1, "second packet token-starved");
         assert_eq!(tx.tokens_available(), 1);
         assert_eq!(tx.stats().token_stalls, 1);
-        tx.return_tokens(9);
+        assert!(tx.return_tokens(9), "starved head notifies on return");
         let out = tx.service(Time::from_ns(100));
         assert_eq!(out.len(), 1);
         assert_eq!(tx.stats().packets_sent, 2);

@@ -1,4 +1,5 @@
-//! Credit counters for lossless flow control.
+//! Credit counters for lossless flow control, with a "credit became
+//! available" notification so consumers wake on returns instead of polling.
 
 /// A credit counter tracking free space in a downstream buffer, in
 /// arbitrary units (flits here, tag slots in the host model).
@@ -9,6 +10,16 @@
 /// — so buffers can never overflow and full buffers backpressure the
 /// sender. Conservation (`taken + available == max`) is property-tested.
 ///
+/// ## Starvation notification
+///
+/// A failed [`Credits::try_take`] (or an explicit
+/// [`Credits::mark_starved`]) records that a consumer is blocked on this
+/// pool. The next [`Credits::put`] then returns `true` — "a blocked
+/// consumer may now progress" — which event-driven callers use to trigger
+/// exactly one service pass instead of polling the pool every cycle. A
+/// `put` into a pool nobody was starving on returns `false` and needs no
+/// service pass.
+///
 /// # Examples
 ///
 /// ```
@@ -16,14 +27,16 @@
 ///
 /// let mut c = Credits::new(9);
 /// assert!(c.try_take(9));
-/// assert!(!c.try_take(1));
-/// c.put(4);
-/// assert_eq!(c.available(), 4);
+/// assert!(!c.try_take(1)); // blocked: marks the pool starved
+/// assert!(c.put(4), "return after starvation notifies");
+/// assert!(!c.put(2), "no one waiting: no notification");
+/// assert_eq!(c.available(), 6);
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Credits {
     max: u32,
     available: u32,
+    starved: bool,
 }
 
 impl Credits {
@@ -32,6 +45,7 @@ impl Credits {
         Credits {
             max,
             available: max,
+            starved: false,
         }
     }
 
@@ -59,24 +73,42 @@ impl Credits {
         self.available >= n
     }
 
-    /// Takes `n` credits if available; returns whether it succeeded.
+    /// Takes `n` credits if available; returns whether it succeeded. A
+    /// failure marks the pool starved (see the type docs).
     pub fn try_take(&mut self, n: u32) -> bool {
         if self.available >= n {
             self.available -= n;
             true
         } else {
+            self.starved = true;
             false
         }
     }
 
-    /// Returns `n` credits to the pool.
+    /// Records that a consumer is blocked on this pool without attempting
+    /// a take — for callers that gate on [`Credits::can_take`] (e.g. an
+    /// arbiter predicate that must not mutate).
+    #[inline]
+    pub fn mark_starved(&mut self) {
+        self.starved = true;
+    }
+
+    /// `true` if a consumer is currently recorded as blocked on this pool.
+    #[inline]
+    pub fn is_starved(&self) -> bool {
+        self.starved
+    }
+
+    /// Returns `n` credits to the pool. Returns `true` if a consumer was
+    /// starving on the pool (the flag clears; the caller should run one
+    /// service pass), `false` if nobody was waiting.
     ///
     /// # Panics
     ///
     /// Panics if the return would exceed the pool size — that is a protocol
     /// bug (returning credits that were never taken), not a recoverable
     /// condition.
-    pub fn put(&mut self, n: u32) {
+    pub fn put(&mut self, n: u32) -> bool {
         assert!(
             self.available + n <= self.max,
             "credit overflow: returning {} with {}/{} available",
@@ -85,6 +117,7 @@ impl Credits {
             self.max
         );
         self.available += n;
+        std::mem::take(&mut self.starved)
     }
 }
 
@@ -101,6 +134,26 @@ mod tests {
         c.put(4);
         assert_eq!(c.available(), 10);
         assert_eq!(c.in_flight(), 0);
+    }
+
+    #[test]
+    fn put_notifies_only_after_starvation() {
+        let mut c = Credits::new(4);
+        assert!(c.try_take(4));
+        assert!(!c.put(1), "no consumer waiting");
+        assert!(!c.try_take(4), "blocked: marks starved");
+        assert!(c.is_starved());
+        assert!(c.put(1), "return while a consumer waits notifies");
+        assert!(!c.is_starved(), "notification clears the flag");
+        assert!(!c.put(2), "flag does not linger");
+    }
+
+    #[test]
+    fn explicit_mark_starved_notifies() {
+        let mut c = Credits::new(3);
+        c.mark_starved();
+        assert!(c.try_take(3), "marking does not consume");
+        assert!(c.put(3));
     }
 
     #[test]

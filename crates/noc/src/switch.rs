@@ -2,7 +2,7 @@
 
 use std::collections::VecDeque;
 
-use hmc_des::{Delay, Time};
+use hmc_des::{Clocked, Delay, Time};
 
 use crate::arbiter::RoundRobinArbiter;
 use crate::credit::Credits;
@@ -217,9 +217,13 @@ impl<P> SwitchCore<P> {
     }
 
     /// Returns `flits` credits for output `o` (the downstream buffer
-    /// drained).
-    pub fn return_credits(&mut self, output: usize, flits: u32) {
-        self.output_credits[output].put(flits);
+    /// drained). Returns `true` if a queued head was starving on this
+    /// output's credits — the caller should run [`SwitchCore::service`];
+    /// on `false` no head was credit-blocked and no service pass is
+    /// needed (time-driven progress is covered by
+    /// [`SwitchCore::next_wake`]).
+    pub fn return_credits(&mut self, output: usize, flits: u32) -> bool {
+        self.output_credits[output].put(flits)
     }
 
     /// Available downstream credits at output `o`.
@@ -268,13 +272,24 @@ impl<P> SwitchCore<P> {
                 break;
             }
         }
+        // Record which output pools the surviving heads are starving on,
+        // so the corresponding credit returns notify (and returns into
+        // outputs nobody waits for don't trigger useless service passes).
+        for input in &self.inputs {
+            if let Some(head) = input.front() {
+                if !self.output_credits[head.output].can_take(head.flits) {
+                    self.output_credits[head.output].mark_starved();
+                }
+            }
+        }
         departures
     }
 
     /// The earliest future time at which [`SwitchCore::service`] could make
     /// progress on its own (an output's busy interval expiring while a
     /// matching head waits). Credit-blocked heads are *not* reported: the
-    /// credit return itself must trigger a service call.
+    /// credit return itself triggers the service call (see
+    /// [`SwitchCore::return_credits`]).
     pub fn next_wake(&self, now: Time) -> Option<Time> {
         let mut wake: Option<Time> = None;
         for input in &self.inputs {
@@ -311,6 +326,12 @@ impl<P> SwitchCore<P> {
     }
 }
 
+impl<P> Clocked for SwitchCore<P> {
+    fn next_wake(&self, now: Time) -> Option<Time> {
+        SwitchCore::next_wake(self, now)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -342,6 +363,10 @@ mod tests {
         assert_eq!(out[0].payload, 7);
         assert_eq!(out[0].at.as_ps(), 2_000 + 9 * 800);
         assert_eq!(sw.forwarded(), 1);
+        assert!(
+            !sw.return_credits(0, 9),
+            "no head waits: the return needs no service pass"
+        );
     }
 
     #[test]
@@ -381,8 +406,9 @@ mod tests {
         let later = Time::from_ns(100);
         assert_eq!(sw.next_wake(Time::ZERO), None);
         assert!(sw.service(later).is_empty());
-        // Downstream drains → credits return → packet moves.
-        sw.return_credits(0, 3);
+        // Downstream drains → credits return → the starved head is
+        // notified and the packet moves.
+        assert!(sw.return_credits(0, 3), "blocked head notifies on return");
         let out = sw.service(later);
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].payload, 1);

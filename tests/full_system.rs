@@ -180,6 +180,41 @@ fn stream_and_gups_agree_at_low_load() {
 }
 
 #[test]
+fn idle_skip_cuts_dispatched_events_by_10x_at_low_load() {
+    // The low-load end of the Figure 6 latency-vs-load curve: a single
+    // GUPS read port with one tag hammering one bank, so exactly one
+    // request is in flight and the host spends ~130 of every ~131 FPGA
+    // cycles idle. The event-driven core must sleep through those cycles:
+    // per-cycle ticking would dispatch at least one event per simulated
+    // FPGA cycle, so `dispatched` staying 10x below the cycle count
+    // proves the >10x reduction the refactor promises.
+    let cfg = SystemConfig::ac510(2018);
+    let filter = AccessPattern::Banks {
+        vault: VaultId(0),
+        count: 1,
+    }
+    .filter(&cfg.device.map);
+    let specs = vec![PortSpec::gups(filter, GupsOp::Read(PayloadSize::B16)).with_tags(1)];
+    let mut sim = SystemSim::new(cfg, specs);
+    let report = sim.run_gups(Delay::from_us(10), Delay::from_us(40));
+    assert!(report.total_accesses() > 0, "the run moved real traffic");
+    let stats = sim.engine_stats();
+    let period = HostConfig::ac510_default().fpga_period;
+    let cycles = report.sim_end.as_ps() / period.as_ps();
+    assert!(
+        stats.dispatched * 10 < cycles,
+        "idle-skip regressed: {} events dispatched over {} host cycles \
+         (per-cycle ticking would dispatch at least one per cycle)",
+        stats.dispatched,
+        cycles
+    );
+    assert!(
+        stats.wake_fires > 0,
+        "the host must be running on timer wakeups, not per-cycle messages"
+    );
+}
+
+#[test]
 fn writes_round_trip_through_the_full_stack() {
     let cfg = SystemConfig::ac510(19);
     let filter = AccessPattern::Vaults { count: 16 }.filter(&cfg.device.map);
