@@ -60,11 +60,12 @@ pub mod prelude {
     pub use hmc_des::{Delay, Time};
     pub use hmc_device::DeviceConfig;
     pub use hmc_fabric::{CubeId, FabricConfig, FabricPortSpec, FabricSim, Topology};
-    pub use hmc_host::{GupsOp, HostConfig, Traffic};
+    pub use hmc_host::{GupsOp, HostConfig};
     pub use hmc_mapping::{AccessPattern, AddressMap, BankId, Geometry, VaultId};
     pub use hmc_packet::{Address, PayloadSize, PortId, RequestKind};
     pub use hmc_stats::{Histogram, LatencyRecorder, Summary, Table};
     pub use hmc_workloads::{
-        random_reads_in_banks, random_reads_in_vaults, vault_combinations, Trace,
+        random_reads_in_banks, random_reads_in_vaults, vault_combinations, Feedback, OffloadSource,
+        Paced, PointerChase, SourceStep, Trace, TrafficSource,
     };
 }

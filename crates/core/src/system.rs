@@ -10,25 +10,38 @@ use hmc_des::Delay;
 use hmc_device::DeviceConfig;
 use hmc_fabric::{CubeId, FabricConfig, FabricPortSpec, FabricSim, Topology};
 use hmc_host::HostConfig;
+use hmc_workloads::{source_factory, GupsSource, SourceFactory, TraceReplay, TrafficSource};
 
 use crate::report::RunReport;
 
 pub use hmc_fabric::{GUPS_TAGS, STREAM_TAGS};
 
 /// Specification of one traffic port.
-#[derive(Debug, Clone)]
+///
+/// The spec carries a [`SourceFactory`] rather than a built source so that
+/// one spec can be cloned across ports (`vec![spec; 9]`) while each port's
+/// source is still built with its own deterministically derived seed.
+#[derive(Clone)]
 pub struct PortSpec {
-    /// Traffic source.
-    pub traffic: hmc_host::Traffic,
+    /// Builds the port's traffic source from the port's derived seed.
+    pub source: SourceFactory,
     /// Tag-pool size (maximum outstanding requests).
     pub tags: u16,
 }
 
+impl std::fmt::Debug for PortSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PortSpec")
+            .field("tags", &self.tags)
+            .finish_non_exhaustive()
+    }
+}
+
 impl PortSpec {
     /// A GUPS port with the default tag pool.
-    pub fn gups(filter: hmc_mapping::AddressFilter, op: hmc_host::GupsOp) -> PortSpec {
+    pub fn gups(filter: hmc_mapping::AddressFilter, op: hmc_workloads::GupsOp) -> PortSpec {
         PortSpec {
-            traffic: hmc_host::Traffic::Gups { filter, op },
+            source: source_factory(move |seed| Box::new(GupsSource::new(filter, op, seed))),
             tags: GUPS_TAGS,
         }
     }
@@ -36,7 +49,33 @@ impl PortSpec {
     /// A stream port with the default tag pool.
     pub fn stream(trace: hmc_workloads::Trace) -> PortSpec {
         PortSpec {
-            traffic: hmc_host::Traffic::Stream { trace },
+            source: source_factory(move |_seed| Box::new(TraceReplay::new(trace.clone()))),
+            tags: STREAM_TAGS,
+        }
+    }
+
+    /// A port over any traffic source (pointer chase, offload stream, a
+    /// custom closed-loop generator, ...) with the default stream tag
+    /// pool. The factory receives the port's derived seed.
+    ///
+    /// ```
+    /// use hmc_sim::workloads::PointerChase;
+    /// use hmc_sim::prelude::*;
+    ///
+    /// let map = AddressMap::hmc_gen2_default();
+    /// let vaults: Vec<VaultId> = (0..16).map(VaultId).collect();
+    /// let spec = PortSpec::from_source(move |seed| {
+    ///     Box::new(PointerChase::new(&map, &vaults, PayloadSize::B64, 1, 8, seed))
+    /// });
+    /// let report = SystemSim::new(SystemConfig::ac510(1), vec![spec]).run_streams();
+    /// assert_eq!(report.ports[0].completed, 8);
+    /// ```
+    pub fn from_source<F>(factory: F) -> PortSpec
+    where
+        F: Fn(u64) -> Box<dyn TrafficSource> + Send + Sync + 'static,
+    {
+        PortSpec {
+            source: source_factory(factory),
             tags: STREAM_TAGS,
         }
     }
@@ -50,7 +89,7 @@ impl PortSpec {
     /// Lifts this port into a fabric port targeting `cube`.
     pub fn targeting(self, cube: CubeId) -> FabricPortSpec {
         FabricPortSpec {
-            traffic: self.traffic,
+            source: self.source,
             tags: self.tags,
             cube,
         }

@@ -125,14 +125,30 @@ where
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
+    parallel_map_with_threads(items, 0, f)
+}
+
+/// [`parallel_map`] with an explicit worker count (`0` = all available
+/// cores). Results must not depend on the choice — the determinism
+/// regressions run the same sweep at different widths and diff the output.
+pub fn parallel_map_with_threads<T, R, F>(items: Vec<T>, threads: usize, f: F) -> Vec<R>
+where
+    T: Send + Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
     let n = items.len();
     if n == 0 {
         return Vec::new();
     }
-    let threads = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(4)
-        .min(n);
+    let threads = if threads == 0 {
+        std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(4)
+    } else {
+        threads
+    }
+    .min(n);
     if threads <= 1 {
         return items.iter().map(&f).collect();
     }

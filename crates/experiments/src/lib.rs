@@ -21,12 +21,14 @@
 pub mod common;
 pub mod ext;
 pub mod ext_fabric;
+pub mod ext_offload;
 pub mod fig10_12;
 pub mod fig13;
 pub mod fig14;
 pub mod fig6;
 pub mod fig7_8;
 pub mod fig9;
+pub mod probe_chase;
 pub mod table1;
 
 pub use common::{ExpContext, Scale};
@@ -55,14 +57,17 @@ pub const EXPERIMENTS: &[&str] = &[
     "ext-rw",
     "ext-chain",
     "ext-star",
+    "probe-chase",
+    "ext-offload",
 ];
 
-/// Resolves aliases (`fig10`, `fig11`, `fig12` share one sweep).
+/// Resolves aliases (`fig10`, `fig11`, `fig12` share one sweep;
+/// underscores work everywhere dashes do).
 pub fn canonical_name(name: &str) -> Option<&'static str> {
-    let name = name.to_ascii_lowercase();
+    let name = name.to_ascii_lowercase().replace('_', "-");
     match name.as_str() {
-        "fig10" | "fig11" | "fig12" | "fig10-12" | "fig10_12" => Some("fig10-12"),
-        "fig7_8" | "fig78" => Some("fig7"),
+        "fig10" | "fig11" | "fig12" | "fig10-12" => Some("fig10-12"),
+        "fig7-8" | "fig78" => Some("fig7"),
         other => EXPERIMENTS.iter().find(|&&e| e == other).copied(),
     }
 }
@@ -213,6 +218,37 @@ pub fn run_by_name(name: &str, ctx: &ExpContext) -> Option<Outcome> {
                 ext_fabric::star_table(&ext_fabric::star(ctx)),
             )],
         },
+        "probe-chase" => Outcome {
+            name: "probe-chase",
+            tables: vec![
+                (
+                    "Probe-chase A: dependent-read latency vs chain hop count (1 walker)"
+                        .to_owned(),
+                    probe_chase::chain_table(&probe_chase::chain(ctx)),
+                ),
+                (
+                    "Probe-chase B: latency/throughput vs concurrent walkers (1 cube)".to_owned(),
+                    probe_chase::walker_table(&probe_chase::walkers(ctx)),
+                ),
+            ],
+        },
+        "ext-offload" => Outcome {
+            name: "ext-offload",
+            tables: vec![
+                (
+                    "Ext-offload A: NOM-style copy bandwidth vs chain hop count".to_owned(),
+                    ext_offload::table(&ext_offload::chain(ctx), false),
+                ),
+                (
+                    "Ext-offload B: copy on the hub vs leaves of a 4-cube star".to_owned(),
+                    ext_offload::table(&ext_offload::star(ctx), true),
+                ),
+                (
+                    "Ext-offload C: copy bandwidth vs outstanding-pair window (1 cube)".to_owned(),
+                    ext_offload::table(&ext_offload::windows(ctx), false),
+                ),
+            ],
+        },
         _ => unreachable!("canonical names are exhaustive"),
     };
     Some(outcome)
@@ -226,6 +262,8 @@ mod tests {
     fn aliases_resolve() {
         assert_eq!(canonical_name("FIG11"), Some("fig10-12"));
         assert_eq!(canonical_name("fig6"), Some("fig6"));
+        assert_eq!(canonical_name("probe_chase"), Some("probe-chase"));
+        assert_eq!(canonical_name("EXT-OFFLOAD"), Some("ext-offload"));
         assert_eq!(canonical_name("nope"), None);
     }
 

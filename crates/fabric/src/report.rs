@@ -15,6 +15,9 @@ use crate::config::CubeId;
 pub struct PortReport {
     /// The port.
     pub port: PortId,
+    /// The traffic source's reporting label (`"gups"`, `"stream"`,
+    /// `"chase"`, `"offload"`, ...).
+    pub source: &'static str,
     /// Requests issued (including unrecorded warmup traffic).
     pub issued: u64,
     /// Responses received (including unrecorded warmup traffic).
@@ -195,6 +198,25 @@ impl RunReport {
             .sum()
     }
 
+    /// Per-source completion summary: for each distinct source label, the
+    /// total requests issued, responses completed, and the merged latency
+    /// aggregate — the closed-loop pipeline's per-source view of a mixed
+    /// run (e.g. offload streams contending with GUPS background load).
+    pub fn source_summary(&self) -> Vec<(&'static str, u64, u64, LatencyRecorder)> {
+        let mut out: Vec<(&'static str, u64, u64, LatencyRecorder)> = Vec::new();
+        for p in &self.ports {
+            match out.iter_mut().find(|(label, ..)| *label == p.source) {
+                Some((_, issued, completed, latency)) => {
+                    *issued += p.issued;
+                    *completed += p.completed;
+                    latency.merge(&p.latency);
+                }
+                None => out.push((p.source, p.issued, p.completed, p.latency)),
+            }
+        }
+        out
+    }
+
     /// Packets forwarded by pass-through crossbars across all cubes.
     pub fn transit_forwarded(&self) -> u64 {
         self.cubes
@@ -219,6 +241,7 @@ mod tests {
         RunReport {
             ports: vec![PortReport {
                 port: PortId(0),
+                source: "test",
                 issued: latencies_ns.len() as u64,
                 completed: latencies_ns.len() as u64,
                 latency,

@@ -18,10 +18,11 @@
 
 use hmc_des::{AutoWake, Component, ComponentId, Ctx, Delay, Engine, EngineStats, Time, WakeToken};
 use hmc_device::{DeviceConfig, DeviceOutput, HmcDevice};
-use hmc_host::{HostConfig, HostEvent, HostModel, Port, Traffic};
+use hmc_host::{HostConfig, HostEvent, HostModel, Port};
 use hmc_link::{LinkConfig, LinkTx, LinkWidth};
 use hmc_noc::{SwitchConfig, SwitchCore, SwitchEntry};
 use hmc_packet::{LinkId, PortId, RequestPacket, ResponsePacket};
+use hmc_workloads::{source_factory, GupsSource, SourceFactory, TraceReplay, TrafficSource};
 
 use crate::config::{CubeId, FabricConfig};
 use crate::report::{CubeReport, PortReport, RunReport, TransitStats};
@@ -38,10 +39,14 @@ pub const GUPS_TAGS: u16 = 64;
 pub const STREAM_TAGS: u16 = 80;
 
 /// Specification of one traffic port of a fabric system.
-#[derive(Debug, Clone)]
+///
+/// The spec carries a [`SourceFactory`] rather than a built source so that
+/// one spec can be cloned across ports (`vec![spec; 9]`) while each port's
+/// source is still built with its own deterministically derived seed.
+#[derive(Clone)]
 pub struct FabricPortSpec {
-    /// Traffic source.
-    pub traffic: Traffic,
+    /// Builds the port's traffic source from the port's derived seed.
+    pub source: SourceFactory,
     /// Tag-pool size (maximum outstanding requests).
     pub tags: u16,
     /// The cube this port's traffic targets (the CUB field the host
@@ -49,15 +54,24 @@ pub struct FabricPortSpec {
     pub cube: CubeId,
 }
 
+impl std::fmt::Debug for FabricPortSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FabricPortSpec")
+            .field("tags", &self.tags)
+            .field("cube", &self.cube)
+            .finish_non_exhaustive()
+    }
+}
+
 impl FabricPortSpec {
     /// A GUPS port with the default tag pool, targeting `cube`.
     pub fn gups(
         filter: hmc_mapping::AddressFilter,
-        op: hmc_host::GupsOp,
+        op: hmc_workloads::GupsOp,
         cube: CubeId,
     ) -> FabricPortSpec {
         FabricPortSpec {
-            traffic: Traffic::Gups { filter, op },
+            source: source_factory(move |seed| Box::new(GupsSource::new(filter, op, seed))),
             tags: GUPS_TAGS,
             cube,
         }
@@ -66,7 +80,20 @@ impl FabricPortSpec {
     /// A stream port with the default tag pool, targeting `cube`.
     pub fn stream(trace: hmc_workloads::Trace, cube: CubeId) -> FabricPortSpec {
         FabricPortSpec {
-            traffic: Traffic::Stream { trace },
+            source: source_factory(move |_seed| Box::new(TraceReplay::new(trace.clone()))),
+            tags: STREAM_TAGS,
+            cube,
+        }
+    }
+
+    /// A port over any traffic source, targeting `cube`, with the default
+    /// stream tag pool. The factory receives the port's derived seed.
+    pub fn from_source<F>(factory: F, cube: CubeId) -> FabricPortSpec
+    where
+        F: Fn(u64) -> Box<dyn TrafficSource> + Send + Sync + 'static,
+    {
+        FabricPortSpec {
+            source: source_factory(factory),
             tags: STREAM_TAGS,
             cube,
         }
@@ -781,7 +808,7 @@ impl FabricSim {
                     .seed
                     .wrapping_mul(0x9E37_79B9_7F4A_7C15)
                     .wrapping_add(i as u64 + 1);
-                Port::new(PortId(i as u8), spec.traffic, spec.tags, seed)
+                Port::new(PortId(i as u8), (spec.source)(seed), spec.tags)
             })
             .collect();
         let host_model = HostModel::new(host_cfg, ports);
@@ -1020,6 +1047,7 @@ impl FabricSim {
             .iter()
             .map(|p| PortReport {
                 port: p.id(),
+                source: p.source_label(),
                 issued: p.issued(),
                 completed: p.completed(),
                 latency: *p.latency(),

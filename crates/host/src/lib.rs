@@ -1,7 +1,7 @@
 //! # hmc-host
 //!
 //! The host half of the measurement stack (the FPGA of Figure 5): traffic
-//! ports with GUPS-style address generation or trace replay, per-port tag
+//! ports pulling from [`hmc_workloads::TrafficSource`]s, per-port tag
 //! pools and monitoring logic, the controller's per-port FIFOs and link
 //! arbitration, and the per-port response drain.
 //!
@@ -11,23 +11,24 @@
 //! - nine ports, each issuing at most one request per 187.5 MHz cycle;
 //! - per-port tag pools that bound outstanding requests (the small-request
 //!   bandwidth cap of Section IV-A);
-//! - mask/anti-mask address filters selecting the structural access
-//!   pattern;
+//! - pull-based traffic sources — GUPS generators behind mask/anti-mask
+//!   filters, trace replay, pointer chasing, NOM-style offload streams —
+//!   with per-transaction completion feedback for closed-loop workloads;
 //! - monitoring logic recording counts and total/min/max latency.
 //!
 //! ```
 //! use hmc_des::Time;
-//! use hmc_host::{GupsOp, HostConfig, HostModel, Port, Traffic};
+//! use hmc_host::{GupsOp, HostConfig, HostModel, Port};
 //! use hmc_mapping::{AccessPattern, AddressMap};
 //! use hmc_packet::{PayloadSize, PortId};
+//! use hmc_workloads::GupsSource;
 //!
 //! let map = AddressMap::hmc_gen2_default();
 //! let filter = AccessPattern::Vaults { count: 4 }.filter(&map);
 //! let port = Port::new(
 //!     PortId(0),
-//!     Traffic::Gups { filter, op: GupsOp::Read(PayloadSize::B64) },
+//!     Box::new(GupsSource::new(filter, GupsOp::Read(PayloadSize::B64), /* seed */ 1)),
 //!     64,
-//!     /* seed */ 1,
 //! );
 //! let mut host = HostModel::new(HostConfig::ac510_default(), vec![port]);
 //! host.set_all_active(true);
@@ -50,4 +51,7 @@ mod port;
 
 pub use config::HostConfig;
 pub use model::{HostEvent, HostModel};
-pub use port::{GupsOp, Port, TagPool, Traffic};
+pub use port::{Port, TagPool};
+// The GUPS op template lives with the sources now; re-exported for the
+// many call sites that name it through this crate.
+pub use hmc_workloads::GupsOp;

@@ -228,39 +228,56 @@ impl HostModel {
         self.pump_links(now)
     }
 
-    /// `true` while ticking can make progress: a port wants to issue or
-    /// requests wait in FIFOs or link queues.
-    pub fn wants_tick(&self) -> bool {
-        self.ports.iter().any(|p| p.wants_to_issue())
-            || self.fifos.iter().any(|f| !f.is_empty())
-            || self.staged.iter().any(|s| !s.is_empty())
-            || self.link_tx.iter().any(|tx| tx.queue_len() > 0)
+    /// The earliest instant at which `link`'s serializer could accept a
+    /// packet of `flits` flits *without any token return*: the wire drains
+    /// one flit per effective flit time, so the admission backlog bound is
+    /// met once enough wire time has passed. `None` while the unserialized
+    /// queue alone already exceeds the budget — only a token return
+    /// (a message that re-pumps the links) can free that.
+    fn wire_room_at(&self, link: usize, flits: u32, now: Time) -> Option<Time> {
+        let tx = &self.link_tx[link];
+        let queued = tx.queue_flits();
+        if queued + flits > self.cfg.link_fifo_flits {
+            return None;
+        }
+        // backlog(t) = queued + ceil(wire_ps(t) / flit_ps) must not exceed
+        // the budget: wire time still outstanding at t may cover at most
+        // `allowed` flits.
+        let allowed = u64::from(self.cfg.link_fifo_flits - queued - flits);
+        let flit_ps = self.cfg.link.effective_flit_time().as_ps().max(1);
+        let at = Time::from_ps(tx.busy_until().as_ps().saturating_sub(allowed * flit_ps));
+        Some(at.max(now))
     }
 
     /// The next instant at which ticking the host could make progress, or
     /// `None` while the host is idle (every port blocked on tags or done,
-    /// all pipes drained) — the host-side half of the clocked-component
-    /// protocol that lets the simulation skip idle FPGA cycles entirely.
+    /// all pipes drained or token-starved) — the host-side half of the
+    /// clocked-component protocol that lets the simulation skip idle FPGA
+    /// cycles entirely.
     ///
     /// Ticks live on the FPGA clock grid (multiples of `fpga_period` from
     /// [`Time::ZERO`]); the reported instant is the first grid point not
-    /// before `now` that has work:
+    /// before `now` at which something can actually move:
     ///
-    /// - a port that wants to issue, or a non-empty port FIFO, needs the
-    ///   very next grid point (issue and admission happen once per cycle);
-    /// - a staged packet still in the controller pipeline needs the first
-    ///   grid point at or after its pipeline-exit time (if it is already
-    ///   due but blocked on serializer room, that is the next grid point:
-    ///   room frees as wire time passes, so the host retries each cycle
-    ///   exactly as per-cycle ticking did);
-    /// - packets queued in a link serializer need no wake at all: they
+    /// - a port whose source could issue ([`Port::next_wake`]) needs the
+    ///   first grid point at or after that instant — provided its FIFO has
+    ///   room (a full FIFO drains by admission, covered below);
+    /// - a FIFO head needs the earliest grid point at which *some* link
+    ///   can admit it: past that link's one-admission-per-cycle gate and
+    ///   with serializer room, where room is derived from the wire-drain
+    ///   schedule ([`HostModel::wire_room_at`]) instead of retrying every
+    ///   cycle;
+    /// - a staged packet needs the first grid point at or after both its
+    ///   pipeline-exit time and its serializer's wire-drain room;
+    /// - packets whose serializer queue alone exceeds the room budget, and
+    ///   packets queued in a link serializer, need no wake at all: they
     ///   are, by construction, token-starved, and the token return message
     ///   itself pumps the links ([`HostModel::on_request_tokens`]).
     ///
     /// Progress driven by inbound traffic (responses arriving, tags
-    /// freeing on delivery) is message-driven and deliberately *not*
-    /// reported here; the surrounding component re-queries after every
-    /// such message.
+    /// freeing on delivery, completions unblocking closed-loop sources) is
+    /// message-driven and deliberately *not* reported here; the
+    /// surrounding component re-queries after every such message.
     pub fn next_wake(&self, now: Time) -> Option<Time> {
         let period = self.cfg.fpga_period.as_ps();
         let grid_ceil = |t: Time| Time::from_ps(t.as_ps().div_ceil(period) * period);
@@ -268,12 +285,33 @@ impl HostModel {
         let mut propose = |t: Time| {
             wake = Some(wake.map_or(t, |w| w.min(t)));
         };
-        if self.ports.iter().any(Port::wants_to_issue) || self.fifos.iter().any(|f| !f.is_empty()) {
-            propose(grid_ceil(now));
+        for (p, fifo) in self.ports.iter().zip(&self.fifos) {
+            if fifo.is_full() {
+                continue;
+            }
+            if let Some(t) = p.next_wake(now) {
+                propose(grid_ceil(t));
+            }
         }
-        for staged in &self.staged {
-            if let Some(&(ready, _)) = staged.front() {
-                propose(grid_ceil(ready.max(now)));
+        for fifo in &self.fifos {
+            let Some(pkt) = fifo.peek() else { continue };
+            // Earliest admission over all links: the per-cycle admission
+            // gate and the wire-drain room bound both satisfied.
+            let at = (0..self.link_tx.len())
+                .filter_map(|l| {
+                    self.wire_room_at(l, pkt.flits(), now)
+                        .map(|room| room.max(self.stage_admit_at[l]))
+                })
+                .min();
+            if let Some(t) = at {
+                propose(grid_ceil(t.max(now)));
+            }
+        }
+        for (l, staged) in self.staged.iter().enumerate() {
+            if let Some(&(ready, pkt)) = staged.front() {
+                if let Some(room) = self.wire_room_at(l, pkt.flits(), now) {
+                    propose(grid_ceil(room.max(ready).max(now)));
+                }
             }
         }
         wake
@@ -281,7 +319,10 @@ impl HostModel {
 
     /// `true` when every port is done and all plumbing is empty.
     pub fn all_done(&self) -> bool {
-        self.ports.iter().all(|p| p.is_done()) && !self.wants_tick()
+        self.ports.iter().all(|p| p.is_done())
+            && self.fifos.iter().all(|f| f.is_empty())
+            && self.staged.iter().all(|s| s.is_empty())
+            && self.link_tx.iter().all(|tx| tx.queue_len() == 0)
     }
 
     /// Activates or deactivates every GUPS port.
@@ -334,9 +375,9 @@ impl Clocked for HostModel {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::port::{GupsOp, Traffic};
     use hmc_mapping::{AccessPattern, AddressMap};
     use hmc_packet::PayloadSize;
+    use hmc_workloads::{GupsOp, GupsSource};
 
     fn host_with_gups_ports(n: usize, tags: u16) -> HostModel {
         let map = AddressMap::hmc_gen2_default();
@@ -345,12 +386,12 @@ mod tests {
             .map(|i| {
                 Port::new(
                     PortId(i as u8),
-                    Traffic::Gups {
+                    Box::new(GupsSource::new(
                         filter,
-                        op: GupsOp::Read(PayloadSize::B32),
-                    },
+                        GupsOp::Read(PayloadSize::B32),
+                        i as u64,
+                    )),
                     tags,
-                    i as u64,
                 )
             })
             .collect();
@@ -534,14 +575,41 @@ mod tests {
     }
 
     #[test]
-    fn wants_tick_reflects_state() {
+    fn next_wake_reflects_activation() {
         let mut h = host_with_gups_ports(1, 4);
-        assert!(!h.wants_tick(), "inactive GUPS port is idle");
+        assert_eq!(h.next_wake(Time::ZERO), None, "inactive GUPS port is idle");
         h.set_all_active(true);
-        assert!(h.wants_tick());
+        assert!(h.next_wake(Time::ZERO).is_some());
         h.set_all_active(false);
-        assert!(!h.wants_tick());
-        assert!(!h.all_done() || h.outstanding() == 0);
+        assert_eq!(h.next_wake(Time::ZERO), None);
+        assert!(h.all_done(), "inactive drained host is done");
+    }
+
+    #[test]
+    fn saturated_serializer_sleeps_until_the_wire_drains() {
+        // Fill one link's serializer far past the admission budget, then
+        // ask for the next wake: the host must not retry every cycle —
+        // the wake is derived from the wire-drain schedule (or absent
+        // entirely while the unserialized queue alone exceeds the room
+        // budget, which only a token return can fix).
+        let mut h = host_with_gups_ports(9, 64);
+        h.set_all_active(true);
+        let period = h.config().fpga_period;
+        let mut now = Time::ZERO;
+        // Drive until every port is tag-starved and the pipes are full.
+        for _ in 0..400u64 {
+            h.tick(now);
+            now += period;
+        }
+        let wake = h.next_wake(now);
+        if let Some(t) = wake {
+            assert!(
+                t > now + period,
+                "a saturated host must sleep past the next cycle, got {t} at {now}"
+            );
+        }
+        // Token returns still reach a sleeping host through
+        // `on_request_tokens`, so `None` is equally acceptable here.
     }
 
     #[test]

@@ -1,13 +1,12 @@
-//! Traffic-generator ports: GUPS address generators and trace-driven
-//! stream ports, with tag pools and monitoring logic (Figure 5).
+//! Traffic ports: pull-based traffic sources behind tag pools and the
+//! monitoring logic of Figure 5.
+
+use core::fmt;
 
 use hmc_des::Time;
-use hmc_mapping::AddressFilter;
-use hmc_packet::{PayloadSize, PortId, RequestKind, RequestPacket, ResponsePacket, Tag};
+use hmc_packet::{PortId, RequestPacket, ResponsePacket, Tag};
 use hmc_stats::{BandwidthMeter, LatencyRecorder};
-use hmc_workloads::{Trace, TraceOp};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use hmc_workloads::{Completion, Feedback, SourceStep, TraceOp, TrafficSource};
 
 /// A pool of transaction tags bounding a port's outstanding requests.
 ///
@@ -73,65 +72,43 @@ impl TagPool {
     }
 }
 
-/// What a GUPS port generates.
+/// The port's cached view of its source's last non-`Op` answer, so the
+/// side-effect-free queries ([`Port::next_wake`], [`Port::is_done`]) never
+/// have to poll the source.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum GupsOp {
-    /// Random reads of a fixed size.
-    Read(PayloadSize),
-    /// Random writes of a fixed size.
-    Write(PayloadSize),
-    /// Random 16 B read-modify-writes.
-    ReadModifyWrite,
-    /// A random mix: `write_percent`% writes, the rest reads, all of one
-    /// size (the read/write balance experiment of Section IV-F).
-    Mix {
-        /// Transfer size for both directions.
-        size: PayloadSize,
-        /// Percentage of writes (0–100).
-        write_percent: u8,
-    },
+enum SourceState {
+    /// The source must be polled at the next opportunity.
+    Poll,
+    /// The source asked to wait until this instant.
+    Waiting(Time),
+    /// The source is waiting for a completion.
+    Blocked,
+    /// The source is exhausted.
+    Done,
 }
 
-impl GupsOp {
-    fn payload(&self) -> PayloadSize {
-        match *self {
-            GupsOp::Read(s) | GupsOp::Write(s) => s,
-            GupsOp::ReadModifyWrite => PayloadSize::B16,
-            GupsOp::Mix { size, .. } => size,
-        }
-    }
-}
-
-/// The traffic source behind a port.
-#[derive(Debug, Clone)]
-pub enum Traffic {
-    /// GUPS firmware: random addresses through a mask/anti-mask filter,
-    /// as many requests as flow control allows.
-    Gups {
-        /// The mask/anti-mask address filter.
-        filter: AddressFilter,
-        /// Operation template.
-        op: GupsOp,
-    },
-    /// Multi-port stream firmware: replay a finite trace.
-    Stream {
-        /// The trace to replay.
-        trace: Trace,
-    },
-}
-
-/// One FPGA port: address generation or trace replay, a tag pool, and the
+/// One FPGA port: a pull-based [`TrafficSource`], a tag pool, and the
 /// monitoring logic that records counts and latency aggregates.
-#[derive(Debug, Clone)]
+///
+/// The port polls its source only when it could actually issue (free tag;
+/// active, for [duration-gated](TrafficSource::duration_gated) sources)
+/// and relays each completed transaction back through the source's
+/// [`Feedback`] exactly once — the closed loop that lets sources derive
+/// their next request from a prior response.
 pub struct Port {
     id: PortId,
-    traffic: Traffic,
+    source: Box<dyn TrafficSource>,
+    state: SourceState,
+    /// Completions not yet presented to the source.
+    fresh: Vec<Completion>,
+    gated: bool,
+    rx_extra: u32,
+    label: &'static str,
     tags: TagPool,
-    /// Request payloads indexed by tag (to account response bytes).
-    kind_by_tag: Vec<Option<RequestKind>>,
-    rng: SmallRng,
+    /// Issued op and its source-local issue index, by tag (to account
+    /// response bytes and to build completions).
+    op_by_tag: Vec<Option<(TraceOp, u64)>>,
     active: bool,
-    next_trace_index: usize,
     issued: u64,
     completed: u64,
     recording: bool,
@@ -141,31 +118,42 @@ pub struct Port {
     writes_recorded: u64,
 }
 
+impl fmt::Debug for Port {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Port")
+            .field("id", &self.id)
+            .field("source", &self.label)
+            .field("state", &self.state)
+            .field("issued", &self.issued)
+            .field("completed", &self.completed)
+            .finish_non_exhaustive()
+    }
+}
+
 impl Port {
-    /// Creates a port. GUPS ports start inactive (activate with
-    /// [`Port::set_active`]); stream ports are implicitly active until
-    /// their trace is exhausted.
+    /// Creates a port over a traffic source. Duration-gated sources (GUPS)
+    /// start inactive (activate with [`Port::set_active`]); all other
+    /// sources run to exhaustion regardless of activation.
     ///
     /// # Panics
     ///
-    /// Panics if a GUPS op has a non-power-of-two size (the firmware's
-    /// alignment scheme requires it) or `tags` is zero.
-    pub fn new(id: PortId, traffic: Traffic, tags: u16, seed: u64) -> Port {
-        if let Traffic::Gups { op, .. } = &traffic {
-            assert!(
-                op.payload().bytes().is_power_of_two(),
-                "GUPS sizes must be powers of two for address alignment"
-            );
-        }
+    /// Panics if `tags` is zero.
+    pub fn new(id: PortId, source: Box<dyn TrafficSource>, tags: u16) -> Port {
         let capacity = usize::from(tags);
+        let gated = source.duration_gated();
+        let rx_extra = source.rx_extra_flits();
+        let label = source.label();
         Port {
             id,
-            traffic,
+            source,
+            state: SourceState::Poll,
+            fresh: Vec::new(),
+            gated,
+            rx_extra,
+            label,
             tags: TagPool::new(tags),
-            kind_by_tag: vec![None; capacity],
-            rng: SmallRng::seed_from_u64(seed),
+            op_by_tag: vec![None; capacity],
             active: false,
-            next_trace_index: 0,
             issued: 0,
             completed: 0,
             recording: true,
@@ -181,60 +169,86 @@ impl Port {
         self.id
     }
 
-    /// Activates or deactivates a GUPS port. Stream ports ignore this.
+    /// The source's reporting label.
+    pub fn source_label(&self) -> &'static str {
+        self.label
+    }
+
+    /// Activates or deactivates a duration-gated (GUPS) port. Ports over
+    /// run-to-exhaustion sources ignore this.
     pub fn set_active(&mut self, active: bool) {
         self.active = active;
     }
 
-    /// `true` if the port wants to issue a request right now.
-    pub fn wants_to_issue(&self) -> bool {
+    /// The earliest instant at which polling this port could issue a
+    /// request, or `None` while only an external event (a response freeing
+    /// a tag, a completion unblocking the source, activation) can help.
+    ///
+    /// `Some(now)` for a source that must be polled is deliberately
+    /// conservative: the poll may still answer `Blocked`/`Done`, costing
+    /// one no-op tick, never a missed issue.
+    pub fn next_wake(&self, now: Time) -> Option<Time> {
         if !self.tags.has_free() {
-            return false;
+            return None;
         }
-        match &self.traffic {
-            Traffic::Gups { .. } => self.active,
-            Traffic::Stream { trace } => self.next_trace_index < trace.len(),
+        if self.gated && !self.active {
+            return None;
+        }
+        match self.state {
+            SourceState::Poll => Some(now),
+            SourceState::Waiting(t) => Some(t.max(now)),
+            SourceState::Blocked | SourceState::Done => None,
         }
     }
 
-    /// Builds the port's next request if it has one and a tag is free.
+    /// Builds the port's next request if the source has one and a tag is
+    /// free. Completions received since the last poll are handed to the
+    /// source first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the source violates its protocol: waits into the past, or
+    /// blocks with nothing outstanding (which could never unblock).
     pub fn try_issue(&mut self, now: Time) -> Option<RequestPacket> {
-        if !self.wants_to_issue() {
+        if !self.tags.has_free() || (self.gated && !self.active) {
             return None;
         }
-        let op = match &self.traffic {
-            Traffic::Gups { filter, op } => {
-                let size = op.payload();
-                let raw = self.rng.gen::<u64>() & !(u64::from(size.bytes()) - 1);
-                let addr = filter.apply(raw);
-                let kind = match *op {
-                    GupsOp::Read(s) => RequestKind::Read { size: s },
-                    GupsOp::Write(s) => RequestKind::Write { size: s },
-                    GupsOp::ReadModifyWrite => RequestKind::ReadModifyWrite,
-                    GupsOp::Mix {
-                        size,
-                        write_percent,
-                    } => {
-                        if self.rng.gen_range(0u8..100) < write_percent {
-                            RequestKind::Write { size }
-                        } else {
-                            RequestKind::Read { size }
-                        }
-                    }
-                };
-                TraceOp { addr, kind }
-            }
-            Traffic::Stream { trace } => {
-                let op = trace.ops()[self.next_trace_index];
-                self.next_trace_index += 1;
+        match self.state {
+            SourceState::Done | SourceState::Blocked => return None,
+            SourceState::Waiting(t) if now < t => return None,
+            _ => {}
+        }
+        let feedback = Feedback {
+            completions: &self.fresh,
+            outstanding: self.tags.in_flight(),
+        };
+        let step = self.source.next(now, &feedback);
+        self.fresh.clear();
+        let op = match step {
+            SourceStep::Op(op) => {
+                self.state = SourceState::Poll;
                 op
             }
+            SourceStep::WaitUntil(t) => {
+                assert!(t > now, "source must wait into the future");
+                self.state = SourceState::Waiting(t);
+                return None;
+            }
+            SourceStep::Blocked => {
+                assert!(
+                    self.tags.in_flight() > 0,
+                    "source blocked with nothing outstanding: it can never unblock"
+                );
+                self.state = SourceState::Blocked;
+                return None;
+            }
+            SourceStep::Done => {
+                self.state = SourceState::Done;
+                return None;
+            }
         };
-        let tag = self
-            .tags
-            .allocate(now)
-            .expect("wants_to_issue implies a free tag");
-        self.kind_by_tag[usize::from(tag.0)] = Some(op.kind);
+        let tag = self.tags.allocate(now).expect("free tag checked above");
+        self.op_by_tag[usize::from(tag.0)] = Some((op, self.issued));
         self.issued += 1;
         Some(RequestPacket {
             port: self.id,
@@ -244,36 +258,50 @@ impl Port {
         })
     }
 
-    /// Completes the transaction `pkt` answers: frees its tag and records
-    /// latency and round-trip bytes.
+    /// Completes the transaction `pkt` answers: frees its tag, records
+    /// latency and round-trip bytes, and queues the completion for the
+    /// source's next poll.
     ///
     /// # Panics
     ///
     /// Panics if the response's tag is not outstanding.
     pub fn on_response(&mut self, now: Time, pkt: &ResponsePacket) {
         let issued_at = self.tags.release(pkt.tag);
-        let kind = self.kind_by_tag[usize::from(pkt.tag.0)]
+        let (op, index) = self.op_by_tag[usize::from(pkt.tag.0)]
             .take()
-            .expect("tag carries its request kind");
+            .expect("tag carries its request op");
         self.completed += 1;
         if self.recording {
             self.latency.record_ps((now - issued_at).as_ps());
-            self.bytes.add_bytes(kind.round_trip_bytes());
-            if kind.is_read() {
+            self.bytes.add_bytes(op.kind.round_trip_bytes());
+            if op.kind.is_read() {
                 self.reads_recorded += 1;
             } else {
                 self.writes_recorded += 1;
             }
         }
+        self.fresh.push(Completion {
+            index,
+            op,
+            issued_at,
+            completed_at: now,
+        });
+        // A completion may unblock a closed-loop source (or re-schedule a
+        // waiting one): force a fresh poll at the next opportunity. A
+        // finished source stays finished.
+        if matches!(self.state, SourceState::Blocked | SourceState::Waiting(_)) {
+            self.state = SourceState::Poll;
+        }
     }
 
-    /// `true` once a stream port has issued its whole trace and received
-    /// every response. GUPS ports are done when deactivated and drained.
+    /// `true` once the source is exhausted and every response is home.
+    /// Duration-gated ports are done when deactivated and drained.
     pub fn is_done(&self) -> bool {
         let drained = self.tags.in_flight() == 0;
-        match &self.traffic {
-            Traffic::Gups { .. } => !self.active && drained,
-            Traffic::Stream { trace } => self.next_trace_index >= trace.len() && drained,
+        if self.gated {
+            !self.active && drained
+        } else {
+            self.state == SourceState::Done && drained
         }
     }
 
@@ -282,15 +310,13 @@ impl Port {
         self.tags.in_flight()
     }
 
-    /// Extra flits this port's RX path moves per response. Stream ports
-    /// ship each response's address back to the host alongside the data
+    /// Extra flits this port's RX path moves per response (the source's
+    /// [`TrafficSource::rx_extra_flits`]): stream-style firmware ships
+    /// each response's address back to the host alongside the data
     /// (Figure 5b's "Rd. Addr. FIFO"), costing one flit; GUPS ports only
     /// update local counters.
     pub fn rx_extra_flits(&self) -> u32 {
-        match self.traffic {
-            Traffic::Gups { .. } => 0,
-            Traffic::Stream { .. } => 1,
-        }
+        self.rx_extra
     }
 
     /// Total requests issued.
@@ -341,20 +367,17 @@ impl Port {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use hmc_mapping::{AccessPattern, AddressMap};
-    use hmc_packet::Address;
+    use hmc_mapping::{AccessPattern, AddressMap, VaultId};
+    use hmc_packet::{Address, PayloadSize, RequestKind};
+    use hmc_workloads::{GupsOp, GupsSource, PointerChase, Trace, TraceReplay, UniformSource};
 
     fn gups_port(tags: u16) -> Port {
         let map = AddressMap::hmc_gen2_default();
         let filter = AccessPattern::Vaults { count: 16 }.filter(&map);
         Port::new(
             PortId(0),
-            Traffic::Gups {
-                filter,
-                op: GupsOp::Read(PayloadSize::B32),
-            },
+            Box::new(GupsSource::new(filter, GupsOp::Read(PayloadSize::B32), 7)),
             tags,
-            7,
         )
     }
 
@@ -387,6 +410,7 @@ mod tests {
     fn inactive_gups_port_stays_silent() {
         let mut p = gups_port(4);
         assert!(p.try_issue(Time::ZERO).is_none());
+        assert_eq!(p.next_wake(Time::ZERO), None, "inactive port sleeps");
         p.set_active(true);
         assert!(p.try_issue(Time::ZERO).is_some());
         p.set_active(false);
@@ -400,7 +424,7 @@ mod tests {
             TraceOp::read(Address::new(0), PayloadSize::B64),
             TraceOp::read(Address::new(128), PayloadSize::B64),
         ]);
-        let mut p = Port::new(PortId(3), Traffic::Stream { trace }, 8, 0);
+        let mut p = Port::new(PortId(3), Box::new(TraceReplay::new(trace)), 8);
         let a = p.try_issue(Time::ZERO).unwrap();
         let b = p.try_issue(Time::ZERO).unwrap();
         assert_eq!(a.addr.raw(), 0);
@@ -410,6 +434,7 @@ mod tests {
         p.on_response(Time::from_ns(1), &ResponsePacket::for_request(&a));
         p.on_response(Time::from_ns(2), &ResponsePacket::for_request(&b));
         assert!(p.is_done());
+        assert_eq!(p.source_label(), "stream");
     }
 
     #[test]
@@ -430,12 +455,8 @@ mod tests {
         let filter = AccessPattern::Vaults { count: 2 }.filter(&map);
         let mut p = Port::new(
             PortId(1),
-            Traffic::Gups {
-                filter,
-                op: GupsOp::Read(PayloadSize::B64),
-            },
+            Box::new(GupsSource::new(filter, GupsOp::Read(PayloadSize::B64), 3)),
             64,
-            3,
         );
         p.set_active(true);
         for _ in 0..64 {
@@ -451,15 +472,15 @@ mod tests {
         let filter = AccessPattern::Vaults { count: 16 }.filter(&map);
         let mut p = Port::new(
             PortId(0),
-            Traffic::Gups {
+            Box::new(GupsSource::new(
                 filter,
-                op: GupsOp::Mix {
+                GupsOp::Mix {
                     size: PayloadSize::B64,
                     write_percent: 50,
                 },
-            },
+                11,
+            )),
             200,
-            11,
         );
         p.set_active(true);
         let mut reads = 0;
@@ -475,6 +496,45 @@ mod tests {
             reads > 50 && writes > 50,
             "mix is roughly balanced: {reads}/{writes}"
         );
+    }
+
+    #[test]
+    fn closed_loop_chase_blocks_until_its_completion_returns() {
+        let map = AddressMap::hmc_gen2_default();
+        let vaults: Vec<VaultId> = (0..16).map(VaultId).collect();
+        let chase = PointerChase::new(&map, &vaults, PayloadSize::B64, 1, 3, 5);
+        let mut p = Port::new(PortId(0), Box::new(chase), 16);
+        let first = p.try_issue(Time::ZERO).unwrap();
+        assert!(
+            p.try_issue(Time::ZERO).is_none(),
+            "a 1-walker chase is strictly serial"
+        );
+        assert_eq!(p.next_wake(Time::ZERO), None, "blocked source sleeps");
+        p.on_response(Time::from_ns(700), &ResponsePacket::for_request(&first));
+        assert_eq!(
+            p.next_wake(Time::from_ns(700)),
+            Some(Time::from_ns(700)),
+            "a completion re-arms the poll"
+        );
+        let second = p.try_issue(Time::from_ns(700)).unwrap();
+        assert_ne!(second.addr, first.addr, "the chain moved");
+        assert_eq!(p.rx_extra_flits(), 1, "closed loops ship addresses back");
+    }
+
+    #[test]
+    fn bounded_uniform_source_finishes_without_activation() {
+        let map = AddressMap::hmc_gen2_default();
+        let src = UniformSource::reads_in_vaults(&map, &[VaultId(0)], PayloadSize::B32, Some(2), 1);
+        let mut p = Port::new(PortId(0), Box::new(src), 8);
+        let a = p.try_issue(Time::ZERO).unwrap();
+        let b = p.try_issue(Time::ZERO).unwrap();
+        assert!(p.try_issue(Time::ZERO).is_none());
+        assert!(!p.is_done());
+        p.on_response(Time::from_ns(1), &ResponsePacket::for_request(&a));
+        p.on_response(Time::from_ns(2), &ResponsePacket::for_request(&b));
+        // One more poll discovers exhaustion.
+        assert!(p.try_issue(Time::from_ns(3)).is_none());
+        assert!(p.is_done());
     }
 
     #[test]

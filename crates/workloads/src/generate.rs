@@ -1,4 +1,9 @@
 //! Trace generators for the paper's experiments.
+//!
+//! The random/linear generators are eager views of the lazy pull sources
+//! in [`crate::source`]: each materializes exactly the ops the matching
+//! source emits, so a replayed trace and the lazy source are
+//! interchangeable by construction.
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -6,7 +11,23 @@ use rand::{Rng, SeedableRng};
 use hmc_mapping::{AddressMap, VaultId};
 use hmc_packet::{Address, PayloadSize};
 
+use crate::source::{
+    aligned_offset, Feedback, LinearSource, SourceStep, TrafficSource, UniformSource,
+};
 use crate::trace::{Trace, TraceOp};
+
+/// Materializes an open-loop source into a trace. The source must emit an
+/// op on every poll until exhaustion (the uniform/linear generators do).
+fn unroll(mut source: impl TrafficSource) -> Trace {
+    let mut ops = Vec::new();
+    loop {
+        match source.next(hmc_des::Time::ZERO, &Feedback::EMPTY) {
+            SourceStep::Op(op) => ops.push(op),
+            SourceStep::Done => return Trace::from_ops(ops),
+            step => unreachable!("open-loop generator answered {step:?}"),
+        }
+    }
+}
 
 /// Generates `count` random reads of `size` bytes confined to the given
 /// vault set (any bank, any row), aligned to the request size — the
@@ -14,7 +35,9 @@ use crate::trace::{Trace, TraceOp};
 /// read requests mapped within" a chosen structural subset.
 ///
 /// Addresses are drawn uniformly and independently; determinism comes from
-/// the caller-provided `seed`.
+/// the caller-provided `seed`. The eager form of
+/// [`UniformSource::reads_in_vaults`]: both emit the same sequence for the
+/// same seed.
 ///
 /// # Panics
 ///
@@ -26,30 +49,13 @@ pub fn random_reads_in_vaults(
     count: usize,
     seed: u64,
 ) -> Trace {
-    assert!(!vaults.is_empty(), "need at least one vault");
-    let g = map.geometry();
-    for v in vaults {
-        assert!(v.0 < g.vaults, "vault out of range");
-    }
-    let mut rng = SmallRng::seed_from_u64(seed);
-    let rows = map.rows_per_bank();
-    let block = map.block_size().bytes();
-    (0..count)
-        .map(|_| {
-            let vault = vaults[rng.gen_range(0..vaults.len())];
-            let bank = hmc_mapping::BankId(rng.gen_range(0..g.banks_per_vault));
-            let row = rng.gen_range(0..rows);
-            // Align the in-block offset to the request size so a request
-            // never straddles blocks.
-            let slots = block / u64::from(size.bytes()).max(1);
-            let offset = if slots > 1 {
-                rng.gen_range(0..slots) * u64::from(size.bytes())
-            } else {
-                0
-            };
-            TraceOp::read(map.encode(vault, bank, row, offset), size)
-        })
-        .collect()
+    unroll(UniformSource::reads_in_vaults(
+        map,
+        vaults,
+        size,
+        Some(count as u64),
+        seed,
+    ))
 }
 
 /// Generates `count` random reads confined to the first `banks` banks of
@@ -75,12 +81,7 @@ pub fn random_reads_in_banks(
         .map(|_| {
             let bank = hmc_mapping::BankId(rng.gen_range(0..banks));
             let row = rng.gen_range(0..rows);
-            let slots = block / u64::from(size.bytes()).max(1);
-            let offset = if slots > 1 {
-                rng.gen_range(0..slots) * u64::from(size.bytes())
-            } else {
-                0
-            };
+            let offset = aligned_offset(block, size, |slots| rng.gen_range(0..slots));
             TraceOp::read(map.encode(vault, bank, row, offset), size)
         })
         .collect()
@@ -88,11 +89,9 @@ pub fn random_reads_in_banks(
 
 /// Generates a linear (sequential-address) read sweep of `count` requests
 /// of `size` bytes starting at `base` — the GUPS "linear mode of
-/// addressing".
+/// addressing". The eager form of [`LinearSource`].
 pub fn linear_reads(base: Address, size: PayloadSize, count: usize) -> Trace {
-    (0..count as u64)
-        .map(|i| TraceOp::read(Address::new(base.raw() + i * u64::from(size.bytes())), size))
-        .collect()
+    unroll(LinearSource::new(base, size, count as u64))
 }
 
 /// Iterates every k-combination of the cube's vault ids in lexicographic

@@ -1,0 +1,1003 @@
+//! Pull-based traffic sources: the closed-loop workload pipeline.
+//!
+//! A [`TrafficSource`] is the generator behind one traffic port. Instead of
+//! materializing a request list up front (the old open-loop `Trace`-vector
+//! path), the port *pulls* one operation at a time with
+//! [`TrafficSource::next`], handing back a [`Feedback`] that carries every
+//! transaction completed since the previous pull. That single change makes
+//! dependent-access workloads expressible:
+//!
+//! - [`GupsSource`] — the paper's GUPS firmware (random addresses through a
+//!   mask/anti-mask filter), now emitted lazily;
+//! - [`TraceReplay`] — the multi-port stream firmware, streaming an
+//!   existing [`Trace`] without copying it per request;
+//! - [`UniformSource`] / [`LinearSource`] — the uniform/linear generators
+//!   of [`crate::random_reads_in_vaults`] / [`crate::linear_reads`], lazy
+//!   and optionally unbounded;
+//! - [`Paced`] — a rate-control wrapper spacing any open-loop source's
+//!   requests by a fixed gap;
+//! - [`PointerChase`] — N walkers each deriving their next address
+//!   deterministically from the completed transaction: the unloaded-latency
+//!   probe of the companion study (Hadidi et al., ISPASS 2017);
+//! - [`OffloadSource`] — NOM-style copy streams (Rezaei et al., 2020):
+//!   paired read→dependent-write bursts between two vaults.
+//!
+//! # The pull protocol
+//!
+//! The port polls `next(now, &feedback)` only when it could actually issue
+//! (a tag is free, its FIFO has room, and — for
+//! [duration-gated](TrafficSource::duration_gated) sources — the port is
+//! active). Each completion is presented exactly once, in completion
+//! order; `Completion::index` is the 0-based issue order of the ops pulled
+//! from this source, so a source can match completions to whatever it has
+//! in flight without keeping addresses unique. The contract on the return
+//! value:
+//!
+//! - [`SourceStep::Op`] is issued immediately — the source may count it as
+//!   in flight;
+//! - [`SourceStep::WaitUntil`] must name a strictly future instant; the
+//!   port re-polls then (or earlier, if a completion arrives first);
+//! - [`SourceStep::Blocked`] is only legal while the source has
+//!   transactions outstanding (otherwise nothing could ever unblock it —
+//!   the port treats that as a protocol bug and panics);
+//! - [`SourceStep::Done`] is terminal.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::Arc;
+
+use hmc_des::{Delay, Time};
+use hmc_mapping::{AddressFilter, AddressMap, BankId, VaultId};
+use hmc_packet::{Address, PayloadSize, RequestKind};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::trace::{Trace, TraceOp};
+
+/// One completed transaction, reported back to the source that emitted it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Completion {
+    /// Issue-order index of the completed op: the `n`-th operation this
+    /// source returned from [`TrafficSource::next`] has index `n` (0-based).
+    pub index: u64,
+    /// The operation that completed.
+    pub op: TraceOp,
+    /// When the request was issued by the port.
+    pub issued_at: Time,
+    /// When the response was delivered back to the port.
+    pub completed_at: Time,
+}
+
+/// Closed-loop feedback handed to [`TrafficSource::next`].
+#[derive(Debug, Clone, Copy)]
+pub struct Feedback<'a> {
+    /// Transactions completed since the previous `next` call, in
+    /// completion order. Each completion appears exactly once.
+    pub completions: &'a [Completion],
+    /// Requests still outstanding at this port (not counting the op being
+    /// requested).
+    pub outstanding: u16,
+}
+
+impl Feedback<'_> {
+    /// Feedback with no completions (useful in tests and manual drivers).
+    pub const EMPTY: Feedback<'static> = Feedback {
+        completions: &[],
+        outstanding: 0,
+    };
+}
+
+/// What a source answers when polled for its next operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SourceStep {
+    /// Issue this operation now.
+    Op(TraceOp),
+    /// Nothing yet; poll again at this (strictly future) instant — the
+    /// rate-control step of open-loop sources.
+    WaitUntil(Time),
+    /// Nothing until an outstanding transaction completes — the
+    /// closed-loop step of dependent-access sources.
+    Blocked,
+    /// The source is exhausted; it will never emit again.
+    Done,
+}
+
+/// A pull-based traffic generator behind one port.
+///
+/// See the [module docs](self) for the full protocol and
+/// [`crate`]-level docs for a worked custom-source example.
+pub trait TrafficSource: Send {
+    /// Pulls the next operation. `feedback` carries every transaction
+    /// completed since the previous call (each exactly once).
+    fn next(&mut self, now: Time, feedback: &Feedback<'_>) -> SourceStep;
+
+    /// `true` if this source only runs while its port is activated
+    /// (GUPS-style fixed-duration firmware, gated by the measurement
+    /// window); `false` if it runs to exhaustion like the stream firmware.
+    fn duration_gated(&self) -> bool {
+        false
+    }
+
+    /// Extra flits the port's RX path moves per response. Stream-firmware
+    /// style sources ship each response's address back to the host
+    /// alongside the data (Figure 5b's "Rd. Addr. FIFO"), costing one
+    /// flit — and every closed-loop source needs that address to derive
+    /// its next request, so `1` is the default; GUPS overrides with `0`
+    /// (it only bumps local counters).
+    fn rx_extra_flits(&self) -> u32 {
+        1
+    }
+
+    /// A short stable name for per-source reporting.
+    fn label(&self) -> &'static str;
+}
+
+/// A cloneable recipe building a [`TrafficSource`] from a port seed.
+///
+/// Port specs carry factories rather than built sources so that a spec can
+/// be cloned across ports (`vec![spec; 9]`) while each port still gets its
+/// own deterministically derived seed.
+pub type SourceFactory = Arc<dyn Fn(u64) -> Box<dyn TrafficSource> + Send + Sync>;
+
+/// Wraps a closure as a [`SourceFactory`].
+pub fn source_factory<F>(f: F) -> SourceFactory
+where
+    F: Fn(u64) -> Box<dyn TrafficSource> + Send + Sync + 'static,
+{
+    Arc::new(f)
+}
+
+/// What a GUPS port generates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GupsOp {
+    /// Random reads of a fixed size.
+    Read(PayloadSize),
+    /// Random writes of a fixed size.
+    Write(PayloadSize),
+    /// Random 16 B read-modify-writes.
+    ReadModifyWrite,
+    /// A random mix: `write_percent`% writes, the rest reads, all of one
+    /// size (the read/write balance experiment of Section IV-F).
+    Mix {
+        /// Transfer size for both directions.
+        size: PayloadSize,
+        /// Percentage of writes (0–100).
+        write_percent: u8,
+    },
+}
+
+impl GupsOp {
+    /// The transfer size this op template moves.
+    pub fn payload(&self) -> PayloadSize {
+        match *self {
+            GupsOp::Read(s) | GupsOp::Write(s) => s,
+            GupsOp::ReadModifyWrite => PayloadSize::B16,
+            GupsOp::Mix { size, .. } => size,
+        }
+    }
+}
+
+/// The GUPS firmware as a pull source: random addresses through a
+/// mask/anti-mask filter, as many requests as flow control allows, gated
+/// by the port's activation window.
+#[derive(Debug, Clone)]
+pub struct GupsSource {
+    filter: AddressFilter,
+    op: GupsOp,
+    rng: SmallRng,
+}
+
+impl GupsSource {
+    /// Creates a GUPS generator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the op's size is not a power of two (the firmware's
+    /// alignment scheme requires it).
+    pub fn new(filter: AddressFilter, op: GupsOp, seed: u64) -> GupsSource {
+        assert!(
+            op.payload().bytes().is_power_of_two(),
+            "GUPS sizes must be powers of two for address alignment"
+        );
+        GupsSource {
+            filter,
+            op,
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl TrafficSource for GupsSource {
+    fn next(&mut self, _now: Time, _feedback: &Feedback<'_>) -> SourceStep {
+        let size = self.op.payload();
+        let raw = self.rng.gen::<u64>() & !(u64::from(size.bytes()) - 1);
+        let addr = self.filter.apply(raw);
+        let kind = match self.op {
+            GupsOp::Read(s) => RequestKind::Read { size: s },
+            GupsOp::Write(s) => RequestKind::Write { size: s },
+            GupsOp::ReadModifyWrite => RequestKind::ReadModifyWrite,
+            GupsOp::Mix {
+                size,
+                write_percent,
+            } => {
+                if self.rng.gen_range(0u8..100) < write_percent {
+                    RequestKind::Write { size }
+                } else {
+                    RequestKind::Read { size }
+                }
+            }
+        };
+        SourceStep::Op(TraceOp { addr, kind })
+    }
+
+    fn duration_gated(&self) -> bool {
+        true
+    }
+
+    fn rx_extra_flits(&self) -> u32 {
+        0
+    }
+
+    fn label(&self) -> &'static str {
+        "gups"
+    }
+}
+
+/// The multi-port stream firmware as a pull source: replays a finite
+/// [`Trace`] in order, streaming ops instead of copying them.
+#[derive(Debug, Clone)]
+pub struct TraceReplay {
+    trace: Trace,
+    pos: usize,
+}
+
+impl TraceReplay {
+    /// Replays `trace` from the beginning.
+    pub fn new(trace: Trace) -> TraceReplay {
+        TraceReplay { trace, pos: 0 }
+    }
+}
+
+impl TrafficSource for TraceReplay {
+    fn next(&mut self, _now: Time, _feedback: &Feedback<'_>) -> SourceStep {
+        match self.trace.ops().get(self.pos) {
+            Some(&op) => {
+                self.pos += 1;
+                SourceStep::Op(op)
+            }
+            None => SourceStep::Done,
+        }
+    }
+
+    fn label(&self) -> &'static str {
+        "stream"
+    }
+}
+
+/// Lazy uniform-random reads confined to a vault set — the workload of
+/// [`crate::random_reads_in_vaults`], emitted on demand. A bounded source
+/// (`count: Some(n)`) draws exactly the same address sequence as the eager
+/// generator with the same seed; an unbounded one (`count: None`) keeps
+/// drawing for as long as the port's activation window lasts.
+#[derive(Debug, Clone)]
+pub struct UniformSource {
+    map: AddressMap,
+    vaults: Vec<VaultId>,
+    size: PayloadSize,
+    remaining: Option<u64>,
+    rng: SmallRng,
+}
+
+impl UniformSource {
+    /// Uniform reads of `size` bytes over `vaults`; `count: None` is
+    /// unbounded (duration-gated).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vaults` is empty or contains an out-of-range vault.
+    pub fn reads_in_vaults(
+        map: &AddressMap,
+        vaults: &[VaultId],
+        size: PayloadSize,
+        count: Option<u64>,
+        seed: u64,
+    ) -> UniformSource {
+        assert!(!vaults.is_empty(), "need at least one vault");
+        let g = map.geometry();
+        for v in vaults {
+            assert!(v.0 < g.vaults, "vault out of range");
+        }
+        UniformSource {
+            map: *map,
+            vaults: vaults.to_vec(),
+            size,
+            remaining: count,
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+}
+
+/// The in-block offset rule every generator shares: align to the request
+/// size so a request never straddles blocks, picking the slot with the
+/// caller's randomness (an RNG draw or a hash).
+pub(crate) fn aligned_offset(
+    block: u64,
+    size: PayloadSize,
+    pick_slot: impl FnOnce(u64) -> u64,
+) -> u64 {
+    let slots = block / u64::from(size.bytes()).max(1);
+    if slots > 1 {
+        pick_slot(slots) * u64::from(size.bytes())
+    } else {
+        0
+    }
+}
+
+impl TrafficSource for UniformSource {
+    fn next(&mut self, _now: Time, _feedback: &Feedback<'_>) -> SourceStep {
+        if let Some(left) = &mut self.remaining {
+            if *left == 0 {
+                return SourceStep::Done;
+            }
+            *left -= 1;
+        }
+        let g = self.map.geometry();
+        let vault = self.vaults[self.rng.gen_range(0..self.vaults.len())];
+        let bank = BankId(self.rng.gen_range(0..g.banks_per_vault));
+        let row = self.rng.gen_range(0..self.map.rows_per_bank());
+        let offset = aligned_offset(self.map.block_size().bytes(), self.size, |slots| {
+            self.rng.gen_range(0..slots)
+        });
+        SourceStep::Op(TraceOp::read(
+            self.map.encode(vault, bank, row, offset),
+            self.size,
+        ))
+    }
+
+    fn duration_gated(&self) -> bool {
+        self.remaining.is_none()
+    }
+
+    fn label(&self) -> &'static str {
+        "uniform"
+    }
+}
+
+/// Lazy sequential reads — the workload of [`crate::linear_reads`],
+/// emitted on demand instead of materialized.
+#[derive(Debug, Clone)]
+pub struct LinearSource {
+    next_addr: u64,
+    size: PayloadSize,
+    remaining: u64,
+}
+
+impl LinearSource {
+    /// `count` reads of `size` bytes starting at `base`, each advancing by
+    /// one request size.
+    pub fn new(base: Address, size: PayloadSize, count: u64) -> LinearSource {
+        LinearSource {
+            next_addr: base.raw(),
+            size,
+            remaining: count,
+        }
+    }
+}
+
+impl TrafficSource for LinearSource {
+    fn next(&mut self, _now: Time, _feedback: &Feedback<'_>) -> SourceStep {
+        if self.remaining == 0 {
+            return SourceStep::Done;
+        }
+        self.remaining -= 1;
+        let addr = Address::new(self.next_addr);
+        self.next_addr += u64::from(self.size.bytes());
+        SourceStep::Op(TraceOp::read(addr, self.size))
+    }
+
+    fn label(&self) -> &'static str {
+        "linear"
+    }
+}
+
+/// Rate control: spaces the wrapped source's operations at least `gap`
+/// apart, turning a flow-control-limited generator into a fixed-rate one.
+///
+/// Pacing delays *operations*, never feedback: completions reach the
+/// inner source on every poll, exactly once, even mid-gap — so wrapping a
+/// closed-loop source (a paced pointer chase, a throttled offload stream)
+/// is safe. Ops the inner source answers with while the gap is still
+/// open are buffered and released on the pacing schedule, in order.
+#[derive(Debug, Clone)]
+pub struct Paced<S> {
+    inner: S,
+    gap: Delay,
+    earliest: Time,
+    /// Ops pulled from the inner source (to deliver its feedback) but not
+    /// yet released by the pacing schedule.
+    pending: VecDeque<TraceOp>,
+    inner_done: bool,
+}
+
+impl<S: TrafficSource> Paced<S> {
+    /// Wraps `inner`, spacing its ops by `gap`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gap` is zero (use the inner source directly).
+    pub fn new(inner: S, gap: Delay) -> Paced<S> {
+        assert!(!gap.is_zero(), "pacing gap must be positive");
+        Paced {
+            inner,
+            gap,
+            earliest: Time::ZERO,
+            pending: VecDeque::new(),
+            inner_done: false,
+        }
+    }
+}
+
+impl<S: TrafficSource> TrafficSource for Paced<S> {
+    fn next(&mut self, now: Time, feedback: &Feedback<'_>) -> SourceStep {
+        // Poll the inner source whenever there is feedback to deliver (a
+        // closed-loop inner must see every completion) or nothing is
+        // buffered; its answer is stashed, not returned, so pacing and
+        // feedback delivery stay decoupled.
+        if !self.inner_done && (!feedback.completions.is_empty() || self.pending.is_empty()) {
+            match self.inner.next(now, feedback) {
+                SourceStep::Op(op) => self.pending.push_back(op),
+                SourceStep::Done => self.inner_done = true,
+                SourceStep::Blocked => {
+                    if self.pending.is_empty() {
+                        return SourceStep::Blocked;
+                    }
+                }
+                SourceStep::WaitUntil(t) => {
+                    if self.pending.is_empty() {
+                        return SourceStep::WaitUntil(t.max(self.earliest));
+                    }
+                }
+            }
+        }
+        if self.pending.is_empty() {
+            debug_assert!(self.inner_done, "unbuffered non-done inner answered above");
+            return SourceStep::Done;
+        }
+        if now < self.earliest {
+            return SourceStep::WaitUntil(self.earliest);
+        }
+        let op = self.pending.pop_front().expect("checked non-empty");
+        self.earliest = now + self.gap;
+        SourceStep::Op(op)
+    }
+
+    fn duration_gated(&self) -> bool {
+        self.inner.duration_gated()
+    }
+
+    fn rx_extra_flits(&self) -> u32 {
+        self.inner.rx_extra_flits()
+    }
+
+    fn label(&self) -> &'static str {
+        self.inner.label()
+    }
+}
+
+/// SplitMix64: the deterministic address-derivation hash behind
+/// [`PointerChase`].
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Pointer-chasing latency probe: `walkers` independent chains, each
+/// deriving its next read address *deterministically from the completed
+/// transaction* (a hash of the returned address), so every hop is a full
+/// dependent round trip — the key diagnostic of the companion study
+/// ("Demystifying the Characteristics of 3D-Stacked Memories", ISPASS
+/// 2017). One walker measures unloaded latency; N walkers measure how far
+/// memory-level parallelism hides it.
+#[derive(Debug, Clone)]
+pub struct PointerChase {
+    map: AddressMap,
+    vaults: Vec<VaultId>,
+    size: PayloadSize,
+    salt: u64,
+    /// Reads still to issue, per walker.
+    remaining: Vec<u64>,
+    /// Ops derived and ready to issue: (walker, address).
+    ready: VecDeque<(u16, Address)>,
+    /// Issue-order index → walker, for ops in flight.
+    in_flight: BTreeMap<u64, u16>,
+    emitted: u64,
+}
+
+impl PointerChase {
+    /// `walkers` chains of `hops` dependent reads each, of `size` bytes,
+    /// confined to `vaults`; `seed` fixes every address.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `walkers` or `hops` is zero, or `vaults` is empty or out
+    /// of range.
+    pub fn new(
+        map: &AddressMap,
+        vaults: &[VaultId],
+        size: PayloadSize,
+        walkers: u16,
+        hops: u64,
+        seed: u64,
+    ) -> PointerChase {
+        assert!(walkers > 0, "need at least one walker");
+        assert!(hops > 0, "need at least one hop per walker");
+        assert!(!vaults.is_empty(), "need at least one vault");
+        let g = map.geometry();
+        for v in vaults {
+            assert!(v.0 < g.vaults, "vault out of range");
+        }
+        let mut chase = PointerChase {
+            map: *map,
+            vaults: vaults.to_vec(),
+            size,
+            salt: splitmix64(seed),
+            remaining: vec![hops; usize::from(walkers)],
+            ready: VecDeque::new(),
+            in_flight: BTreeMap::new(),
+            emitted: 0,
+        };
+        for w in 0..walkers {
+            let start =
+                chase.chase_addr(seed ^ (u64::from(w) + 1).wrapping_mul(0xA076_1D64_78BD_642F));
+            chase.ready.push_back((w, start));
+        }
+        chase
+    }
+
+    /// Maps a hash value into the chase's address set (vault subset, any
+    /// bank/row, aligned to the request size).
+    fn chase_addr(&self, h: u64) -> Address {
+        let h = splitmix64(h);
+        let g = self.map.geometry();
+        let vault = self.vaults[(h % self.vaults.len() as u64) as usize];
+        let bank = BankId(((h >> 17) % u64::from(g.banks_per_vault)) as u8);
+        let row = (h >> 27) % self.map.rows_per_bank();
+        let offset = aligned_offset(self.map.block_size().bytes(), self.size, |slots| {
+            (h >> 7) % slots
+        });
+        self.map.encode(vault, bank, row, offset)
+    }
+
+    /// The next address of a chain whose last read returned from `addr`.
+    fn follow(&self, addr: Address) -> Address {
+        self.chase_addr(addr.raw() ^ self.salt)
+    }
+
+    /// The exact address sequence a *single-walker* chase will issue —
+    /// the chain is deterministic, so it can be unrolled into an
+    /// equivalent open-loop [`Trace`] (used to cross-check that a
+    /// closed-loop chase and its serial replay cost identical time).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a multi-walker chase, whose interleaving depends on
+    /// completion order.
+    pub fn unrolled_trace(&self) -> Trace {
+        assert_eq!(
+            self.remaining.len(),
+            1,
+            "only a single-walker chase unrolls deterministically"
+        );
+        let (_, mut addr) = *self.ready.front().expect("unstarted chase has a seed op");
+        let mut ops = Vec::new();
+        for _ in 0..self.remaining[0] {
+            ops.push(TraceOp::read(addr, self.size));
+            addr = self.follow(addr);
+        }
+        Trace::from_ops(ops)
+    }
+}
+
+impl TrafficSource for PointerChase {
+    fn next(&mut self, _now: Time, feedback: &Feedback<'_>) -> SourceStep {
+        for c in feedback.completions {
+            let Some(w) = self.in_flight.remove(&c.index) else {
+                continue;
+            };
+            if self.remaining[usize::from(w)] > 0 {
+                let next = self.follow(c.op.addr);
+                self.ready.push_back((w, next));
+            }
+        }
+        match self.ready.pop_front() {
+            Some((w, addr)) => {
+                self.remaining[usize::from(w)] -= 1;
+                self.in_flight.insert(self.emitted, w);
+                self.emitted += 1;
+                SourceStep::Op(TraceOp::read(addr, self.size))
+            }
+            None if self.in_flight.is_empty() => SourceStep::Done,
+            None => SourceStep::Blocked,
+        }
+    }
+
+    fn label(&self) -> &'static str {
+        "chase"
+    }
+}
+
+/// NOM-style offload stream (Rezaei et al., "Network-On-Memory", 2020):
+/// copies `blocks` blocks from a source vault to a destination vault as
+/// paired read→dependent-write bursts. Each block is first read from the
+/// source region; when the read data returns, the dependent write to the
+/// same bank/row of the destination vault is issued; the pair retires when
+/// the write completes. At most `window` pairs are in flight — the
+/// host-mediated copy loop whose NoC round trips NOM's in-memory network
+/// is designed to eliminate.
+#[derive(Debug, Clone)]
+pub struct OffloadSource {
+    map: AddressMap,
+    size: PayloadSize,
+    src: VaultId,
+    dst: VaultId,
+    blocks: u64,
+    window: u16,
+    issued_reads: u64,
+    retired: u64,
+    pending_writes: VecDeque<Address>,
+}
+
+impl OffloadSource {
+    /// A copy of `blocks` blocks of `size` bytes from `src` to `dst`,
+    /// with at most `window` pairs outstanding.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `blocks` or `window` is zero or a vault is out of range.
+    pub fn new(
+        map: &AddressMap,
+        src: VaultId,
+        dst: VaultId,
+        size: PayloadSize,
+        blocks: u64,
+        window: u16,
+    ) -> OffloadSource {
+        assert!(blocks > 0, "need at least one block to copy");
+        assert!(window > 0, "need a nonzero copy window");
+        let g = map.geometry();
+        assert!(src.0 < g.vaults && dst.0 < g.vaults, "vault out of range");
+        OffloadSource {
+            map: *map,
+            size,
+            src,
+            dst,
+            blocks,
+            window,
+            issued_reads: 0,
+            retired: 0,
+            pending_writes: VecDeque::new(),
+        }
+    }
+
+    /// Read address of block `i`: a linear walk through the source vault's
+    /// banks, then rows.
+    fn read_addr(&self, i: u64) -> Address {
+        let g = self.map.geometry();
+        let banks = u64::from(g.banks_per_vault);
+        let bank = BankId((i % banks) as u8);
+        let row = (i / banks) % self.map.rows_per_bank();
+        self.map.encode(self.src, bank, row, 0)
+    }
+
+    /// Pairs retired so far (read and dependent write both completed).
+    pub fn pairs_retired(&self) -> u64 {
+        self.retired
+    }
+}
+
+impl TrafficSource for OffloadSource {
+    fn next(&mut self, _now: Time, feedback: &Feedback<'_>) -> SourceStep {
+        for c in feedback.completions {
+            if c.op.kind.is_read() {
+                // The read data arrived: the dependent write targets the
+                // same bank/row in the destination vault.
+                let loc = self.map.decode(c.op.addr);
+                let w = self
+                    .map
+                    .encode(self.dst, loc.bank, loc.block_row, loc.offset);
+                self.pending_writes.push_back(w);
+            } else {
+                self.retired += 1;
+            }
+        }
+        if let Some(addr) = self.pending_writes.pop_front() {
+            return SourceStep::Op(TraceOp::write(addr, self.size));
+        }
+        if self.issued_reads < self.blocks
+            && self.issued_reads - self.retired < u64::from(self.window)
+        {
+            let addr = self.read_addr(self.issued_reads);
+            self.issued_reads += 1;
+            return SourceStep::Op(TraceOp::read(addr, self.size));
+        }
+        if self.retired == self.blocks {
+            SourceStep::Done
+        } else {
+            SourceStep::Blocked
+        }
+    }
+
+    fn label(&self) -> &'static str {
+        "offload"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::random_reads_in_vaults;
+
+    fn map() -> AddressMap {
+        AddressMap::hmc_gen2_default()
+    }
+
+    /// Drives a source to exhaustion with an immediate-completion loop,
+    /// `outstanding_cap` requests in flight at most.
+    fn drain(source: &mut dyn TrafficSource, outstanding_cap: usize, limit: usize) -> Vec<TraceOp> {
+        let mut issued = Vec::new();
+        let mut in_flight: VecDeque<Completion> = VecDeque::new();
+        let mut index = 0u64;
+        let mut fresh: Vec<Completion> = Vec::new();
+        loop {
+            let fb = Feedback {
+                completions: &fresh,
+                outstanding: in_flight.len() as u16,
+            };
+            let step = source.next(Time::ZERO, &fb);
+            fresh.clear();
+            match step {
+                SourceStep::Op(op) => {
+                    issued.push(op);
+                    in_flight.push_back(Completion {
+                        index,
+                        op,
+                        issued_at: Time::ZERO,
+                        completed_at: Time::ZERO,
+                    });
+                    index += 1;
+                    if in_flight.len() >= outstanding_cap {
+                        fresh.push(in_flight.pop_front().unwrap());
+                    }
+                }
+                SourceStep::Blocked => {
+                    let c = in_flight
+                        .pop_front()
+                        .expect("blocked with nothing in flight");
+                    fresh.push(c);
+                }
+                SourceStep::WaitUntil(_) => panic!("drain does not advance time"),
+                SourceStep::Done => break,
+            }
+            assert!(issued.len() <= limit, "source never finished");
+        }
+        issued
+    }
+
+    #[test]
+    fn trace_replay_streams_in_order_then_done() {
+        let trace = random_reads_in_vaults(&map(), &[VaultId(3)], PayloadSize::B32, 10, 5);
+        let mut replay = TraceReplay::new(trace.clone());
+        let ops = drain(&mut replay, 4, 100);
+        assert_eq!(ops, trace.ops());
+        assert_eq!(replay.next(Time::ZERO, &Feedback::EMPTY), SourceStep::Done);
+    }
+
+    #[test]
+    fn uniform_source_matches_the_eager_generator() {
+        let m = map();
+        let vaults = [VaultId(1), VaultId(9)];
+        let eager = random_reads_in_vaults(&m, &vaults, PayloadSize::B64, 64, 77);
+        let mut lazy = UniformSource::reads_in_vaults(&m, &vaults, PayloadSize::B64, Some(64), 77);
+        let ops = drain(&mut lazy, 8, 100);
+        assert_eq!(ops, eager.ops(), "lazy and eager draws must be identical");
+        assert!(!lazy.duration_gated(), "bounded uniform runs to exhaustion");
+        assert!(
+            UniformSource::reads_in_vaults(&m, &vaults, PayloadSize::B64, None, 0).duration_gated(),
+            "unbounded uniform is window-gated"
+        );
+    }
+
+    #[test]
+    fn linear_source_walks_sequentially() {
+        let mut src = LinearSource::new(Address::new(0x400), PayloadSize::B128, 4);
+        let ops = drain(&mut src, 2, 10);
+        let addrs: Vec<u64> = ops.iter().map(|op| op.addr.raw()).collect();
+        assert_eq!(addrs, vec![0x400, 0x480, 0x500, 0x580]);
+    }
+
+    #[test]
+    fn gups_source_filters_and_aligns() {
+        let m = map();
+        let filter = hmc_mapping::AccessPattern::Vaults { count: 2 }.filter(&m);
+        let mut src = GupsSource::new(filter, GupsOp::Read(PayloadSize::B64), 3);
+        assert!(src.duration_gated());
+        assert_eq!(src.rx_extra_flits(), 0);
+        for _ in 0..64 {
+            let SourceStep::Op(op) = src.next(Time::ZERO, &Feedback::EMPTY) else {
+                panic!("GUPS always has a next op");
+            };
+            assert_eq!(op.addr.raw() % 64, 0, "aligned");
+            assert!(m.decode(op.addr).vault.0 < 2, "filtered");
+        }
+    }
+
+    #[test]
+    fn paced_source_spaces_ops_by_the_gap() {
+        let inner = LinearSource::new(Address::new(0), PayloadSize::B16, 3);
+        let mut src = Paced::new(inner, Delay::from_ns(100));
+        let t0 = Time::ZERO;
+        assert!(matches!(src.next(t0, &Feedback::EMPTY), SourceStep::Op(_)));
+        assert_eq!(
+            src.next(t0, &Feedback::EMPTY),
+            SourceStep::WaitUntil(Time::from_ns(100))
+        );
+        let t1 = Time::from_ns(100);
+        assert!(matches!(src.next(t1, &Feedback::EMPTY), SourceStep::Op(_)));
+        let t2 = Time::from_ns(250);
+        assert!(matches!(src.next(t2, &Feedback::EMPTY), SourceStep::Op(_)));
+        // Exhaustion needs no gap: nothing is left to pace.
+        assert_eq!(src.next(t2, &Feedback::EMPTY), SourceStep::Done);
+    }
+
+    #[test]
+    fn paced_closed_loop_source_never_loses_completions() {
+        // Regression: completions arriving while the pacing gap is open
+        // must still reach a closed-loop inner exactly once — dropping
+        // one would leave the chase thinking its read is in flight
+        // forever (and trip the port's blocked-with-nothing-outstanding
+        // protocol check).
+        let m = map();
+        let vaults: Vec<VaultId> = (0..4).map(VaultId).collect();
+        let chase = PointerChase::new(&m, &vaults, PayloadSize::B64, 1, 5, 3);
+        let mut src = Paced::new(chase, Delay::from_ns(1_000));
+        let mut now = Time::ZERO;
+        let mut index = 0u64;
+        let mut done = 0;
+        while done < 5 {
+            match src.next(now, &Feedback::EMPTY) {
+                SourceStep::Op(op) => {
+                    // Complete the read 100 ns later — mid-gap — and hand
+                    // the completion over on that (early) poll.
+                    now += Delay::from_ns(100);
+                    let c = Completion {
+                        index,
+                        op,
+                        issued_at: now,
+                        completed_at: now,
+                    };
+                    index += 1;
+                    done += 1;
+                    let fb = Feedback {
+                        completions: std::slice::from_ref(&c),
+                        outstanding: 0,
+                    };
+                    match src.next(now, &fb) {
+                        SourceStep::WaitUntil(t) => now = t,
+                        // The final completion legitimately exhausts the
+                        // chain with nothing left to pace.
+                        SourceStep::Done => assert_eq!(done, 5, "early exhaustion"),
+                        SourceStep::Op(_) => panic!("gap must still be open at +100 ns"),
+                        SourceStep::Blocked => panic!("completion was dropped"),
+                    }
+                }
+                SourceStep::WaitUntil(t) => now = t,
+                SourceStep::Blocked => panic!("chase starved: a completion was lost"),
+                SourceStep::Done => break,
+            }
+        }
+        assert_eq!(done, 5, "every hop of the paced chase completed");
+        assert_eq!(src.next(now, &Feedback::EMPTY), SourceStep::Done);
+    }
+
+    #[test]
+    fn single_walker_chase_is_strictly_serial_and_deterministic() {
+        let m = map();
+        let vaults: Vec<VaultId> = (0..16).map(VaultId).collect();
+        let mk = || PointerChase::new(&m, &vaults, PayloadSize::B64, 1, 20, 42);
+        let expected = mk().unrolled_trace();
+        let mut chase = mk();
+        let ops = drain(&mut chase, 1, 100);
+        assert_eq!(ops.len(), 20);
+        assert_eq!(ops, expected.ops(), "chase follows its unrolled trace");
+        // Every hop depends on the previous: with one walker the source
+        // must block after each op.
+        let mut chase = mk();
+        assert!(matches!(
+            chase.next(Time::ZERO, &Feedback::EMPTY),
+            SourceStep::Op(_)
+        ));
+        assert_eq!(
+            chase.next(Time::ZERO, &Feedback::EMPTY),
+            SourceStep::Blocked
+        );
+    }
+
+    #[test]
+    fn chase_addresses_stay_in_the_vault_subset_and_aligned() {
+        let m = map();
+        let vaults = [VaultId(2), VaultId(5)];
+        let mut chase = PointerChase::new(&m, &vaults, PayloadSize::B32, 4, 25, 9);
+        let ops = drain(&mut chase, 4, 1000);
+        assert_eq!(ops.len(), 100, "4 walkers x 25 hops");
+        for op in &ops {
+            let v = m.decode(op.addr).vault;
+            assert!(vaults.contains(&v), "address escaped the vault subset");
+            assert_eq!(op.addr.raw() % 32, 0, "aligned to request size");
+        }
+        // The walk must not collapse onto a few addresses.
+        let distinct: std::collections::BTreeSet<u64> =
+            ops.iter().map(|op| op.addr.raw()).collect();
+        assert!(distinct.len() > 90, "chase addresses look degenerate");
+    }
+
+    #[test]
+    fn offload_pairs_every_read_with_a_dependent_write() {
+        let m = map();
+        let mut src = OffloadSource::new(&m, VaultId(0), VaultId(8), PayloadSize::B128, 30, 4);
+        let ops = drain(&mut src, 4, 1000);
+        assert_eq!(ops.len(), 60, "30 reads + 30 writes");
+        assert_eq!(src.pairs_retired(), 30);
+        let reads: Vec<&TraceOp> = ops.iter().filter(|op| op.kind.is_read()).collect();
+        let writes: Vec<&TraceOp> = ops.iter().filter(|op| !op.kind.is_read()).collect();
+        assert_eq!(reads.len(), 30);
+        assert_eq!(writes.len(), 30);
+        for (r, w) in reads.iter().zip(&writes) {
+            let rl = m.decode(r.addr);
+            let wl = m.decode(w.addr);
+            assert_eq!(rl.vault, VaultId(0));
+            assert_eq!(wl.vault, VaultId(8));
+            assert_eq!(
+                (rl.bank, rl.block_row),
+                (wl.bank, wl.block_row),
+                "write mirrors its read's bank/row"
+            );
+        }
+    }
+
+    #[test]
+    fn offload_window_bounds_outstanding_pairs() {
+        let m = map();
+        let mut src = OffloadSource::new(&m, VaultId(0), VaultId(1), PayloadSize::B64, 100, 3);
+        // Pull without completing anything: exactly `window` reads, then
+        // blocked.
+        for _ in 0..3 {
+            assert!(matches!(
+                src.next(Time::ZERO, &Feedback::EMPTY),
+                SourceStep::Op(op) if op.kind.is_read()
+            ));
+        }
+        assert_eq!(src.next(Time::ZERO, &Feedback::EMPTY), SourceStep::Blocked);
+    }
+
+    #[test]
+    fn source_factory_builds_per_seed() {
+        let factory = source_factory(|seed| {
+            Box::new(LinearSource::new(
+                Address::new(seed * 0x1000),
+                PayloadSize::B16,
+                1,
+            )) as Box<dyn TrafficSource>
+        });
+        let mut a = factory(1);
+        let mut b = factory(2);
+        let SourceStep::Op(op_a) = a.next(Time::ZERO, &Feedback::EMPTY) else {
+            panic!()
+        };
+        let SourceStep::Op(op_b) = b.next(Time::ZERO, &Feedback::EMPTY) else {
+            panic!()
+        };
+        assert_eq!(op_a.addr.raw(), 0x1000);
+        assert_eq!(op_b.addr.raw(), 0x2000);
+    }
+}

@@ -215,6 +215,125 @@ fn idle_skip_cuts_dispatched_events_by_10x_at_low_load() {
 }
 
 #[test]
+fn saturated_host_no_longer_retries_every_cycle_on_serializer_room() {
+    // A saturated Figure 6 point (9 ports of 128 B reads hammering one
+    // bank): the ports are FIFO/tag-blocked and the staged pipeline waits
+    // on serializer room for most of the run. The old host retried every
+    // FPGA cycle while a staged packet waited on *room*; the wake is now
+    // derived from the wire-drain schedule, so timer fires must stay well
+    // below one per simulated cycle (per-cycle retrying fired at least
+    // one), and total dispatched events follow.
+    let cfg = SystemConfig::ac510(2018);
+    let filter = AccessPattern::Banks {
+        vault: VaultId(0),
+        count: 1,
+    }
+    .filter(&cfg.device.map);
+    let specs = vec![PortSpec::gups(filter, GupsOp::Read(PayloadSize::B128)); 9];
+    let mut sim = SystemSim::new(cfg, specs);
+    let report = sim.run_gups(Delay::from_us(10), Delay::from_us(40));
+    assert!(report.total_accesses() > 0, "the run moved real traffic");
+    let stats = sim.engine_stats();
+    let period = HostConfig::ac510_default().fpga_period;
+    let cycles = report.sim_end.as_ps() / period.as_ps();
+    assert!(
+        stats.wake_fires < cycles,
+        "serializer-room wake regressed: {} timer fires over {} host cycles \
+         (a host retrying every blocked cycle fires at least one per cycle)",
+        stats.wake_fires,
+        cycles
+    );
+    assert!(
+        stats.dispatched * 2 < cycles * 3,
+        "dispatched events regressed: {} over {} cycles",
+        stats.dispatched,
+        cycles
+    );
+}
+
+#[test]
+fn single_walker_chase_equals_its_serial_replay_exactly() {
+    // The closed-loop pointer chase must cost exactly what an open-loop
+    // replay of the same addresses costs when both are strictly serial:
+    // the chain is deterministic, so unroll it into a trace and replay it
+    // with a 1-tag stream port. Latency aggregates must match to the
+    // picosecond — the chase adds no phantom time and saves none.
+    let map = AddressMap::hmc_gen2_default();
+    let vaults: Vec<VaultId> = (0..16).map(VaultId).collect();
+    let hops = 40;
+    let chase =
+        hmc_noc_repro::workloads::PointerChase::new(&map, &vaults, PayloadSize::B64, 1, hops, 2017);
+    let trace = chase.unrolled_trace();
+    let chase_report = SystemSim::new(
+        SystemConfig::ac510(6),
+        vec![PortSpec::from_source(move |_| Box::new(chase.clone()))],
+    )
+    .run_streams();
+    let replay_report = SystemSim::new(
+        SystemConfig::ac510(6),
+        vec![PortSpec::stream(trace).with_tags(1)],
+    )
+    .run_streams();
+    assert_eq!(chase_report.ports[0].completed, hops);
+    assert_eq!(
+        chase_report.aggregate_latency().total_ps(),
+        replay_report.aggregate_latency().total_ps(),
+        "chase and serial replay must cost identical total time"
+    );
+    assert_eq!(
+        chase_report.aggregate_latency().max_us(),
+        replay_report.aggregate_latency().max_us()
+    );
+    // And the per-hop round trip sits in the paper's unloaded band
+    // (Figure 7 at n=1: ~0.7 µs through FPGA + links + cube).
+    let us = chase_report.mean_latency_us();
+    assert!(
+        (0.55..=0.85).contains(&us),
+        "unloaded chase hop {us} µs outside the 0.7 µs band"
+    );
+}
+
+#[test]
+fn closed_loop_runs_replay_byte_identically() {
+    // Determinism of the closed-loop pipeline end to end: a mixed system
+    // (pointer chase + NOM offload on one host) must produce bit-equal
+    // reports on every run.
+    let run = || {
+        let cfg = SystemConfig::ac510(9);
+        let map = cfg.device.map;
+        let vaults: Vec<VaultId> = (0..16).map(VaultId).collect();
+        let chase = PortSpec::from_source(move |seed| {
+            Box::new(hmc_noc_repro::workloads::PointerChase::new(
+                &map,
+                &vaults,
+                PayloadSize::B32,
+                4,
+                50,
+                seed,
+            ))
+        });
+        let offload = PortSpec::from_source(move |_| {
+            Box::new(hmc_noc_repro::workloads::OffloadSource::new(
+                &map,
+                VaultId(1),
+                VaultId(9),
+                PayloadSize::B128,
+                100,
+                8,
+            ))
+        });
+        let report = SystemSim::new(cfg, vec![chase, offload]).run_streams();
+        (
+            report.aggregate_latency().total_ps(),
+            report.total_reads(),
+            report.total_writes(),
+            report.sim_end,
+        )
+    };
+    assert_eq!(run(), run(), "closed-loop runs must be reproducible");
+}
+
+#[test]
 fn writes_round_trip_through_the_full_stack() {
     let cfg = SystemConfig::ac510(19);
     let filter = AccessPattern::Vaults { count: 16 }.filter(&cfg.device.map);
