@@ -16,6 +16,7 @@ fn ctx() -> ExpContext {
     ExpContext {
         scale: Scale::Smoke,
         seed: 2018,
+        threads: 0,
     }
 }
 

@@ -1,0 +1,395 @@
+//! `perfgate` — the repo's reproducible wall-clock performance harness.
+//!
+//! ```text
+//! perfgate [--smoke] [--reps N] [--baseline FILE] [--out FILE]
+//! ```
+//!
+//! Runs a fixed basket of full-system experiments (the saturated and
+//! unloaded Figure 6 points, a 4-cube chain, the pointer-chase probe and
+//! the NOM-style offload stream), each `reps` times, and reports
+//! **events/sec** (engine events dispatched per wall-clock second) and
+//! wall time per experiment as one JSON document.
+//!
+//! Methodology:
+//!
+//! - Every experiment is a fixed workload with a fixed seed; the engine's
+//!   `dispatched` count is part of the simulator's deterministic output,
+//!   so events/sec ratios between two builds equal their wall-time ratios
+//!   and are comparable even though absolute wall times are machine-bound.
+//! - The best (minimum) wall time across reps is reported — the
+//!   least-noise estimator of the code's intrinsic cost.
+//! - Deterministic fields (events, sim_ns, accesses, wake fires) must be
+//!   identical across reps; any divergence is a determinism regression
+//!   and the gate **fails** (exit 1). Timing noise never fails the gate.
+//! - With `--baseline FILE` (a previous perfgate JSON, e.g. the
+//!   `BENCH_*.json` trajectory at the repo root), per-experiment speedups
+//!   are computed and embedded as `speedup_vs_baseline`.
+//!
+//! Perf PRs append their snapshot as `BENCH_PR<n>.json` at the repo root;
+//! see README "Performance".
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use hmc_sim::des::Delay;
+use hmc_sim::prelude::*;
+use hmc_sim::stats::json_escape;
+use hmc_sim::workloads::OffloadSource;
+
+/// One basket entry: a named, seeded, fixed-size workload.
+struct Case {
+    name: &'static str,
+    /// Builds and runs the workload, returning the report + engine stats.
+    run: fn(Scale2) -> (RunReport, hmc_sim::des::EngineStats),
+}
+
+/// Harness scale: `Smoke` shrinks measurement windows so CI finishes in
+/// seconds; `Full` is the scale recorded in `BENCH_*.json` snapshots.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Scale2 {
+    Smoke,
+    Full,
+}
+
+impl Scale2 {
+    fn gups_windows(self) -> (Delay, Delay) {
+        match self {
+            Scale2::Smoke => (Delay::from_us(10), Delay::from_us(40)),
+            Scale2::Full => (Delay::from_us(20), Delay::from_us(150)),
+        }
+    }
+
+    fn chase_hops(self) -> u64 {
+        match self {
+            Scale2::Smoke => 64,
+            Scale2::Full => 400,
+        }
+    }
+
+    fn offload_pairs(self) -> u64 {
+        match self {
+            Scale2::Smoke => 512,
+            Scale2::Full => 4_000,
+        }
+    }
+}
+
+/// The unloaded Figure 6 point: one 16 B read port, one tag, one bank —
+/// the idle-skip stress (few events over many simulated cycles).
+fn fig6_low(scale: Scale2) -> (RunReport, hmc_sim::des::EngineStats) {
+    let cfg = SystemConfig::ac510(2018);
+    let filter = AccessPattern::Banks {
+        vault: VaultId(0),
+        count: 1,
+    }
+    .filter(&cfg.device.map);
+    let specs = vec![PortSpec::gups(filter, GupsOp::Read(PayloadSize::B16)).with_tags(1)];
+    let mut sim = SystemSim::new(cfg, specs);
+    let (warmup, measure) = scale.gups_windows();
+    let report = sim.run_gups(warmup, measure);
+    (report, sim.engine_stats())
+}
+
+/// The saturated Figure 6 point: nine 128 B read ports over all 16
+/// vaults — the bandwidth ceiling, the densest event traffic in the
+/// basket and the point the ≥1.3x events/sec gate is measured on.
+fn fig6_sat(scale: Scale2) -> (RunReport, hmc_sim::des::EngineStats) {
+    let cfg = SystemConfig::ac510(2018);
+    let filter = AccessPattern::Vaults { count: 16 }.filter(&cfg.device.map);
+    let specs = vec![PortSpec::gups(filter, GupsOp::Read(PayloadSize::B128)); 9];
+    let mut sim = SystemSim::new(cfg, specs);
+    let (warmup, measure) = scale.gups_windows();
+    let report = sim.run_gups(warmup, measure);
+    (report, sim.engine_stats())
+}
+
+/// A 4-cube chain with four 64 B GUPS ports hammering the far cube:
+/// every request transits three pass-through crossbars each way.
+fn ext_chain4(scale: Scale2) -> (RunReport, hmc_sim::des::EngineStats) {
+    let cfg = FabricConfig::chain(2018, 4);
+    let filter = AccessPattern::Vaults { count: 16 }.filter(&cfg.cube.map);
+    let specs = vec![FabricPortSpec::gups(filter, GupsOp::Read(PayloadSize::B64), CubeId(3)); 4];
+    let mut sim = FabricSim::new(cfg, specs);
+    let (warmup, measure) = scale.gups_windows();
+    let report = sim.run_gups(warmup, measure);
+    (report, sim.engine_stats())
+}
+
+/// The pointer-chase probe: 8 dependent-read walkers on one cube.
+fn probe_chase(scale: Scale2) -> (RunReport, hmc_sim::des::EngineStats) {
+    let cfg = SystemConfig::ac510(2018);
+    let map = cfg.device.map;
+    let vaults: Vec<VaultId> = (0..16).map(VaultId).collect();
+    let hops = scale.chase_hops();
+    let spec = PortSpec::from_source(move |seed| {
+        Box::new(PointerChase::new(
+            &map,
+            &vaults,
+            PayloadSize::B64,
+            8,
+            hops,
+            seed,
+        ))
+    })
+    .with_tags(8);
+    let mut sim = SystemSim::new(cfg, vec![spec]);
+    let report = sim.run_streams();
+    (report, sim.engine_stats())
+}
+
+/// The NOM-style offload stream: read→dependent-write vault copies.
+fn ext_offload(scale: Scale2) -> (RunReport, hmc_sim::des::EngineStats) {
+    let cfg = SystemConfig::ac510(2018);
+    let map = cfg.device.map;
+    let pairs = scale.offload_pairs();
+    let spec = PortSpec::from_source(move |_| {
+        Box::new(OffloadSource::new(
+            &map,
+            VaultId(1),
+            VaultId(9),
+            PayloadSize::B128,
+            pairs,
+            8,
+        ))
+    });
+    let mut sim = SystemSim::new(cfg, vec![spec]);
+    let report = sim.run_streams();
+    (report, sim.engine_stats())
+}
+
+const BASKET: &[Case] = &[
+    Case {
+        name: "fig6-low",
+        run: fig6_low,
+    },
+    Case {
+        name: "fig6-sat",
+        run: fig6_sat,
+    },
+    Case {
+        name: "ext-chain-4",
+        run: ext_chain4,
+    },
+    Case {
+        name: "probe-chase",
+        run: probe_chase,
+    },
+    Case {
+        name: "ext-offload",
+        run: ext_offload,
+    },
+];
+
+/// The deterministic signature of one run; must not vary across reps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Signature {
+    events: u64,
+    wake_fires: u64,
+    sim_ns: u64,
+    accesses: u64,
+}
+
+struct Measured {
+    name: &'static str,
+    sig: Signature,
+    wall_best_s: f64,
+    reps: u32,
+}
+
+impl Measured {
+    fn events_per_sec(&self) -> f64 {
+        self.sig.events as f64 / self.wall_best_s.max(1e-12)
+    }
+}
+
+struct Args {
+    scale: Scale2,
+    reps: u32,
+    out: Option<PathBuf>,
+    baseline: Option<PathBuf>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        scale: Scale2::Full,
+        reps: 3,
+        out: None,
+        baseline: None,
+    };
+    // An explicit --reps wins over --smoke's lighter default regardless
+    // of flag order.
+    let mut reps_explicit = false;
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--smoke" => {
+                args.scale = Scale2::Smoke;
+                if !reps_explicit {
+                    args.reps = 2;
+                }
+            }
+            "--reps" => {
+                let v = it.next().ok_or("--reps needs a value")?;
+                args.reps = v.parse().map_err(|e| format!("bad reps: {e}"))?;
+                if args.reps == 0 {
+                    return Err("--reps must be at least 1".to_owned());
+                }
+                reps_explicit = true;
+            }
+            "--out" => {
+                let v = it.next().ok_or("--out needs a file")?;
+                args.out = Some(PathBuf::from(v));
+            }
+            "--baseline" => {
+                let v = it.next().ok_or("--baseline needs a file")?;
+                args.baseline = Some(PathBuf::from(v));
+            }
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(args)
+}
+
+/// Pulls `"name":"<x>"` … `"events_per_sec":<y>` pairs out of a previous
+/// perfgate JSON (our own fixed format; no general JSON parser needed).
+fn parse_baseline(doc: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    for chunk in doc.split("{\"name\":\"").skip(1) {
+        let Some(name_end) = chunk.find('"') else {
+            continue;
+        };
+        let name = chunk[..name_end].to_owned();
+        let Some(pos) = chunk.find("\"events_per_sec\":") else {
+            continue;
+        };
+        let rest = &chunk[pos + "\"events_per_sec\":".len()..];
+        let num: String = rest
+            .chars()
+            .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-' || *c == 'e')
+            .collect();
+        if let Ok(v) = num.parse::<f64>() {
+            out.push((name, v));
+        }
+    }
+    out
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            if !msg.is_empty() {
+                eprintln!("error: {msg}");
+            }
+            eprintln!("usage: perfgate [--smoke] [--reps N] [--baseline FILE] [--out FILE]");
+            return ExitCode::from(2);
+        }
+    };
+    let baseline: Vec<(String, f64)> = match &args.baseline {
+        Some(path) => match std::fs::read_to_string(path) {
+            Ok(doc) => parse_baseline(&doc),
+            Err(e) => {
+                eprintln!("error: cannot read baseline {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        },
+        None => Vec::new(),
+    };
+
+    let mut results: Vec<Measured> = Vec::new();
+    for case in BASKET {
+        let mut best = f64::INFINITY;
+        let mut sig: Option<Signature> = None;
+        for rep in 0..args.reps {
+            let start = Instant::now();
+            let (report, stats) = (case.run)(args.scale);
+            let wall = start.elapsed().as_secs_f64();
+            best = best.min(wall);
+            let this = Signature {
+                events: stats.dispatched,
+                wake_fires: stats.wake_fires,
+                sim_ns: report.sim_end.as_ps() / 1000,
+                accesses: report.total_accesses(),
+            };
+            match sig {
+                None => sig = Some(this),
+                Some(prev) if prev != this => {
+                    eprintln!(
+                        "DETERMINISM REGRESSION in {}: rep {rep} produced {this:?}, \
+                         earlier reps produced {prev:?}",
+                        case.name
+                    );
+                    return ExitCode::FAILURE;
+                }
+                Some(_) => {}
+            }
+            eprintln!("[{}] rep {}: {:.3}s", case.name, rep + 1, wall);
+        }
+        let sig = sig.expect("at least one rep ran");
+        assert!(sig.accesses > 0, "{} moved no traffic", case.name);
+        results.push(Measured {
+            name: case.name,
+            sig,
+            wall_best_s: best,
+            reps: args.reps,
+        });
+    }
+
+    let mut entries: Vec<String> = Vec::new();
+    for m in &results {
+        let mut fields = format!(
+            "{{\"name\":\"{}\",\"events\":{},\"wake_fires\":{},\"sim_ns\":{},\
+             \"accesses\":{},\"reps\":{},\"wall_s_best\":{:.4},\"events_per_sec\":{:.0}",
+            json_escape(m.name),
+            m.sig.events,
+            m.sig.wake_fires,
+            m.sig.sim_ns,
+            m.sig.accesses,
+            m.reps,
+            m.wall_best_s,
+            m.events_per_sec(),
+        );
+        if let Some((_, base)) = baseline.iter().find(|(n, _)| n == m.name) {
+            fields.push_str(&format!(
+                ",\"baseline_events_per_sec\":{:.0},\"speedup_vs_baseline\":{:.3}",
+                base,
+                m.events_per_sec() / base.max(1e-12),
+            ));
+        }
+        fields.push('}');
+        entries.push(fields);
+    }
+    let doc = format!(
+        "{{\"schema\":\"hmc-perfgate-v1\",\"mode\":\"{}\",\"experiments\":[{}]}}\n",
+        match args.scale {
+            Scale2::Smoke => "smoke",
+            Scale2::Full => "full",
+        },
+        entries.join(",")
+    );
+    match &args.out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, &doc) {
+                eprintln!("error: cannot write {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+            eprintln!("wrote {}", path.display());
+        }
+        None => print!("{doc}"),
+    }
+    for m in &results {
+        let base = baseline.iter().find(|(n, _)| n == m.name);
+        eprintln!(
+            "{:<12} {:>12} events  {:>8.3}s  {:>12.0} ev/s{}",
+            m.name,
+            m.sig.events,
+            m.wall_best_s,
+            m.events_per_sec(),
+            base.map(|(_, b)| format!("  ({:.2}x vs baseline)", m.events_per_sec() / b))
+                .unwrap_or_default(),
+        );
+    }
+    ExitCode::SUCCESS
+}

@@ -2,9 +2,9 @@
 //! over a two-level scheduler (near-horizon timer wheel + far heap), with
 //! first-class cancellable component timers.
 
-use std::collections::HashSet;
 use std::fmt;
 
+use crate::inline;
 use crate::time::{Delay, Time};
 use crate::wheel::{Entry, EventQueue};
 
@@ -33,10 +33,51 @@ impl fmt::Display for ComponentId {
 ///
 /// A token is valid for exactly one fire: it can be cancelled with
 /// [`Ctx::cancel_wake`] any time before its deadline is dispatched, and a
-/// component re-arms by requesting a fresh token. Tokens are unique for the
-/// lifetime of an engine.
+/// component re-arms by requesting a fresh token.
+///
+/// Internally a token is a `(slot, generation)` pair into the engine's
+/// wake-slot table: slots are recycled once their timer fires or its
+/// cancellation is reaped, and the generation disambiguates reuse, so
+/// arming, cancelling and reaping are all O(1) array operations with no
+/// hashing and no steady-state allocation. A token value repeats only
+/// after 2³² arms of one slot — beyond any realistic run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct WakeToken(u64);
+
+impl WakeToken {
+    #[inline]
+    fn new(slot: u32, generation: u32) -> WakeToken {
+        WakeToken((u64::from(generation) << 32) | u64::from(slot))
+    }
+
+    #[inline]
+    fn slot(self) -> usize {
+        (self.0 & 0xFFFF_FFFF) as usize
+    }
+
+    #[inline]
+    fn generation(self) -> u32 {
+        (self.0 >> 32) as u32
+    }
+}
+
+/// State of one wake-slot table entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum WakeState {
+    /// Recyclable; the slot index is on the free list.
+    Free,
+    /// Armed and queued; will fire unless cancelled.
+    Armed,
+    /// Cancelled while queued; reaped silently when it surfaces.
+    Cancelled,
+}
+
+/// One entry of the wake-slot table (see [`WakeToken`]).
+#[derive(Debug, Clone, Copy)]
+struct WakeSlot {
+    generation: u32,
+    state: WakeState,
+}
 
 /// A simulated hardware block that reacts to timestamped messages.
 ///
@@ -89,12 +130,14 @@ struct EngineCore<M> {
     seq: u64,
     queue: EventQueue<Scheduled<M>>,
     dispatched: u64,
-    next_token: u64,
-    /// Tokens armed and not yet fired or cancelled.
-    live_wakes: HashSet<u64>,
-    /// Tokens cancelled while still queued; their queue entries are
-    /// skipped (without advancing the clock) when they surface.
-    cancelled_wakes: HashSet<u64>,
+    /// The wake-slot table: O(1), hash-free timer bookkeeping indexed by
+    /// [`WakeToken::slot`]. Grows to the peak number of simultaneously
+    /// armed timers and is then allocation-free.
+    wake_slots: Vec<WakeSlot>,
+    /// Indices of [`WakeState::Free`] slots.
+    free_slots: Vec<u32>,
+    /// Queue entries belonging to cancelled (not yet reaped) timers.
+    cancelled_pending: usize,
     wake_fires: u64,
     wake_cancels: u64,
 }
@@ -112,21 +155,42 @@ impl<M> EngineCore<M> {
     }
 
     fn arm_wake(&mut self, at: Time, target: ComponentId) -> WakeToken {
-        let token = WakeToken(self.next_token);
-        self.next_token += 1;
-        self.live_wakes.insert(token.0);
+        let slot = self.free_slots.pop().unwrap_or_else(|| {
+            self.wake_slots.push(WakeSlot {
+                generation: 0,
+                state: WakeState::Free,
+            });
+            (self.wake_slots.len() - 1) as u32
+        });
+        let entry = &mut self.wake_slots[slot as usize];
+        debug_assert_eq!(entry.state, WakeState::Free, "free list holds free slots");
+        entry.state = WakeState::Armed;
+        let token = WakeToken::new(slot, entry.generation);
         self.push(at, target, EventKind::Wake(token));
         token
     }
 
     fn cancel_wake(&mut self, token: WakeToken) -> bool {
-        if self.live_wakes.remove(&token.0) {
-            self.cancelled_wakes.insert(token.0);
-            self.wake_cancels += 1;
-            true
-        } else {
-            false
+        match self.wake_slots.get_mut(token.slot()) {
+            Some(slot)
+                if slot.generation == token.generation() && slot.state == WakeState::Armed =>
+            {
+                slot.state = WakeState::Cancelled;
+                self.cancelled_pending += 1;
+                self.wake_cancels += 1;
+                true
+            }
+            _ => false,
         }
+    }
+
+    /// Retires `token`'s slot after its queue entry surfaced (fired or
+    /// reaped): bumps the generation and recycles the slot.
+    fn retire_wake(&mut self, token: WakeToken) {
+        let slot = &mut self.wake_slots[token.slot()];
+        slot.generation = slot.generation.wrapping_add(1);
+        slot.state = WakeState::Free;
+        self.free_slots.push(token.slot() as u32);
     }
 }
 
@@ -226,6 +290,16 @@ pub struct EngineStats {
     pub wake_fires: u64,
     /// Timer wakeups cancelled before firing.
     pub wake_cancels: u64,
+    /// Heap allocations performed by [`crate::InlineVec`] scratch buffers
+    /// on this thread since the engine was created (first spill of a
+    /// buffer, or regrowth of an already-spilled one). The zero-allocation
+    /// hot-path property the tier-1 suite asserts is that this stays
+    /// *bounded* as a run grows: a reused scratch buffer allocates at most
+    /// a handful of times while it grows to the workload's peak burst, and
+    /// never again in steady state. Meaningful only when the engine runs
+    /// on the thread that created it (which the single-threaded engine
+    /// requires anyway).
+    pub scratch_spills: u64,
 }
 
 /// A deterministic discrete-event engine over message type `M`.
@@ -264,6 +338,8 @@ pub struct Engine<M> {
     core: EngineCore<M>,
     components: Vec<Option<Box<dyn Component<M>>>>,
     names: Vec<String>,
+    /// [`inline::spill_allocs`] at creation; `stats()` reports the delta.
+    spill_baseline: u64,
 }
 
 impl<M> Default for Engine<M> {
@@ -275,20 +351,29 @@ impl<M> Default for Engine<M> {
 impl<M> Engine<M> {
     /// Creates an empty engine with the clock at [`Time::ZERO`].
     pub fn new() -> Engine<M> {
+        Engine::with_capacity(0)
+    }
+
+    /// Creates an empty engine pre-sized for `components` registrations,
+    /// so the registry never regrows during wiring. Simulations that know
+    /// their component count up front (a fabric knows its cube count)
+    /// should prefer this over [`Engine::new`].
+    pub fn with_capacity(components: usize) -> Engine<M> {
         Engine {
             core: EngineCore {
                 time: Time::ZERO,
                 seq: 0,
                 queue: EventQueue::new(),
                 dispatched: 0,
-                next_token: 0,
-                live_wakes: HashSet::new(),
-                cancelled_wakes: HashSet::new(),
+                wake_slots: Vec::with_capacity(components.max(8)),
+                free_slots: Vec::with_capacity(components.max(8)),
+                cancelled_pending: 0,
                 wake_fires: 0,
                 wake_cancels: 0,
             },
-            components: Vec::new(),
-            names: Vec::new(),
+            components: Vec::with_capacity(components),
+            names: Vec::with_capacity(components),
+            spill_baseline: inline::spill_allocs(),
         }
     }
 
@@ -358,12 +443,15 @@ impl<M> Engine<M> {
             let ev = self.core.queue.pop().expect("peeked event vanished");
             let token = match ev.item.kind {
                 EventKind::Wake(token) => {
-                    if self.core.cancelled_wakes.remove(&token.0) {
+                    let state = self.core.wake_slots[token.slot()].state;
+                    debug_assert_ne!(state, WakeState::Free, "queued wake has a live slot");
+                    self.core.retire_wake(token);
+                    if state == WakeState::Cancelled {
                         // Cancelled before firing: reap silently. The clock
                         // must not advance for an event nobody observes.
+                        self.core.cancelled_pending -= 1;
                         continue;
                     }
-                    self.core.live_wakes.remove(&token.0);
                     self.core.wake_fires += 1;
                     Some(token)
                 }
@@ -422,9 +510,10 @@ impl<M> Engine<M> {
     pub fn stats(&self) -> EngineStats {
         EngineStats {
             dispatched: self.core.dispatched,
-            pending: self.core.queue.len() - self.core.cancelled_wakes.len(),
+            pending: self.core.queue.len() - self.core.cancelled_pending,
             wake_fires: self.core.wake_fires,
             wake_cancels: self.core.wake_cancels,
+            scratch_spills: inline::spill_allocs() - self.spill_baseline,
         }
     }
 }

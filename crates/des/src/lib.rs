@@ -62,10 +62,12 @@
 #![warn(missing_docs)]
 
 mod engine;
+pub mod inline;
 mod time;
 pub mod wake;
 mod wheel;
 
 pub use engine::{AsAnyComponent, Component, ComponentId, Ctx, Engine, EngineStats, WakeToken};
+pub use inline::InlineVec;
 pub use time::{Delay, Time};
 pub use wake::{AutoWake, Clocked};

@@ -92,11 +92,14 @@ pub(crate) struct EventQueue<T> {
 impl<T> EventQueue<T> {
     pub fn new() -> EventQueue<T> {
         EventQueue {
-            active: BinaryHeap::new(),
-            slots: (0..WHEEL_SLOTS).map(|_| Vec::new()).collect(),
+            active: BinaryHeap::with_capacity(16),
+            // Slot buffers are pre-sized and reused across ring rotations:
+            // `prepare` drains a bucket without releasing its capacity, so
+            // after the first few laps the wheel allocates nothing.
+            slots: (0..WHEEL_SLOTS).map(|_| Vec::with_capacity(4)).collect(),
             near_len: 0,
             cursor: 0,
-            far: BinaryHeap::new(),
+            far: BinaryHeap::with_capacity(16),
         }
     }
 

@@ -193,3 +193,132 @@ proptest! {
         prop_assert_eq!(log, whole);
     }
 }
+
+/// Mirror-model property: an [`hmc_des::InlineVec`] must behave exactly
+/// like a `Vec` across interleaved pushes (spilling past the inline
+/// capacity), pops, clears, indexed reads, iteration and drains.
+mod inline_vec_matches_vec {
+    use hmc_des::InlineVec;
+    use proptest::prelude::*;
+
+    /// `0..4` = push value, `4` = pop, `5` = clear, `6` = drain.
+    fn apply(ops: &[(u8, u32)]) {
+        let mut iv: InlineVec<u32, 4> = InlineVec::new();
+        let mut model: Vec<u32> = Vec::new();
+        for &(op, val) in ops {
+            match op {
+                0..=3 => {
+                    iv.push(val);
+                    model.push(val);
+                }
+                4 => assert_eq!(iv.pop(), model.pop()),
+                5 => {
+                    iv.clear();
+                    model.clear();
+                }
+                _ => {
+                    let drained: Vec<u32> = iv.drain().collect();
+                    let expected: Vec<u32> = std::mem::take(&mut model);
+                    assert_eq!(drained, expected, "drain yields front-to-back");
+                }
+            }
+            // Full-state equivalence after every operation.
+            assert_eq!(iv.len(), model.len());
+            assert_eq!(iv.is_empty(), model.is_empty());
+            assert_eq!(iv.spilled(), model.len() > 4);
+            let via_iter: Vec<u32> = iv.iter().copied().collect();
+            assert_eq!(via_iter, model, "iteration preserves order");
+            for (i, expected) in model.iter().enumerate() {
+                assert_eq!(iv.get(i), Some(expected));
+                assert_eq!(&iv[i], expected);
+            }
+            assert_eq!(iv.get(model.len()), None);
+        }
+        // Post-script: a partially consumed drain drops the rest and
+        // leaves the vector reusable.
+        iv.clear();
+        for v in 0..10u32 {
+            iv.push(v);
+        }
+        {
+            let mut d = iv.drain();
+            assert_eq!(d.next(), Some(0));
+            assert_eq!(d.next(), Some(1));
+        }
+        assert!(iv.is_empty(), "dropping a drain empties the vector");
+        iv.push(7);
+        assert_eq!(iv.iter().copied().collect::<Vec<_>>(), vec![7]);
+    }
+
+    proptest! {
+        #[test]
+        fn mirrors_vec(ops in prop::collection::vec((0u8..7, 0u32..1000), 0..200)) {
+            apply(&ops);
+        }
+    }
+}
+
+/// The wake-slot table must hand out distinct live tokens, survive heavy
+/// arm/cancel churn, and never fire a cancelled timer — the invariants the
+/// old `HashSet` bookkeeping provided, now under slot reuse.
+mod wake_slot_reuse {
+    use hmc_des::{Component, Ctx, Engine, Time, WakeToken};
+    use proptest::prelude::*;
+
+    /// Arms one wake per scripted deadline, cancelling every other one;
+    /// records fires.
+    struct Churner {
+        deadlines: Vec<(u64, bool)>,
+        armed: Vec<(WakeToken, bool)>,
+        fires: Vec<u64>,
+    }
+
+    impl Component<u8> for Churner {
+        fn on_message(&mut self, _msg: u8, ctx: &mut Ctx<'_, u8>) {
+            for &(at, keep) in &self.deadlines {
+                let token = ctx.wake_at(ctx.now() + hmc_des::Delay::from_ps(at));
+                self.armed.push((token, keep));
+            }
+            let to_cancel: Vec<WakeToken> = self
+                .armed
+                .iter()
+                .filter(|&&(_, keep)| !keep)
+                .map(|&(t, _)| t)
+                .collect();
+            for t in to_cancel {
+                assert!(ctx.cancel_wake(t), "live token cancels exactly once");
+                assert!(!ctx.cancel_wake(t), "second cancel reports dead");
+            }
+        }
+        fn on_wake(&mut self, token: WakeToken, ctx: &mut Ctx<'_, u8>) {
+            assert!(
+                self.armed.iter().any(|&(t, keep)| t == token && keep),
+                "only kept tokens fire"
+            );
+            self.fires.push(ctx.now().as_ps());
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn cancelled_timers_never_fire(deadlines in prop::collection::vec((1u64..50_000, any::<bool>()), 0..120)) {
+            let kept = deadlines.iter().filter(|&&(_, keep)| keep).count() as u64;
+            let cancelled = deadlines.len() as u64 - kept;
+            let mut e: Engine<u8> = Engine::new();
+            let id = e.add_component(Box::new(Churner {
+                deadlines: deadlines.clone(),
+                armed: Vec::new(),
+                fires: Vec::new(),
+            }));
+            e.schedule(Time::ZERO, id, 0);
+            e.run_to_quiescence();
+            let stats = e.stats();
+            prop_assert_eq!(stats.wake_fires, kept);
+            prop_assert_eq!(stats.wake_cancels, cancelled);
+            prop_assert_eq!(stats.pending, 0);
+            let fires = &e.component::<Churner>(id).unwrap().fires;
+            prop_assert_eq!(fires.len() as u64, kept);
+            prop_assert!(fires.windows(2).all(|w| w[0] <= w[1]), "fires in time order");
+        }
+    }
+}

@@ -1,7 +1,7 @@
 //! `repro` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! repro [--full] [--json] [--seed N] [--out DIR] <experiment...|all|--list>
+//! repro [--full] [--json] [--seed N] [--threads N] [--out DIR] <experiment...|all|--list>
 //! ```
 //!
 //! By default each experiment's tables print as ASCII. With `--json` the
@@ -20,6 +20,9 @@ use hmc_sim::stats::json_escape;
 struct Args {
     scale: Scale,
     seed: u64,
+    /// Worker threads for parallel sweeps (`0` = all cores). Results are
+    /// thread-count-invariant; this only trades wall-clock for cores.
+    threads: usize,
     out: Option<PathBuf>,
     names: Vec<String>,
     list: bool,
@@ -30,6 +33,7 @@ fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         scale: Scale::Quick,
         seed: 2018,
+        threads: 0,
         out: None,
         names: Vec::new(),
         list: false,
@@ -46,6 +50,10 @@ fn parse_args() -> Result<Args, String> {
                 let v = it.next().ok_or("--seed needs a value")?;
                 args.seed = v.parse().map_err(|e| format!("bad seed: {e}"))?;
             }
+            "--threads" => {
+                let v = it.next().ok_or("--threads needs a value")?;
+                args.threads = v.parse().map_err(|e| format!("bad thread count: {e}"))?;
+            }
             "--out" => {
                 let v = it.next().ok_or("--out needs a directory")?;
                 args.out = Some(PathBuf::from(v));
@@ -61,9 +69,13 @@ fn parse_args() -> Result<Args, String> {
 }
 
 fn usage() {
-    eprintln!("usage: repro [--full] [--json] [--seed N] [--out DIR] <experiment...|all|--list>");
+    eprintln!(
+        "usage: repro [--full] [--json] [--seed N] [--threads N] [--out DIR] \
+         <experiment...|all|--list>"
+    );
     eprintln!("experiments: {}", EXPERIMENTS.join(" "));
     eprintln!("aliases: fig10 fig11 fig12 (one combined sweep)");
+    eprintln!("--threads N: worker threads for sweeps (0 = all cores; results are identical)");
 }
 
 fn sanitize(title: &str) -> String {
@@ -143,6 +155,7 @@ fn main() -> ExitCode {
     let ctx = ExpContext {
         scale: args.scale,
         seed: args.seed,
+        threads: args.threads,
     };
     if let Some(dir) = &args.out {
         if let Err(e) = std::fs::create_dir_all(dir) {

@@ -28,6 +28,12 @@ pub struct ExpContext {
     pub scale: Scale,
     /// Root seed; every run derives its own deterministic seed from it.
     pub seed: u64,
+    /// Worker threads for parallel sweeps (`0` = all available cores,
+    /// the default). Results are thread-count-invariant: every job owns
+    /// its simulation and its derived seed, and sweep order is restored
+    /// after the parallel section — the determinism regressions run the
+    /// same sweep at different widths and diff the rendered output.
+    pub threads: usize,
 }
 
 impl ExpContext {
@@ -36,6 +42,7 @@ impl ExpContext {
         ExpContext {
             scale: Scale::Quick,
             seed,
+            threads: 0,
         }
     }
 
@@ -44,7 +51,19 @@ impl ExpContext {
         ExpContext {
             scale: Scale::Full,
             seed,
+            threads: 0,
         }
+    }
+
+    /// Runs `f` over `items` on this context's worker-thread budget,
+    /// preserving order (see [`parallel_map_with_threads`]).
+    pub fn par_map<T, R, F>(&self, items: Vec<T>, f: F) -> Vec<R>
+    where
+        T: Send + Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
+        parallel_map_with_threads(items, self.threads, f)
     }
 
     /// GUPS warmup window.

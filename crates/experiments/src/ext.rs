@@ -10,7 +10,7 @@
 use hmc_sim::ddr::DdrChannel;
 use hmc_sim::prelude::*;
 
-use crate::common::{gups_run, parallel_map, stream_run, ExpContext};
+use crate::common::{gups_run, stream_run, ExpContext};
 
 /// Ext-A: DDR4 channel vs the simulated HMC stack.
 pub fn ddr_comparison(ctx: &ExpContext) -> Table {
@@ -75,7 +75,7 @@ pub struct RwMixPoint {
 pub fn rw_mix(ctx: &ExpContext) -> Vec<RwMixPoint> {
     let mixes: Vec<u8> = vec![0, 25, 50, 75, 100];
     let ctx = *ctx;
-    parallel_map(mixes, move |&write_percent| {
+    ctx.par_map(mixes, move |&write_percent| {
         let seed = ctx.seed_for("ext-rw", u64::from(write_percent));
         let op = GupsOp::Mix {
             size: PayloadSize::B128,
@@ -132,6 +132,7 @@ mod tests {
         let ctx = ExpContext {
             scale: Scale::Smoke,
             seed: 20,
+            threads: 0,
         };
         let table = ddr_comparison(&ctx);
         let csv = table.to_csv();
@@ -146,6 +147,7 @@ mod tests {
         let ctx = ExpContext {
             scale: Scale::Smoke,
             seed: 21,
+            threads: 0,
         };
         let points = rw_mix(&ctx);
         let at = |wp: u8| {

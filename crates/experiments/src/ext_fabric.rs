@@ -15,7 +15,7 @@
 use hmc_sim::fabric::{FabricConfig, FabricPortSpec, FabricSim};
 use hmc_sim::prelude::*;
 
-use crate::common::{parallel_map, ExpContext, Scale};
+use crate::common::{ExpContext, Scale};
 
 /// One point of the chain sweep.
 #[derive(Debug, Clone, PartialEq)]
@@ -50,7 +50,7 @@ pub fn chain(ctx: &ExpContext) -> Vec<ChainPoint> {
 /// determinism regression, which replays the 4-cube chain alone).
 pub fn chain_for_lengths(ctx: &ExpContext, lengths: Vec<u8>) -> Vec<ChainPoint> {
     let ctx = *ctx;
-    parallel_map(lengths, move |&n| {
+    ctx.par_map(lengths, move |&n| {
         let far = CubeId(n - 1);
         let mk = || FabricConfig::chain(ctx.seed_for("ext-chain", u64::from(n)), n);
 
@@ -132,7 +132,7 @@ pub fn star(ctx: &ExpContext) -> Vec<StarPoint> {
 
     // Unloaded probes, one per target cube.
     let ctx2 = *ctx;
-    let unloaded: Vec<f64> = parallel_map((0..STAR_CUBES).collect(), move |&c| {
+    let unloaded: Vec<f64> = ctx.par_map((0..STAR_CUBES).collect(), move |&c| {
         let cfg = FabricConfig::star(ctx2.seed_for("ext-star", 1), STAR_CUBES);
         let trace = hmc_sim::workloads::random_reads_in_banks(
             &cfg.cube.map,
@@ -198,6 +198,7 @@ mod tests {
         let ctx = ExpContext {
             scale: Scale::Smoke,
             seed: 30,
+            threads: 0,
         };
         let points = chain(&ctx);
         assert_eq!(points.len(), 3);
@@ -228,6 +229,7 @@ mod tests {
         let ctx = ExpContext {
             scale: Scale::Smoke,
             seed: 2018,
+            threads: 0,
         };
         let a = chain_table(&chain_for_lengths(&ctx, vec![4])).to_json();
         let b = chain_table(&chain_for_lengths(&ctx, vec![4])).to_json();
@@ -240,6 +242,7 @@ mod tests {
         let ctx = ExpContext {
             scale: Scale::Smoke,
             seed: 31,
+            threads: 0,
         };
         let points = star(&ctx);
         assert_eq!(points.len(), usize::from(STAR_CUBES));

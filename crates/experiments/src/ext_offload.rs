@@ -21,7 +21,7 @@ use hmc_sim::prelude::*;
 use hmc_sim::workloads::OffloadSource;
 use hmc_sim::RunReport;
 
-use crate::common::{parallel_map, ExpContext, Scale};
+use crate::common::{ExpContext, Scale};
 use crate::ext_fabric::STAR_CUBES;
 
 /// Blocks copied per offload run.
@@ -104,7 +104,7 @@ pub fn offload_chain_lengths(ctx: &ExpContext) -> Vec<u8> {
 pub fn chain(ctx: &ExpContext) -> Vec<OffloadPoint> {
     let ctx = *ctx;
     let blocks = copy_blocks(&ctx);
-    parallel_map(offload_chain_lengths(&ctx), move |&n| {
+    ctx.par_map(offload_chain_lengths(&ctx), move |&n| {
         let cfg = FabricConfig::chain(ctx.seed_for("ext-offload-chain", u64::from(n)), n);
         let map = cfg.cube.map;
         let far = CubeId(n - 1);
@@ -118,7 +118,7 @@ pub fn chain(ctx: &ExpContext) -> Vec<OffloadPoint> {
 pub fn star(ctx: &ExpContext) -> Vec<OffloadPoint> {
     let ctx = *ctx;
     let blocks = copy_blocks(&ctx);
-    parallel_map((0..STAR_CUBES).collect(), move |&c| {
+    ctx.par_map((0..STAR_CUBES).collect(), move |&c| {
         let cfg = FabricConfig::star(
             ctx.seed_for("ext-offload-star", 1 + u64::from(c)),
             STAR_CUBES,
@@ -146,7 +146,7 @@ pub fn window_values(ctx: &ExpContext) -> Vec<u16> {
 pub fn windows(ctx: &ExpContext) -> Vec<OffloadPoint> {
     let ctx = *ctx;
     let blocks = copy_blocks(&ctx);
-    parallel_map(window_values(&ctx), move |&w| {
+    ctx.par_map(window_values(&ctx), move |&w| {
         let cfg = FabricConfig::single(
             DeviceConfig::ac510_hmc(),
             HostConfig::ac510_default(),
@@ -195,6 +195,7 @@ mod tests {
         ExpContext {
             scale: Scale::Smoke,
             seed: 33,
+            threads: 0,
         }
     }
 

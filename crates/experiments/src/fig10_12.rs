@@ -9,7 +9,7 @@
 
 use hmc_sim::prelude::*;
 
-use crate::common::{parallel_map, stream_run, ExpContext};
+use crate::common::{stream_run, ExpContext};
 
 /// Number of histogram bins, matching the paper's nine latency intervals.
 pub const BINS: usize = 9;
@@ -32,7 +32,7 @@ pub fn run(ctx: &ExpContext, size: PayloadSize) -> CombosData {
         .step_by(ctx.combo_stride())
         .collect();
     let ctx_copy = *ctx;
-    let averages: Vec<f64> = parallel_map(combos.clone(), move |combo| {
+    let averages: Vec<f64> = ctx.par_map(combos.clone(), move |combo| {
         let reads = ctx_copy.stream_reads();
         let map = AddressMap::hmc_gen2_default();
         let mut key = u64::from(size.bytes());
@@ -168,6 +168,7 @@ mod tests {
         ExpContext {
             scale: Scale::Smoke,
             seed: 10,
+            threads: 0,
         }
     }
 

@@ -5,7 +5,7 @@
 
 use hmc_sim::prelude::*;
 
-use crate::common::{gups_run, paper_sizes, parallel_map, ExpContext};
+use crate::common::{gups_run, paper_sizes, ExpContext};
 
 /// One point of Figure 13.
 #[derive(Debug, Clone, PartialEq)]
@@ -33,7 +33,7 @@ pub fn run(ctx: &ExpContext) -> Vec<Fig13Point> {
         }
     }
     let ctx = *ctx;
-    parallel_map(jobs, move |&(pattern, size, ports)| {
+    ctx.par_map(jobs, move |&(pattern, size, ports)| {
         let map = AddressMap::hmc_gen2_default();
         let key = pattern.total_banks(&map) as u64 * 10_000
             + u64::from(size.bytes()) * 16
@@ -85,6 +85,7 @@ mod tests {
         let ctx = ExpContext {
             scale: Scale::Smoke,
             seed: 13,
+            threads: 0,
         };
         // Run just the patterns the assertions need, at 3 port counts, by
         // filtering after the full quick run would be wasteful; instead

@@ -5,7 +5,7 @@
 
 use hmc_sim::prelude::*;
 
-use crate::common::{gups_run, paper_sizes, parallel_map, ExpContext};
+use crate::common::{gups_run, paper_sizes, ExpContext};
 
 /// One bar of Figure 14.
 #[derive(Debug, Clone, PartialEq)]
@@ -32,7 +32,7 @@ pub fn run(ctx: &ExpContext) -> Vec<Fig14Point> {
         }
     }
     let ctx = *ctx;
-    parallel_map(jobs, move |&(banks, size)| {
+    ctx.par_map(jobs, move |&(banks, size)| {
         let pattern = AccessPattern::Banks {
             vault: VaultId(0),
             count: banks,
@@ -115,6 +115,7 @@ mod tests {
         let ctx = ExpContext {
             scale: Scale::Smoke,
             seed: 14,
+            threads: 0,
         };
         let points = run(&ctx);
         let two = average_outstanding(&points, 2);

@@ -3,7 +3,7 @@
 
 use hmc_sim::prelude::*;
 
-use crate::common::{gups_run, paper_sizes, parallel_map, ExpContext};
+use crate::common::{gups_run, paper_sizes, ExpContext};
 
 /// One point of Figure 6.
 #[derive(Debug, Clone, PartialEq)]
@@ -27,7 +27,7 @@ pub fn run(ctx: &ExpContext) -> Vec<Fig6Point> {
         }
     }
     let ctx = *ctx;
-    parallel_map(jobs, move |&(pattern, size)| {
+    ctx.par_map(jobs, move |&(pattern, size)| {
         let seed = ctx.seed_for(
             "fig6",
             pattern.total_banks(&AddressMap::hmc_gen2_default()) as u64 * 1000
@@ -69,6 +69,7 @@ mod tests {
         let ctx = ExpContext {
             scale: Scale::Smoke,
             seed: 42,
+            threads: 0,
         };
         let point = |pattern: AccessPattern, bytes: u32| {
             let size = PayloadSize::new(bytes).unwrap();

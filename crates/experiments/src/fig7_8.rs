@@ -7,7 +7,7 @@
 
 use hmc_sim::prelude::*;
 
-use crate::common::{paper_sizes, parallel_map, stream_run, ExpContext};
+use crate::common::{paper_sizes, stream_run, ExpContext};
 
 /// One point of Figure 7/8.
 #[derive(Debug, Clone, PartialEq)]
@@ -39,7 +39,7 @@ pub fn run(ctx: &ExpContext, max_n: usize) -> Vec<LowLoadPoint> {
         }
     }
     let ctx = *ctx;
-    parallel_map(jobs, move |&(n, size)| {
+    ctx.par_map(jobs, move |&(n, size)| {
         let vaults: Vec<u8> = (0..16u8).step_by(ctx.vault_stride()).collect();
         let mut acc = 0.0;
         for &v in &vaults {
@@ -93,6 +93,7 @@ mod tests {
         let ctx = ExpContext {
             scale: Scale::Smoke,
             seed: 7,
+            threads: 0,
         };
         let points = run(&ctx, 55);
         let at = |n: usize, bytes: u32| {
@@ -123,6 +124,7 @@ mod tests {
         let ctx = ExpContext {
             scale: Scale::Smoke,
             seed: 8,
+            threads: 0,
         };
         let points = run(&ctx, 350);
         let series: Vec<&LowLoadPoint> = points.iter().filter(|p| p.size.bytes() == 128).collect();

@@ -5,7 +5,7 @@
 
 use hmc_sim::prelude::*;
 
-use crate::common::{paper_sizes, parallel_map, stream_run, ExpContext};
+use crate::common::{paper_sizes, stream_run, ExpContext};
 
 /// One point of Figure 9: the maximum latency observed with the fourth
 /// port on `sweep_vault`.
@@ -30,7 +30,7 @@ pub fn run(ctx: &ExpContext, pinned_vault: u8) -> Vec<Fig9Point> {
         }
     }
     let ctx = *ctx;
-    parallel_map(jobs, move |&(sweep, size)| {
+    ctx.par_map(jobs, move |&(sweep, size)| {
         let reads = ctx.stream_reads();
         let map = AddressMap::hmc_gen2_default();
         let base = ctx.seed_for(
@@ -108,6 +108,7 @@ mod tests {
         let ctx = ExpContext {
             scale: Scale::Quick,
             seed: 9,
+            threads: 0,
         };
         let pinned = 5;
         let points = run(&ctx, pinned);

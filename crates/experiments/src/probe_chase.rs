@@ -44,7 +44,7 @@ pub struct ChainChasePoint {
 
 /// Runs the chain sweep: one walker chasing through the far cube.
 pub fn chain(ctx: &ExpContext) -> Vec<ChainChasePoint> {
-    chain_with_threads(ctx, 0)
+    chain_with_threads(ctx, ctx.threads)
 }
 
 /// The chain sweep with an explicit worker-thread count (`0` = all
@@ -119,7 +119,7 @@ pub fn walker_counts(ctx: &ExpContext) -> Vec<u16> {
 pub fn walkers(ctx: &ExpContext) -> Vec<WalkerPoint> {
     let ctx = *ctx;
     let hops = chain_len(&ctx);
-    parallel_map_with_threads(walker_counts(&ctx), 0, move |&w| {
+    parallel_map_with_threads(walker_counts(&ctx), ctx.threads, move |&w| {
         let cfg = SystemConfig::ac510(ctx.seed_for("probe-chase-mlp", u64::from(w)));
         let map = cfg.device.map;
         let vaults: Vec<VaultId> = (0..map.geometry().vaults).map(VaultId).collect();
@@ -170,6 +170,7 @@ mod tests {
         ExpContext {
             scale: Scale::Smoke,
             seed: 2018,
+            threads: 0,
         }
     }
 

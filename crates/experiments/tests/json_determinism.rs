@@ -1,0 +1,58 @@
+//! In-process determinism regressions for the experiment harness.
+//!
+//! The scratch-buffer refactor reuses buffers across runs *within one
+//! process*: the first run grows every `InlineVec` to the workload's peak
+//! burst and later runs reuse that capacity. These tests pin down that the
+//! reuse is observably pure — the second rendering of an experiment is
+//! byte-identical to the first — and that the sweep worker-thread count
+//! (the `repro --threads` knob) never leaks into results.
+
+use hmc_experiments::{run_by_name, ExpContext, Scale};
+
+/// Renders one experiment to its JSON document (the `repro --json` shape,
+/// minus the outer array).
+fn render_json(name: &str, ctx: &ExpContext) -> String {
+    let outcome = run_by_name(name, ctx).expect("known experiment");
+    let tables: Vec<String> = outcome
+        .tables
+        .iter()
+        .map(|(title, table)| format!("{title}:{}", table.to_json()))
+        .collect();
+    tables.join("\n")
+}
+
+#[test]
+fn fig6_json_is_byte_identical_across_in_process_reruns() {
+    // First run: scratch buffers cold (every spill allocates). Second
+    // run: buffers warm. Any behavioral difference between those two
+    // states — a stale element surviving a `clear`, a drain reordering —
+    // would perturb latencies and break byte equality.
+    let ctx = ExpContext {
+        scale: Scale::Smoke,
+        seed: 2018,
+        threads: 0,
+    };
+    let cold = render_json("fig6", &ctx);
+    let warm = render_json("fig6", &ctx);
+    assert!(cold.contains("\"rows\""), "fig6 rendered real rows");
+    assert_eq!(
+        cold, warm,
+        "scratch-buffer reuse must be observably pure across in-process runs"
+    );
+}
+
+#[test]
+fn thread_count_does_not_affect_results() {
+    // The documented `--threads` contract: sweeps split across any number
+    // of workers render byte-identically to the serial sweep.
+    let ctx = |threads: usize| ExpContext {
+        scale: Scale::Smoke,
+        seed: 2018,
+        threads,
+    };
+    let serial = render_json("fig6", &ctx(1));
+    let parallel = render_json("fig6", &ctx(0));
+    let two = render_json("fig6", &ctx(2));
+    assert_eq!(serial, parallel, "all-cores sweep must equal serial sweep");
+    assert_eq!(serial, two, "two-worker sweep must equal serial sweep");
+}

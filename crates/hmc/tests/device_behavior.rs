@@ -66,7 +66,10 @@ impl Driver {
                     self.hmc.on_request(now, LinkId(l as u8), pkt);
                 }
             }
-            for out in self.hmc.advance(now) {
+            // `advance` returns a view of its reused buffer; copy it out
+            // so responses can return tokens while iterating.
+            let outs: Vec<DeviceOutput> = self.hmc.advance(now).iter().copied().collect();
+            for out in outs {
                 match out {
                     DeviceOutput::Response { link, pkt, at } => {
                         self.responses.push((at, link, pkt));

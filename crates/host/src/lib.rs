@@ -35,9 +35,9 @@
 //! // Drive a few dozen FPGA cycles: requests appear on the link after
 //! // the controller pipeline latency.
 //! let period = host.config().fpga_period;
-//! let mut events = Vec::new();
+//! let mut events: Vec<hmc_host::HostEvent> = Vec::new();
 //! for cycle in 0..60u64 {
-//!     events.extend(host.tick(Time::ZERO + period * cycle));
+//!     events.extend(host.tick(Time::ZERO + period * cycle).iter().copied());
 //! }
 //! assert!(!events.is_empty());
 //! ```
@@ -50,7 +50,7 @@ mod model;
 mod port;
 
 pub use config::HostConfig;
-pub use model::{HostEvent, HostModel};
+pub use model::{HostEvent, HostEvents, HostModel};
 pub use port::{Port, TagPool};
 // The GUPS op template lives with the sources now; re-exported for the
 // many call sites that name it through this crate.

@@ -1,13 +1,19 @@
 //! The host controller: per-port FIFOs, arbitration, link scheduling and
 //! response drain — the FPGA half of Figure 5.
 
-use hmc_des::{Clocked, Time};
-use hmc_link::LinkTx;
+use hmc_des::{Clocked, InlineVec, Time};
+use hmc_link::{Deliveries, LinkTx};
 use hmc_noc::{BoundedQueue, RoundRobinArbiter};
 use hmc_packet::{LinkId, PortId, RequestPacket, ResponsePacket};
 
 use crate::config::HostConfig;
 use crate::port::Port;
+
+/// The reusable event buffer the host's advance methods fill and return a
+/// view of. Sixteen inline slots cover every common FPGA cycle; bursts
+/// beyond that spill once into retained heap capacity, so the per-cycle
+/// relay path allocates nothing in steady state.
+pub type HostEvents = InlineVec<HostEvent, 16>;
 
 /// Timed effects of advancing the host model. The surrounding simulation
 /// relays each to its destination at the recorded time.
@@ -66,6 +72,11 @@ pub struct HostModel {
     stage_admit_at: Vec<Time>,
     link_tx: Vec<LinkTx<RequestPacket>>,
     rx_busy: Vec<Time>,
+    /// Reused event buffer (returned as a view by `tick`/`pump_links`/
+    /// `on_response_arrival`/`on_request_tokens`).
+    events: HostEvents,
+    /// Reused delivery scratch for link serializer service.
+    delivery_scratch: Deliveries<RequestPacket>,
 }
 
 impl HostModel {
@@ -99,6 +110,8 @@ impl HostModel {
             stage_admit_at,
             link_tx,
             rx_busy,
+            events: HostEvents::new(),
+            delivery_scratch: Deliveries::new(),
         }
     }
 
@@ -110,7 +123,10 @@ impl HostModel {
     /// One FPGA cycle: every port may issue one request into its FIFO,
     /// the arbiter moves FIFO heads onto the least-loaded links, and the
     /// links serialize what tokens allow.
-    pub fn tick(&mut self, now: Time) -> Vec<HostEvent> {
+    ///
+    /// Returns a view of the model's reused event buffer, valid until the
+    /// next advance call — the relay path allocates nothing per cycle.
+    pub fn tick(&mut self, now: Time) -> &HostEvents {
         for i in 0..self.ports.len() {
             if !self.fifos[i].is_full() {
                 if let Some(pkt) = self.ports[i].try_issue(now) {
@@ -122,8 +138,10 @@ impl HostModel {
     }
 
     /// Moves FIFO heads through the controller pipeline to the links and
-    /// serializes; called on ticks and on token returns.
-    pub fn pump_links(&mut self, now: Time) -> Vec<HostEvent> {
+    /// serializes; called on ticks and on token returns. Returns a view
+    /// of the reused event buffer (see [`HostModel::tick`]).
+    pub fn pump_links(&mut self, now: Time) -> &HostEvents {
+        self.events.clear();
         // Packets whose pipeline latency elapsed reach their serializer —
         // if its FIFO has room; a full serializer stalls the pipeline
         // (backpressure toward the ports).
@@ -168,27 +186,30 @@ impl HostModel {
             self.staged[link].push_back((now + self.cfg.ctrl_latency_req, pkt));
         }
         // Serialize onto the wire.
-        let mut events = Vec::new();
-        for (l, tx) in self.link_tx.iter_mut().enumerate() {
-            for d in tx.service(now) {
-                events.push(HostEvent::RequestArrival {
+        let mut deliveries = std::mem::take(&mut self.delivery_scratch);
+        for l in 0..self.link_tx.len() {
+            self.link_tx[l].service_into(now, &mut deliveries);
+            for d in deliveries.drain() {
+                self.events.push(HostEvent::RequestArrival {
                     link: LinkId(l as u8),
                     pkt: d.payload,
                     at: d.at,
                 });
             }
         }
-        events
+        self.delivery_scratch = deliveries;
+        &self.events
     }
 
     /// A response packet finished arriving on `link`: route it to its
-    /// port's RX serializer.
+    /// port's RX serializer. Returns a view of the reused event buffer
+    /// (see [`HostModel::tick`]).
     pub fn on_response_arrival(
         &mut self,
         now: Time,
         link: LinkId,
         pkt: ResponsePacket,
-    ) -> Vec<HostEvent> {
+    ) -> &HostEvents {
         let port = pkt.port;
         let slot = port.index();
         assert!(slot < self.ports.len(), "response for unknown {port}");
@@ -197,22 +218,22 @@ impl HostModel {
         let start = (now + self.cfg.ctrl_latency_resp).max(self.rx_busy[slot]);
         let done = start + self.cfg.port_rx_flit_time * drain_flits;
         self.rx_busy[slot] = done;
-        vec![
-            HostEvent::ResponseDrained {
-                port,
-                pkt,
-                at: done,
-            },
-            // Tokens return as soon as the packet leaves the link RX ring
-            // for the controller's (pipelined) response path; holding them
-            // through the pipeline would throttle the link far below its
-            // measured throughput.
-            HostEvent::ResponseTokens {
-                link,
-                flits,
-                at: now,
-            },
-        ]
+        self.events.clear();
+        self.events.push(HostEvent::ResponseDrained {
+            port,
+            pkt,
+            at: done,
+        });
+        // Tokens return as soon as the packet leaves the link RX ring for
+        // the controller's (pipelined) response path; holding them through
+        // the pipeline would throttle the link far below its measured
+        // throughput.
+        self.events.push(HostEvent::ResponseTokens {
+            link,
+            flits,
+            at: now,
+        });
+        &self.events
     }
 
     /// Delivers a drained response to its port (call at the
@@ -222,8 +243,9 @@ impl HostModel {
     }
 
     /// Returns request tokens to `link`'s transmitter (the cube drained
-    /// its input buffer) and pumps the links.
-    pub fn on_request_tokens(&mut self, now: Time, link: LinkId, flits: u32) -> Vec<HostEvent> {
+    /// its input buffer) and pumps the links. Returns a view of the
+    /// reused event buffer (see [`HostModel::tick`]).
+    pub fn on_request_tokens(&mut self, now: Time, link: LinkId, flits: u32) -> &HostEvents {
         self.link_tx[link.index()].return_tokens(flits);
         self.pump_links(now)
     }
@@ -405,7 +427,7 @@ mod tests {
         let period = h.config().fpga_period;
         let mut events = Vec::new();
         for c in 0..cycles {
-            events.extend(h.tick(Time::ZERO + period * c));
+            events.extend(h.tick(Time::ZERO + period * c).iter().copied());
         }
         events
     }
@@ -473,7 +495,11 @@ mod tests {
         assert!(!issued.is_empty());
         let resp = ResponsePacket::for_request(&issued[0]);
         let now = Time::from_us(5);
-        let events = h.on_response_arrival(now, LinkId(0), resp);
+        let events: Vec<HostEvent> = h
+            .on_response_arrival(now, LinkId(0), resp)
+            .iter()
+            .copied()
+            .collect();
         let drain_at = events
             .iter()
             .find_map(|e| match e {
@@ -505,7 +531,7 @@ mod tests {
         let period = h.config().fpga_period;
         let mut more = Vec::new();
         for c in 0..120u64 {
-            more.extend(h.tick(Time::from_us(5) + period * c));
+            more.extend(h.tick(Time::from_us(5) + period * c).iter().copied());
         }
         assert_eq!(
             arrivals(&more).len(),
@@ -536,7 +562,7 @@ mod tests {
     fn staged_pipeline_wake_skips_the_idle_cycles() {
         let mut h = host_with_gups_ports(1, 1);
         h.set_all_active(true);
-        let events = h.tick(Time::ZERO);
+        let events: Vec<HostEvent> = h.tick(Time::ZERO).iter().copied().collect();
         assert!(arrivals(&events).is_empty(), "pipeline holds the request");
         // One tag, now in flight: the only pending work is the staged
         // packet's pipeline exit, ~45 cycles out. The host must not ask

@@ -2,10 +2,15 @@
 
 use std::collections::VecDeque;
 
-use hmc_des::{Clocked, Delay, Time};
+use hmc_des::{Clocked, Delay, InlineVec, Time};
 use hmc_noc::Credits;
 
 use crate::config::LinkConfig;
+
+/// The delivery scratch buffer [`LinkTx::service_into`] fills: four inline
+/// slots cover the common drain; longer bursts spill once into the
+/// caller's reused buffer.
+pub type Deliveries<P> = InlineVec<LinkDelivery<P>, 4>;
 
 /// A packet delivered at the far end of the link.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -146,8 +151,20 @@ impl<P> LinkTx<P> {
     /// Serializes as many queued packets as tokens and wire availability
     /// allow at `now`. Returns deliveries stamped with their arrival time
     /// at the far end.
-    pub fn service(&mut self, now: Time) -> Vec<LinkDelivery<P>> {
-        let mut out = Vec::new();
+    ///
+    /// Convenience form of [`LinkTx::service_into`]; hot paths pass a
+    /// reused scratch buffer instead so steady-state service allocates
+    /// nothing.
+    pub fn service(&mut self, now: Time) -> Deliveries<P> {
+        let mut out = Deliveries::new();
+        self.service_into(now, &mut out);
+        out
+    }
+
+    /// Serializes as many queued packets as tokens and wire availability
+    /// allow at `now`, appending each delivery (stamped with its arrival
+    /// time at the far end) to `out` in wire order.
+    pub fn service_into(&mut self, now: Time, out: &mut Deliveries<P>) {
         // The wire is busy until `busy_until`; serialization is strictly
         // serial, so later packets start where earlier ones ended.
         let mut cursor = self.busy_until.max(now);
@@ -174,7 +191,6 @@ impl<P> LinkTx<P> {
             });
         }
         self.busy_until = cursor;
-        out
     }
 
     /// The earliest future time service could progress on its own. Because

@@ -30,5 +30,5 @@
 mod config;
 mod core;
 
-pub use crate::core::{LinkDelivery, LinkStats, LinkTx};
+pub use crate::core::{Deliveries, LinkDelivery, LinkStats, LinkTx};
 pub use config::{LinkConfig, LinkWidth};

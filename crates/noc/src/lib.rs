@@ -38,4 +38,4 @@ mod switch;
 pub use arbiter::RoundRobinArbiter;
 pub use credit::Credits;
 pub use queue::{BoundedQueue, FlitQueue, QueueFull};
-pub use switch::{Departure, SwitchConfig, SwitchCore, SwitchEntry, SwitchFull};
+pub use switch::{Departure, Departures, SwitchConfig, SwitchCore, SwitchEntry, SwitchFull};

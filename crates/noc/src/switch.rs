@@ -2,10 +2,15 @@
 
 use std::collections::VecDeque;
 
-use hmc_des::{Clocked, Delay, Time};
+use hmc_des::{Clocked, Delay, InlineVec, Time};
 
 use crate::arbiter::RoundRobinArbiter;
 use crate::credit::Credits;
+
+/// The departure scratch buffer [`SwitchCore::service_into`] fills: eight
+/// inline slots cover the common burst; larger bursts spill to the heap
+/// once and the caller's reused buffer keeps that capacity.
+pub type Departures<P> = InlineVec<Departure<P>, 8>;
 
 /// Static configuration of a [`SwitchCore`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -162,7 +167,13 @@ impl<P> SwitchCore<P> {
         );
         SwitchCore {
             cfg,
-            inputs: (0..cfg.inputs).map(|_| VecDeque::new()).collect(),
+            // Pre-sized to the worst case the capacity hint allows
+            // (1-flit packets), capped so deep buffers don't over-reserve;
+            // either way the queue never regrows mid-run in practice.
+            inputs: input_capacity_flits
+                .iter()
+                .map(|&c| VecDeque::with_capacity((c as usize).min(64)))
+                .collect(),
             input_capacities: input_capacity_flits.to_vec(),
             input_flits: vec![0; cfg.inputs],
             peak_input_flits: vec![0; cfg.inputs],
@@ -233,8 +244,20 @@ impl<P> SwitchCore<P> {
 
     /// Runs arbitration until no further progress is possible at `now`.
     /// Returns every departing packet with its exit timestamp.
-    pub fn service(&mut self, now: Time) -> Vec<Departure<P>> {
-        let mut departures = Vec::new();
+    ///
+    /// Convenience form of [`SwitchCore::service_into`]; hot paths pass a
+    /// reused scratch buffer instead so steady-state service allocates
+    /// nothing.
+    pub fn service(&mut self, now: Time) -> Departures<P> {
+        let mut departures = Departures::new();
+        self.service_into(now, &mut departures);
+        departures
+    }
+
+    /// Runs arbitration until no further progress is possible at `now`,
+    /// appending every departing packet (with its exit timestamp) to
+    /// `departures` in grant order.
+    pub fn service_into(&mut self, now: Time, departures: &mut Departures<P>) {
         loop {
             let mut progress = false;
             for o in 0..self.cfg.outputs {
@@ -282,7 +305,6 @@ impl<P> SwitchCore<P> {
                 }
             }
         }
-        departures
     }
 
     /// The earliest future time at which [`SwitchCore::service`] could make
