@@ -34,7 +34,7 @@ use std::time::Instant;
 
 use hmc_sim::des::Delay;
 use hmc_sim::prelude::*;
-use hmc_sim::stats::json_escape;
+use hmc_sim::stats::{json_escape, json_f64};
 use hmc_sim::workloads::OffloadSource;
 
 /// One basket entry: a named, seeded, fixed-size workload.
@@ -339,23 +339,26 @@ fn main() -> ExitCode {
 
     let mut entries: Vec<String> = Vec::new();
     for m in &results {
+        // Float fields go through json_f64: a non-finite value (e.g. a
+        // degenerate speedup ratio) must become null, not a bare NaN/inf
+        // token that breaks the whole document.
         let mut fields = format!(
             "{{\"name\":\"{}\",\"events\":{},\"wake_fires\":{},\"sim_ns\":{},\
-             \"accesses\":{},\"reps\":{},\"wall_s_best\":{:.4},\"events_per_sec\":{:.0}",
+             \"accesses\":{},\"reps\":{},\"wall_s_best\":{},\"events_per_sec\":{}",
             json_escape(m.name),
             m.sig.events,
             m.sig.wake_fires,
             m.sig.sim_ns,
             m.sig.accesses,
             m.reps,
-            m.wall_best_s,
-            m.events_per_sec(),
+            json_f64(m.wall_best_s, 4),
+            json_f64(m.events_per_sec(), 0),
         );
         if let Some((_, base)) = baseline.iter().find(|(n, _)| n == m.name) {
             fields.push_str(&format!(
-                ",\"baseline_events_per_sec\":{:.0},\"speedup_vs_baseline\":{:.3}",
-                base,
-                m.events_per_sec() / base.max(1e-12),
+                ",\"baseline_events_per_sec\":{},\"speedup_vs_baseline\":{}",
+                json_f64(*base, 0),
+                json_f64(m.events_per_sec() / base.max(1e-12), 3),
             ));
         }
         fields.push('}');

@@ -1,0 +1,45 @@
+//! CLI robustness for `perfgate`: bad invocations exit nonzero with a
+//! one-line message instead of panicking.
+
+use std::process::Command;
+
+fn perfgate(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_perfgate"))
+        .args(args)
+        .output()
+        .expect("spawn perfgate")
+}
+
+#[test]
+fn missing_baseline_file_exits_nonzero_with_one_line_error() {
+    let out = perfgate(&[
+        "--baseline",
+        "/nonexistent/perfgate-baseline.json",
+        "--smoke",
+    ]);
+    assert!(!out.status.success(), "missing baseline must fail");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("cannot read baseline"), "stderr: {err}");
+    assert!(!err.contains("panicked"), "must not panic: {err}");
+    // The gate must fail *before* burning time on the basket.
+    assert!(
+        !err.contains("rep 1"),
+        "baseline errors must precede any measurement: {err}"
+    );
+}
+
+#[test]
+fn bad_flags_exit_nonzero_without_panicking() {
+    for args in [
+        &["--reps", "0"][..],
+        &["--reps", "abc"][..],
+        &["--baseline"][..],
+        &["--no-such-flag"][..],
+    ] {
+        let out = perfgate(args);
+        assert_eq!(out.status.code(), Some(2), "args: {args:?}");
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(err.contains("error:"), "args {args:?}: {err}");
+        assert!(!err.contains("panicked"), "args {args:?}: {err}");
+    }
+}

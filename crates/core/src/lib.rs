@@ -61,8 +61,11 @@ pub mod prelude {
     pub use hmc_device::DeviceConfig;
     pub use hmc_fabric::{CubeId, FabricConfig, FabricPortSpec, FabricSim, Topology};
     pub use hmc_host::{GupsOp, HostConfig};
-    pub use hmc_mapping::{AccessPattern, AddressMap, BankId, Geometry, VaultId};
-    pub use hmc_packet::{Address, PayloadSize, PortId, RequestKind};
+    pub use hmc_mapping::{
+        AccessPattern, AddressMap, BankId, CubePolicy, CubeTargeting, FabricAddressMap, Geometry,
+        VaultId,
+    };
+    pub use hmc_packet::{Address, GlobalAddress, PayloadSize, PortId, RequestKind};
     pub use hmc_stats::{Histogram, LatencyRecorder, Summary, Table};
     pub use hmc_workloads::{
         random_reads_in_banks, random_reads_in_vaults, vault_combinations, Feedback, OffloadSource,

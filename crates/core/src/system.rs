@@ -86,12 +86,22 @@ impl PortSpec {
         self
     }
 
-    /// Lifts this port into a fabric port targeting `cube`.
+    /// Lifts this port into a fabric port statically targeting `cube`.
     pub fn targeting(self, cube: CubeId) -> FabricPortSpec {
         FabricPortSpec {
             source: self.source,
             tags: self.tags,
-            cube,
+            targeting: hmc_fabric::CubeTargeting::Fixed(cube),
+        }
+    }
+
+    /// Lifts this port into a fabric port whose CUB field is derived per
+    /// request from the workload's global address under `map`.
+    pub fn addressed(self, map: hmc_fabric::FabricAddressMap) -> FabricPortSpec {
+        FabricPortSpec {
+            source: self.source,
+            tags: self.tags,
+            targeting: hmc_fabric::CubeTargeting::Addressed(map),
         }
     }
 }

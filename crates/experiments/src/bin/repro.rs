@@ -39,11 +39,21 @@ fn parse_args() -> Result<Args, String> {
         list: false,
         json: false,
     };
+    let mut scale_flag: Option<&'static str> = None;
+    let mut set_scale = |args: &mut Args, flag: &'static str, scale| -> Result<(), String> {
+        if let Some(prev) = scale_flag.replace(flag) {
+            if prev != flag {
+                return Err(format!("conflicting flags {prev} and {flag}"));
+            }
+        }
+        args.scale = scale;
+        Ok(())
+    };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {
-            "--full" => args.scale = Scale::Full,
-            "--quick" => args.scale = Scale::Quick,
+            "--full" => set_scale(&mut args, "--full", Scale::Full)?,
+            "--quick" => set_scale(&mut args, "--quick", Scale::Quick)?,
             "--list" => args.list = true,
             "--json" => args.json = true,
             "--seed" => {

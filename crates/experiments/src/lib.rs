@@ -21,6 +21,8 @@
 pub mod common;
 pub mod ext;
 pub mod ext_fabric;
+pub mod ext_intercube;
+pub mod ext_mixed;
 pub mod ext_offload;
 pub mod fig10_12;
 pub mod fig13;
@@ -59,6 +61,8 @@ pub const EXPERIMENTS: &[&str] = &[
     "ext-star",
     "probe-chase",
     "ext-offload",
+    "ext-intercube",
+    "ext-mixed",
 ];
 
 /// Resolves aliases (`fig10`, `fig11`, `fig12` share one sweep;
@@ -231,6 +235,20 @@ pub fn run_by_name(name: &str, ctx: &ExpContext) -> Option<Outcome> {
                     probe_chase::walker_table(&probe_chase::walkers(ctx)),
                 ),
             ],
+        },
+        "ext-intercube" => Outcome {
+            name: "ext-intercube",
+            tables: vec![(
+                "Ext-intercube: blocked vs interleaved cube maps (CUB from the address)".to_owned(),
+                ext_intercube::table(&ext_intercube::run(ctx)),
+            )],
+        },
+        "ext-mixed" => Outcome {
+            name: "ext-mixed",
+            tables: vec![(
+                "Ext-mixed: pointer-chase walkers under GUPS background load".to_owned(),
+                ext_mixed::table(&ext_mixed::run(ctx)),
+            )],
         },
         "ext-offload" => Outcome {
             name: "ext-offload",

@@ -1,0 +1,61 @@
+//! CLI robustness: bad invocations must exit nonzero with a one-line
+//! message — never panic, never succeed silently.
+
+use std::process::Command;
+
+fn repro(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(args)
+        .output()
+        .expect("spawn repro")
+}
+
+#[test]
+fn conflicting_scale_flags_exit_nonzero_with_one_line_error() {
+    let out = repro(&["--full", "--quick", "table1"]);
+    assert!(!out.status.success(), "conflicting flags must fail");
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        err.contains("conflicting flags --full and --quick"),
+        "stderr: {err}"
+    );
+    assert!(!err.contains("panicked"), "must not panic: {err}");
+    // Order-independent.
+    let out = repro(&["--quick", "--full", "table1"]);
+    assert_eq!(out.status.code(), Some(2));
+    // A repeated flag is not a conflict.
+    let out = repro(&["--quick", "--quick", "table1"]);
+    assert!(out.status.success(), "repeating one scale flag is fine");
+}
+
+#[test]
+fn bad_flag_values_exit_nonzero_without_panicking() {
+    for args in [
+        &["--seed", "notanumber", "table1"][..],
+        &["--threads", "-1", "table1"][..],
+        &["--seed"][..],
+        &["--no-such-flag"][..],
+    ] {
+        let out = repro(args);
+        assert_eq!(out.status.code(), Some(2), "args: {args:?}");
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(err.contains("error:"), "args {args:?}: {err}");
+        assert!(!err.contains("panicked"), "args {args:?}: {err}");
+    }
+}
+
+#[test]
+fn unknown_experiment_exits_nonzero_and_list_names_the_new_ones() {
+    let out = repro(&["no-such-experiment"]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown experiment"), "{err}");
+
+    let out = repro(&["--list"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for name in ["ext-intercube", "ext-mixed", "probe-chase"] {
+        assert!(stdout.lines().any(|l| l == name), "missing {name}");
+    }
+}

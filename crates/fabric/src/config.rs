@@ -11,26 +11,9 @@ use hmc_packet::RequestKind;
 use crate::route::RouteTable;
 
 /// Identifies one cube of a memory network (the HMC header's 3-bit CUB
-/// field).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
-pub struct CubeId(pub u8);
-
-impl CubeId {
-    /// The host-attached root cube.
-    pub const HOST: CubeId = CubeId(0);
-
-    /// The dense index of this cube.
-    #[inline]
-    pub fn index(self) -> usize {
-        usize::from(self.0)
-    }
-}
-
-impl fmt::Display for CubeId {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "cube{}", self.0)
-    }
-}
+/// field). Defined in [`hmc_packet`] — it is a header field the host
+/// stamps on every request — and re-exported here for fabric users.
+pub use hmc_packet::CubeId;
 
 /// How the cubes of a fabric are wired together with their off-chip links.
 ///

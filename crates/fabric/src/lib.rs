@@ -48,6 +48,7 @@ mod route;
 mod sim;
 
 pub use config::{CubeId, FabricConfig, HopTuning, Topology};
+pub use hmc_mapping::{CubePolicy, CubeTargeting, FabricAddressMap, SplitError};
 pub use report::{CubeReport, PortReport, RunReport, TransitStats};
 pub use route::RouteTable;
 pub use sim::{FabricPortSpec, FabricSim, GUPS_TAGS, STREAM_TAGS};

@@ -31,8 +31,15 @@ pub struct PortReport {
     pub reads: u64,
     /// Write/atomic transactions recorded in the measurement window.
     pub writes: u64,
-    /// The cube this port's traffic targeted.
-    pub cube: CubeId,
+    /// The cube this port statically targeted, or `None` for an
+    /// address-targeted (split) stream whose CUB field is derived per
+    /// request — read [`PortReport::cube_completions`] for those.
+    pub cube: Option<CubeId>,
+    /// Completions recorded in the measurement window per destination
+    /// cube (all eight CUB values) — the per-cube attribution of a split
+    /// stream. For a fixed-targeting port only the targeted cube's slot
+    /// is nonzero.
+    pub cube_completions: [u64; 8],
 }
 
 /// Counters of one cube's pass-through stage (absent on a single-cube
@@ -97,28 +104,68 @@ impl RunReport {
         total
     }
 
-    /// Merged latency aggregate across the ports targeting one cube.
+    /// Merged latency aggregate across the ports *statically* targeting
+    /// one cube (address-targeted ports span cubes and are excluded; use
+    /// [`RunReport::cube_completions`] for their per-cube attribution).
     pub fn cube_latency(&self, cube: CubeId) -> LatencyRecorder {
         let mut total = LatencyRecorder::new();
-        for p in self.ports.iter().filter(|p| p.cube == cube) {
+        for p in self.ports.iter().filter(|p| p.cube == Some(cube)) {
             total.merge(&p.latency);
         }
         total
     }
 
-    /// Bidirectional bandwidth moved by the ports targeting one cube,
-    /// GB/s over the measurement window.
+    /// Bidirectional bandwidth moved by the ports statically targeting
+    /// one cube, GB/s over the measurement window.
     pub fn cube_bandwidth_gbs(&self, cube: CubeId) -> f64 {
-        let bytes: u64 = self
-            .ports
-            .iter()
-            .filter(|p| p.cube == cube)
-            .map(|p| p.bytes.bytes())
-            .sum();
+        self.gbs_over_window(
+            self.ports
+                .iter()
+                .filter(|p| p.cube == Some(cube))
+                .map(|p| p.bytes.bytes())
+                .sum(),
+        )
+    }
+
+    /// Bidirectional bandwidth moved by the ports whose source carries
+    /// `label` (e.g. `"gups"`, `"chase"`), GB/s over the measurement
+    /// window — the bandwidth half of [`RunReport::source_summary`].
+    pub fn source_bandwidth_gbs(&self, label: &str) -> f64 {
+        self.gbs_over_window(
+            self.ports
+                .iter()
+                .filter(|p| p.source == label)
+                .map(|p| p.bytes.bytes())
+                .sum(),
+        )
+    }
+
+    /// The paper's bandwidth formula: `bytes` over the measurement
+    /// window, in GB/s (zero for an empty window).
+    fn gbs_over_window(&self, bytes: u64) -> f64 {
         if self.elapsed.is_zero() {
             return 0.0;
         }
         bytes as f64 * 1e3 / self.elapsed.as_ps() as f64
+    }
+
+    /// Completions recorded against one destination cube, summed over
+    /// every port — covers both fixed-targeting ports and split
+    /// (address-targeted) streams, whose requests the host attributed per
+    /// packet when it stamped the CUB field.
+    pub fn cube_completions(&self, cube: CubeId) -> u64 {
+        self.ports
+            .iter()
+            .map(|p| p.cube_completions[cube.index()])
+            .sum()
+    }
+
+    /// Number of cubes that completed at least one recorded request — how
+    /// widely a run's traffic actually spread across the fabric.
+    pub fn cubes_hit(&self) -> usize {
+        (0..8)
+            .filter(|&c| self.cube_completions(CubeId(c)) > 0)
+            .count()
     }
 
     /// One cube's report.
@@ -162,11 +209,7 @@ impl RunReport {
     /// Bidirectional bandwidth in GB/s over the measurement window, by the
     /// paper's formula (total request + response bytes / elapsed time).
     pub fn total_bandwidth_gbs(&self) -> f64 {
-        let bytes: u64 = self.ports.iter().map(|p| p.bytes.bytes()).sum();
-        if self.elapsed.is_zero() {
-            return 0.0;
-        }
-        bytes as f64 * 1e3 / self.elapsed.as_ps() as f64
+        self.gbs_over_window(self.ports.iter().map(|p| p.bytes.bytes()).sum())
     }
 
     /// Access throughput in accesses per second.
@@ -238,6 +281,8 @@ mod tests {
             latency.record_ps(ns * 1_000);
             meter.add_bytes(bytes_per_access);
         }
+        let mut cube_completions = [0u64; 8];
+        cube_completions[0] = latencies_ns.len() as u64;
         RunReport {
             ports: vec![PortReport {
                 port: PortId(0),
@@ -248,7 +293,8 @@ mod tests {
                 bytes: meter,
                 reads: latencies_ns.len() as u64,
                 writes: 0,
-                cube: CubeId(0),
+                cube: Some(CubeId(0)),
+                cube_completions,
             }],
             elapsed,
             device: DeviceStats::default(),

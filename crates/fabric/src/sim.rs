@@ -20,6 +20,7 @@ use hmc_des::{AutoWake, Component, ComponentId, Ctx, Delay, Engine, EngineStats,
 use hmc_device::{DeviceConfig, DeviceOutput, HmcDevice};
 use hmc_host::{HostConfig, HostEvent, HostEvents, HostModel, Port};
 use hmc_link::{Deliveries, LinkConfig, LinkTx, LinkWidth};
+use hmc_mapping::CubeTargeting;
 use hmc_noc::{Departures, SwitchConfig, SwitchCore, SwitchEntry};
 use hmc_packet::{LinkId, PortId, RequestPacket, ResponsePacket};
 use hmc_workloads::{source_factory, GupsSource, SourceFactory, TraceReplay, TrafficSource};
@@ -49,16 +50,19 @@ pub struct FabricPortSpec {
     pub source: SourceFactory,
     /// Tag-pool size (maximum outstanding requests).
     pub tags: u16,
-    /// The cube this port's traffic targets (the CUB field the host
-    /// stamps on every request).
-    pub cube: CubeId,
+    /// How the host derives the CUB field for this port's requests: a
+    /// statically configured cube (the degenerate single-cube map — the
+    /// pre-fabric behavior), or a per-request split of the workload's
+    /// global address under a
+    /// [`FabricAddressMap`](hmc_mapping::FabricAddressMap).
+    pub targeting: CubeTargeting,
 }
 
 impl std::fmt::Debug for FabricPortSpec {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("FabricPortSpec")
             .field("tags", &self.tags)
-            .field("cube", &self.cube)
+            .field("targeting", &self.targeting)
             .finish_non_exhaustive()
     }
 }
@@ -73,7 +77,7 @@ impl FabricPortSpec {
         FabricPortSpec {
             source: source_factory(move |seed| Box::new(GupsSource::new(filter, op, seed))),
             tags: GUPS_TAGS,
-            cube,
+            targeting: CubeTargeting::Fixed(cube),
         }
     }
 
@@ -82,7 +86,7 @@ impl FabricPortSpec {
         FabricPortSpec {
             source: source_factory(move |_seed| Box::new(TraceReplay::new(trace.clone()))),
             tags: STREAM_TAGS,
-            cube,
+            targeting: CubeTargeting::Fixed(cube),
         }
     }
 
@@ -95,13 +99,21 @@ impl FabricPortSpec {
         FabricPortSpec {
             source: source_factory(factory),
             tags: STREAM_TAGS,
-            cube,
+            targeting: CubeTargeting::Fixed(cube),
         }
     }
 
     /// Overrides the tag-pool size.
     pub fn with_tags(mut self, tags: u16) -> FabricPortSpec {
         self.tags = tags;
+        self
+    }
+
+    /// Replaces this port's targeting: the CUB field of each request is
+    /// derived from the workload's global address instead of a static
+    /// cube. The map must span exactly the fabric's cube count.
+    pub fn addressed(mut self, map: hmc_mapping::FabricAddressMap) -> FabricPortSpec {
+        self.targeting = CubeTargeting::Addressed(map);
         self
     }
 }
@@ -183,14 +195,13 @@ enum RunMode {
 enum Downstream {
     /// Single cube: straight into the device, as in the paper's system.
     Direct { device: ComponentId },
-    /// Multi-cube: into cube 0's pass-through stage, stamped with each
-    /// port's destination cube.
+    /// Multi-cube: into cube 0's pass-through stage. The destination cube
+    /// is read off each packet's CUB field — the host's port logic
+    /// stamped it when it split the workload's address.
     Fabric {
         adapter: ComponentId,
         /// Index of the first host-facing port on cube 0's crossbar.
         host_port_base: usize,
-        /// Destination cube per host port id.
-        port_cube: Vec<CubeId>,
     },
 }
 
@@ -223,11 +234,9 @@ impl HostComp {
                     Downstream::Fabric {
                         adapter,
                         host_port_base,
-                        port_cube,
                     } => {
-                        let dest = port_cube[pkt.port.index()];
                         let msg = TransitMsg {
-                            dest,
+                            dest: pkt.cube,
                             host_link: link,
                             body: TransitBody::Req(pkt),
                         };
@@ -768,7 +777,7 @@ pub struct FabricSim {
     host: ComponentId,
     devices: Vec<ComponentId>,
     adapters: Vec<ComponentId>,
-    port_cubes: Vec<CubeId>,
+    port_targets: Vec<CubeTargeting>,
     started: bool,
 }
 
@@ -777,21 +786,30 @@ impl FabricSim {
     ///
     /// # Panics
     ///
-    /// Panics if the configuration is invalid, `specs` is empty, or a spec
-    /// targets a cube outside the fabric.
+    /// Panics if the configuration is invalid, `specs` is empty, a spec
+    /// statically targets a cube outside the fabric, or an addressed
+    /// spec's map disagrees with the fabric's cube count.
     pub fn new(cfg: FabricConfig, specs: Vec<FabricPortSpec>) -> FabricSim {
         cfg.validate().expect("valid fabric config");
         assert!(!specs.is_empty(), "a system needs at least one port");
         for s in &specs {
-            assert!(
-                s.cube.0 < cfg.cube_count,
-                "port targets {} outside the {}-cube fabric",
-                s.cube,
-                cfg.cube_count
-            );
+            match s.targeting {
+                CubeTargeting::Fixed(cube) => assert!(
+                    cube.0 < cfg.cube_count,
+                    "port targets {} outside the {}-cube fabric",
+                    cube,
+                    cfg.cube_count
+                ),
+                CubeTargeting::Addressed(map) => assert!(
+                    map.cube_count() == cfg.cube_count,
+                    "port's address map spans {} cube(s) but the fabric has {}",
+                    map.cube_count(),
+                    cfg.cube_count
+                ),
+            }
         }
         let n = usize::from(cfg.cube_count);
-        let port_cubes: Vec<CubeId> = specs.iter().map(|s| s.cube).collect();
+        let port_targets: Vec<CubeTargeting> = specs.iter().map(|s| s.targeting).collect();
 
         // Device configuration per mode: in a fabric, the device's
         // upstream serializer becomes the internal handoff into the
@@ -823,6 +841,7 @@ impl FabricSim {
                     .wrapping_mul(0x9E37_79B9_7F4A_7C15)
                     .wrapping_add(i as u64 + 1);
                 Port::new(PortId(i as u8), (spec.source)(seed), spec.tags)
+                    .with_targeting(spec.targeting)
             })
             .collect();
         let host_model = HostModel::new(host_cfg, ports);
@@ -863,7 +882,7 @@ impl FabricSim {
                 host,
                 devices,
                 adapters: Vec::new(),
-                port_cubes,
+                port_targets,
                 started: false,
             };
         }
@@ -974,7 +993,6 @@ impl FabricSim {
             .down = Some(Downstream::Fabric {
             adapter: adapters[0],
             host_port_base: layouts[0].host_port(LinkId(0)),
-            port_cube: port_cubes.clone(),
         });
 
         FabricSim {
@@ -982,7 +1000,7 @@ impl FabricSim {
             host,
             devices,
             adapters,
-            port_cubes,
+            port_targets,
             started: false,
         }
     }
@@ -1073,7 +1091,8 @@ impl FabricSim {
                 bytes: *p.bytes(),
                 reads: p.reads_recorded(),
                 writes: p.writes_recorded(),
-                cube: self.port_cubes[p.id().index()],
+                cube: self.port_targets[p.id().index()].fixed_cube(),
+                cube_completions: *p.completed_by_cube(),
             })
             .collect();
         let cubes: Vec<CubeReport> = self
@@ -1202,5 +1221,90 @@ mod tests {
         let cfg = FabricConfig::chain(0, 2);
         let trace = one_read_trace(&cfg, 0);
         let _ = FabricSim::new(cfg, vec![FabricPortSpec::stream(trace, CubeId(5))]);
+    }
+
+    #[test]
+    #[should_panic(expected = "spans 4 cube(s) but the fabric has 2")]
+    fn addressed_map_must_match_the_fabric_size() {
+        let cfg = FabricConfig::chain(0, 2);
+        let map =
+            hmc_mapping::FabricAddressMap::new(hmc_mapping::CubePolicy::Blocked, 4, &cfg.cube.map);
+        let trace = one_read_trace(&cfg, 0);
+        let _ = FabricSim::new(
+            cfg,
+            vec![FabricPortSpec::stream(trace, CubeId(0)).addressed(map)],
+        );
+    }
+
+    #[test]
+    fn addressed_ports_derive_cube_from_the_address() {
+        use hmc_mapping::{CubePolicy, FabricAddressMap};
+        use hmc_packet::GlobalAddress;
+
+        // One stream, explicit global addresses: block 0 in cube 0,
+        // block 1 in cube 2, block 2 in cube 1 (blocked map: high bits).
+        let cfg = FabricConfig::chain(9, 3);
+        let fabric = FabricAddressMap::new(CubePolicy::Blocked, 3, &cfg.cube.map);
+        let ops: Vec<hmc_workloads::TraceOp> =
+            [(0u64, 0x000u64), (2, 0x080), (1, 0x100), (2, 0x180)]
+                .iter()
+                .map(|&(cube, local)| {
+                    hmc_workloads::TraceOp::read(
+                        GlobalAddress::new(cube << 34 | local),
+                        hmc_packet::PayloadSize::B64,
+                    )
+                })
+                .collect();
+        let trace = hmc_workloads::Trace::from_ops(ops);
+        let report = FabricSim::new(
+            cfg,
+            vec![FabricPortSpec::stream(trace, CubeId(0)).addressed(fabric)],
+        )
+        .run_streams();
+        assert_eq!(report.ports[0].completed, 4);
+        assert_eq!(report.cubes[0].device.requests_received, 1);
+        assert_eq!(report.cubes[1].device.requests_received, 1);
+        assert_eq!(report.cubes[2].device.requests_received, 2);
+        // The split stream has no static cube; its per-cube attribution
+        // carries the spread instead.
+        assert_eq!(report.ports[0].cube, None);
+        assert_eq!(report.ports[0].cube_completions[..3], [1, 1, 2]);
+        assert_eq!(report.cube_completions(CubeId(2)), 2);
+        assert_eq!(report.cubes_hit(), 3);
+    }
+
+    #[test]
+    fn offload_copies_between_cubes_touch_both_devices() {
+        use hmc_mapping::{CubePolicy, FabricAddressMap};
+        use hmc_workloads::OffloadSource;
+
+        let cfg = FabricConfig::chain(4, 2);
+        let map = cfg.cube.map;
+        let fabric = FabricAddressMap::new(CubePolicy::Blocked, 2, &map);
+        let blocks = 40u64;
+        let spec = FabricPortSpec::from_source(
+            move |_| {
+                Box::new(OffloadSource::between_cubes(
+                    &map,
+                    fabric,
+                    (CubeId(0), VaultId(0)),
+                    (CubeId(1), VaultId(8)),
+                    PayloadSize::B128,
+                    blocks,
+                    8,
+                ))
+            },
+            CubeId(0),
+        )
+        .addressed(fabric);
+        let report = FabricSim::new(cfg, vec![spec]).run_streams();
+        // Every pair: the read terminates at cube 0, the dependent write
+        // crosses the fabric to cube 1.
+        assert_eq!(report.ports[0].completed, 2 * blocks);
+        assert_eq!(report.cubes[0].device.requests_received, blocks);
+        assert_eq!(report.cubes[1].device.requests_received, blocks);
+        assert_eq!(report.total_reads(), blocks);
+        assert_eq!(report.total_writes(), blocks);
+        assert_eq!(report.ports[0].cube_completions[..2], [blocks, blocks]);
     }
 }

@@ -73,6 +73,36 @@ proptest! {
         }
     }
 
+    /// The documented even-ring antipodal tie-break: when the two ring
+    /// directions to the antipodal cube are equally long, the *clockwise*
+    /// (ascending-id, modulo n) direction is chosen — the promise
+    /// `RouteTable::for_topology` documents. Locked for every even ring
+    /// the CUB field allows (n ∈ {2, 4, 6, 8}) and every source cube:
+    /// the first hop out of `src` toward `src + n/2` is `(src + 1) % n`,
+    /// and so is every subsequent hop (the whole route runs clockwise).
+    #[test]
+    fn even_ring_antipodal_ties_break_clockwise(half in 1u8..5) {
+        let n = half * 2;
+        let table = RouteTable::for_topology(Topology::Ring, n);
+        for src in 0..n {
+            let dst = CubeId((src + half) % n);
+            prop_assert_eq!(
+                table.next_hop(CubeId(src), dst),
+                CubeId((src + 1) % n),
+                "{}-ring: antipodal tie from {} must go clockwise", n, src
+            );
+            let path = table.path(CubeId(src), dst);
+            for pair in path.windows(2) {
+                prop_assert_eq!(
+                    pair[1],
+                    CubeId((pair[0].0 + 1) % n),
+                    "{}-ring: tie route from {} left the clockwise direction", n, src
+                );
+            }
+            prop_assert_eq!(path.len() as u8, half + 1, "tie route is shortest");
+        }
+    }
+
     /// Every hop strictly shrinks the remaining distance (the routes are
     /// shortest-path greedy, so they cannot stall or detour).
     #[test]

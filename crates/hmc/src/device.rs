@@ -148,12 +148,13 @@ pub struct DeviceStats {
 /// ```
 /// use hmc_des::Time;
 /// use hmc_device::{DeviceConfig, DeviceOutput, HmcDevice};
-/// use hmc_packet::{Address, LinkId, PayloadSize, PortId, RequestKind, RequestPacket, Tag};
+/// use hmc_packet::{Address, CubeId, LinkId, PayloadSize, PortId, RequestKind, RequestPacket, Tag};
 ///
 /// let mut hmc = HmcDevice::new(DeviceConfig::ac510_hmc());
 /// let pkt = RequestPacket {
 ///     port: PortId(0),
 ///     tag: Tag(0),
+///     cube: CubeId::HOST,
 ///     addr: Address::new(0),
 ///     kind: RequestKind::Read { size: PayloadSize::B64 },
 /// };

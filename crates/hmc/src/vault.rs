@@ -254,6 +254,7 @@ mod tests {
             pkt: RequestPacket {
                 port: PortId(0),
                 tag: Tag(tag),
+                cube: hmc_packet::CubeId::HOST,
                 addr: Address::new(0),
                 kind: RequestKind::Read {
                     size: PayloadSize::B32,

@@ -17,6 +17,7 @@ fn read_packet(
     RequestPacket {
         port: PortId(0),
         tag: Tag(tag),
+        cube: hmc_packet::CubeId::HOST,
         addr: map.encode(VaultId(vault), BankId(bank), u64::from(tag), 0),
         kind: RequestKind::Read { size },
     }
@@ -301,6 +302,7 @@ fn writes_complete_and_ack_with_one_flit() {
         .map(|i| RequestPacket {
             port: PortId(0),
             tag: Tag(i),
+            cube: hmc_packet::CubeId::HOST,
             addr: map.encode(VaultId((i % 16) as u8), BankId(0), 0, 0),
             kind: RequestKind::Write {
                 size: PayloadSize::B64,
@@ -322,6 +324,7 @@ fn ignored_high_address_bits_do_not_crash() {
     let pkt = RequestPacket {
         port: PortId(0),
         tag: Tag(0),
+        cube: hmc_packet::CubeId::HOST,
         addr: Address::new((1 << 33) | 0x80),
         kind: RequestKind::Read {
             size: PayloadSize::B16,

@@ -4,7 +4,8 @@
 use core::fmt;
 
 use hmc_des::Time;
-use hmc_packet::{PortId, RequestPacket, ResponsePacket, Tag};
+use hmc_mapping::CubeTargeting;
+use hmc_packet::{CubeId, PortId, RequestPacket, ResponsePacket, Tag};
 use hmc_stats::{BandwidthMeter, LatencyRecorder};
 use hmc_workloads::{Completion, Feedback, SourceStep, TraceOp, TrafficSource};
 
@@ -105,9 +106,14 @@ pub struct Port {
     rx_extra: u32,
     label: &'static str,
     tags: TagPool,
-    /// Issued op and its source-local issue index, by tag (to account
-    /// response bytes and to build completions).
-    op_by_tag: Vec<Option<(TraceOp, u64)>>,
+    /// How this port derives the CUB field for each request: a static
+    /// cube (the pre-fabric behavior) or a checked split of the
+    /// workload's global address.
+    targeting: CubeTargeting,
+    /// Issued op, its source-local issue index, and the cube the request
+    /// was stamped for, by tag (to account response bytes, build
+    /// completions and attribute completions per cube).
+    op_by_tag: Vec<Option<(TraceOp, u64, CubeId)>>,
     active: bool,
     issued: u64,
     completed: u64,
@@ -116,6 +122,9 @@ pub struct Port {
     bytes: BandwidthMeter,
     reads_recorded: u64,
     writes_recorded: u64,
+    /// Completions recorded in the measurement window, per destination
+    /// cube — the per-cube attribution of a split (addressed) stream.
+    completed_by_cube: [u64; 8],
 }
 
 impl fmt::Debug for Port {
@@ -152,6 +161,7 @@ impl Port {
             rx_extra,
             label,
             tags: TagPool::new(tags),
+            targeting: CubeTargeting::default(),
             op_by_tag: vec![None; capacity],
             active: false,
             issued: 0,
@@ -161,7 +171,20 @@ impl Port {
             bytes: BandwidthMeter::new(),
             reads_recorded: 0,
             writes_recorded: 0,
+            completed_by_cube: [0; 8],
         }
+    }
+
+    /// Sets how the port derives each request's CUB field (default:
+    /// every request targets [`CubeId::HOST`] — the single-cube system).
+    pub fn with_targeting(mut self, targeting: CubeTargeting) -> Port {
+        self.targeting = targeting;
+        self
+    }
+
+    /// The port's cube-targeting policy.
+    pub fn targeting(&self) -> CubeTargeting {
+        self.targeting
     }
 
     /// This port's id.
@@ -203,12 +226,18 @@ impl Port {
 
     /// Builds the port's next request if the source has one and a tag is
     /// free. Completions received since the last poll are handed to the
-    /// source first.
+    /// source first. The request's CUB field is stamped here: fixed
+    /// targeting uses the configured cube, addressed targeting derives it
+    /// from the op's global address through the fabric map's checked
+    /// split.
     ///
     /// # Panics
     ///
-    /// Panics if the source violates its protocol: waits into the past, or
-    /// blocks with nothing outstanding (which could never unblock).
+    /// Panics if the source violates its protocol: waits into the past,
+    /// blocks with nothing outstanding (which could never unblock), or —
+    /// under addressed targeting — emits a global address that does not
+    /// map into the fabric (the loud replacement for the old silent
+    /// 34-bit wrap that aliased such requests into cube 0).
     pub fn try_issue(&mut self, now: Time) -> Option<RequestPacket> {
         if !self.tags.has_free() || (self.gated && !self.active) {
             return None;
@@ -247,13 +276,18 @@ impl Port {
                 return None;
             }
         };
+        let (cube, addr) = self
+            .targeting
+            .resolve(op.addr)
+            .unwrap_or_else(|e| panic!("{} emitted an unmappable address: {e}", self.id));
         let tag = self.tags.allocate(now).expect("free tag checked above");
-        self.op_by_tag[usize::from(tag.0)] = Some((op, self.issued));
+        self.op_by_tag[usize::from(tag.0)] = Some((op, self.issued, cube));
         self.issued += 1;
         Some(RequestPacket {
             port: self.id,
             tag,
-            addr: op.addr,
+            cube,
+            addr,
             kind: op.kind,
         })
     }
@@ -267,7 +301,7 @@ impl Port {
     /// Panics if the response's tag is not outstanding.
     pub fn on_response(&mut self, now: Time, pkt: &ResponsePacket) {
         let issued_at = self.tags.release(pkt.tag);
-        let (op, index) = self.op_by_tag[usize::from(pkt.tag.0)]
+        let (op, index, cube) = self.op_by_tag[usize::from(pkt.tag.0)]
             .take()
             .expect("tag carries its request op");
         self.completed += 1;
@@ -279,6 +313,7 @@ impl Port {
             } else {
                 self.writes_recorded += 1;
             }
+            self.completed_by_cube[cube.index()] += 1;
         }
         self.fresh.push(Completion {
             index,
@@ -349,12 +384,22 @@ impl Port {
         self.writes_recorded
     }
 
+    /// Completions recorded in the measurement window, by destination
+    /// cube (indexed by [`CubeId::index`]; all eight CUB values). For a
+    /// fixed-targeting port only one slot is ever nonzero; for an
+    /// addressed port this is the per-cube attribution of the split
+    /// stream.
+    pub fn completed_by_cube(&self) -> &[u64; 8] {
+        &self.completed_by_cube
+    }
+
     /// Clears the monitors (end of warmup).
     pub fn reset_stats(&mut self) {
         self.latency.reset();
         self.bytes.reset();
         self.reads_recorded = 0;
         self.writes_recorded = 0;
+        self.completed_by_cube = [0; 8];
     }
 
     /// Stops recording (end of the measurement window); responses still
@@ -535,6 +580,71 @@ mod tests {
         // One more poll discovers exhaustion.
         assert!(p.try_issue(Time::from_ns(3)).is_none());
         assert!(p.is_done());
+    }
+
+    #[test]
+    fn addressed_port_derives_cub_from_the_address() {
+        use hmc_mapping::{CubePolicy, FabricAddressMap};
+        use hmc_packet::GlobalAddress;
+
+        let map = AddressMap::hmc_gen2_default();
+        let fabric = FabricAddressMap::new(CubePolicy::Blocked, 4, &map);
+        let trace = Trace::from_ops(vec![
+            TraceOp::read(GlobalAddress::new(2u64 << 34 | 0x100), PayloadSize::B64),
+            TraceOp::read(GlobalAddress::new(0x200), PayloadSize::B64),
+            TraceOp::read(GlobalAddress::new(3u64 << 34 | 0x300), PayloadSize::B64),
+        ]);
+        let mut p = Port::new(PortId(0), Box::new(TraceReplay::new(trace)), 8)
+            .with_targeting(CubeTargeting::Addressed(fabric));
+        let a = p.try_issue(Time::ZERO).unwrap();
+        let b = p.try_issue(Time::ZERO).unwrap();
+        let c = p.try_issue(Time::ZERO).unwrap();
+        assert_eq!((a.cube, a.addr.raw()), (CubeId(2), 0x100));
+        assert_eq!((b.cube, b.addr.raw()), (CubeId(0), 0x200));
+        assert_eq!((c.cube, c.addr.raw()), (CubeId(3), 0x300));
+        // Completions attribute per cube.
+        p.on_response(Time::from_ns(10), &ResponsePacket::for_request(&a));
+        p.on_response(Time::from_ns(20), &ResponsePacket::for_request(&c));
+        assert_eq!(p.completed_by_cube()[2], 1);
+        assert_eq!(p.completed_by_cube()[3], 1);
+        assert_eq!(p.completed_by_cube()[0], 0);
+    }
+
+    #[test]
+    fn fixed_port_keeps_header_mask_semantics() {
+        use hmc_packet::GlobalAddress;
+
+        // The degenerate map: a fixed-targeting port masks to the 34-bit
+        // header field exactly as the pre-fabric pipeline did.
+        let trace = Trace::from_ops(vec![TraceOp::read(
+            GlobalAddress::new(1u64 << 34 | 0x80),
+            PayloadSize::B16,
+        )]);
+        let mut p = Port::new(PortId(0), Box::new(TraceReplay::new(trace)), 2)
+            .with_targeting(CubeTargeting::Fixed(CubeId(1)));
+        let req = p.try_issue(Time::ZERO).unwrap();
+        assert_eq!(req.cube, CubeId(1));
+        assert_eq!(req.addr.raw(), 0x80, "bit 34 dropped, header semantics");
+    }
+
+    #[test]
+    #[should_panic(expected = "unmappable address")]
+    fn addressed_port_rejects_out_of_fabric_addresses_loudly() {
+        use hmc_mapping::{CubePolicy, FabricAddressMap};
+        use hmc_packet::GlobalAddress;
+
+        // The aliasing trap, end to end: on a 5-cube fabric an address in
+        // the missing cube 6 must fail the issue path loudly instead of
+        // wrapping into cube 0.
+        let map = AddressMap::hmc_gen2_default();
+        let fabric = FabricAddressMap::new(CubePolicy::Blocked, 5, &map);
+        let trace = Trace::from_ops(vec![TraceOp::read(
+            GlobalAddress::new(6u64 << 34 | 0x80),
+            PayloadSize::B64,
+        )]);
+        let mut p = Port::new(PortId(0), Box::new(TraceReplay::new(trace)), 2)
+            .with_targeting(CubeTargeting::Addressed(fabric));
+        let _ = p.try_issue(Time::ZERO);
     }
 
     #[test]

@@ -25,10 +25,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod fabric;
 mod geometry;
 mod map;
 mod pattern;
 
+pub use fabric::{CubePolicy, CubeTargeting, FabricAddressMap, SplitError};
 pub use geometry::{BankId, Geometry, QuadrantId, VaultId};
 pub use map::{AddressMap, BlockSize, Location};
 pub use pattern::{single_bank_filter, AccessPattern, AddressFilter};

@@ -34,6 +34,36 @@ impl Address {
         Address(raw & Self::MASK)
     }
 
+    /// Creates an address, rejecting values that do not fit the 34-bit
+    /// header field instead of silently wrapping.
+    ///
+    /// [`Address::new`] mirrors what the silicon does to a header field —
+    /// bits above 34 simply do not exist on the wire — but software
+    /// boundaries that *derive* a 34-bit address from a wider value (a
+    /// fabric-global address, a parsed trace) must use this checked form:
+    /// wrapping there aliases the request into the wrong cube.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AddressOverflow`] if any bit at or above bit 34 is set.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use hmc_packet::Address;
+    ///
+    /// assert_eq!(Address::try_new(0x3_FFFF_FFFF).unwrap().raw(), 0x3_FFFF_FFFF);
+    /// assert!(Address::try_new(1 << 34).is_err());
+    /// ```
+    #[inline]
+    pub const fn try_new(raw: u64) -> Result<Address, AddressOverflow> {
+        if raw & !Self::MASK != 0 {
+            Err(AddressOverflow { raw })
+        } else {
+            Ok(Address(raw))
+        }
+    }
+
     /// The raw 34-bit value.
     #[inline]
     pub const fn raw(self) -> u64 {
@@ -52,9 +82,129 @@ impl Address {
     }
 }
 
+/// Error from [`Address::try_new`]: the value does not fit the 34-bit
+/// request-header address field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AddressOverflow {
+    /// The offending raw value.
+    pub raw: u64,
+}
+
+impl fmt::Display for AddressOverflow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "address {:#x} does not fit the {}-bit request header field",
+            self.raw,
+            Address::BITS
+        )
+    }
+}
+
+impl std::error::Error for AddressOverflow {}
+
 impl fmt::Display for Address {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{:#011x}", self.0)
+    }
+}
+
+/// A fabric-global address: the full 64-bit value a workload generates,
+/// *before* it is split into a cube id and a 34-bit in-cube [`Address`].
+///
+/// A single HMC request header only carries 34 address bits plus the
+/// 3-bit CUB field; a memory network of up to eight cubes therefore spans
+/// a 37-bit global space. `GlobalAddress` is the deliberately *unchecked*
+/// carrier for such values — it preserves every bit the workload produced
+/// so that the fabric boundary (a `FabricAddressMap` split, or
+/// [`Address::try_new`]) can reject out-of-range values loudly instead of
+/// silently wrapping them into cube 0.
+///
+/// # Examples
+///
+/// ```
+/// use hmc_packet::{Address, GlobalAddress};
+///
+/// let g = GlobalAddress::new(5u64 << 34 | 0x80);
+/// assert_eq!(g.raw(), 5u64 << 34 | 0x80);
+/// // Nothing is masked: the cube bits survive until the split.
+/// assert!(Address::try_new(g.raw()).is_err());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct GlobalAddress(u64);
+
+impl GlobalAddress {
+    /// Wraps a raw 64-bit global address. No masking occurs.
+    #[inline]
+    pub const fn new(raw: u64) -> GlobalAddress {
+        GlobalAddress(raw)
+    }
+
+    /// The raw 64-bit value.
+    #[inline]
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// This address's low 34 bits as an in-cube [`Address`], dropping any
+    /// higher bits — the *unchecked* projection. Use a fabric map's
+    /// checked split wherever the higher bits could be meaningful.
+    #[inline]
+    pub const fn local_unchecked(self) -> Address {
+        Address::new(self.0)
+    }
+}
+
+impl fmt::Display for GlobalAddress {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+impl fmt::LowerHex for GlobalAddress {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+impl From<u64> for GlobalAddress {
+    fn from(raw: u64) -> GlobalAddress {
+        GlobalAddress::new(raw)
+    }
+}
+
+impl From<Address> for GlobalAddress {
+    /// An in-cube address is also a global address (of the cube-0 /
+    /// degenerate single-cube space).
+    fn from(addr: Address) -> GlobalAddress {
+        GlobalAddress(addr.raw())
+    }
+}
+
+/// Identifies one cube of a memory network — the HMC request header's
+/// 3-bit CUB field.
+///
+/// Lives in `hmc_packet` alongside [`PortId`]/[`LinkId`]/[`Tag`] because
+/// it *is* a header field: the host stamps it on every
+/// [`RequestPacket`](crate::RequestPacket) and the link layer of every
+/// transit cube routes on it. `hmc_fabric` re-exports it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct CubeId(pub u8);
+
+impl CubeId {
+    /// The host-attached root cube.
+    pub const HOST: CubeId = CubeId(0);
+
+    /// The dense index of this cube.
+    #[inline]
+    pub fn index(self) -> usize {
+        usize::from(self.0)
+    }
+}
+
+impl fmt::Display for CubeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cube{}", self.0)
     }
 }
 
@@ -159,5 +309,35 @@ mod tests {
         assert_eq!(LinkId(1).to_string(), "link1");
         assert_eq!(Tag(42).to_string(), "tag42");
         assert_eq!(Address::new(0x80).to_string(), "0x000000080");
+        assert_eq!(CubeId(5).to_string(), "cube5");
+        assert_eq!(GlobalAddress::new(0x80).to_string(), "0x80");
+    }
+
+    #[test]
+    fn try_new_rejects_exactly_the_values_new_would_wrap() {
+        assert_eq!(Address::try_new(0).unwrap(), Address::new(0));
+        assert_eq!(
+            Address::try_new(Address::MASK).unwrap(),
+            Address::new(Address::MASK)
+        );
+        for raw in [1u64 << 34, 5 << 34, u64::MAX] {
+            let err = Address::try_new(raw).unwrap_err();
+            assert_eq!(err.raw, raw);
+            assert!(err.to_string().contains("34-bit"), "{err}");
+            // The silent form wraps — the behavior try_new exists to make
+            // loud.
+            assert_ne!(Address::new(raw).raw(), raw);
+        }
+    }
+
+    #[test]
+    fn global_address_preserves_all_bits() {
+        let g = GlobalAddress::new(u64::MAX);
+        assert_eq!(g.raw(), u64::MAX);
+        assert_eq!(g.local_unchecked(), Address::new(u64::MAX));
+        let from_local: GlobalAddress = Address::new(0x1234).into();
+        assert_eq!(from_local.raw(), 0x1234);
+        let from_raw: GlobalAddress = 0xFFFF_0000_0000u64.into();
+        assert_eq!(from_raw.raw(), 0xFFFF_0000_0000);
     }
 }

@@ -30,7 +30,7 @@ mod flit;
 mod packet;
 mod size;
 
-pub use address::{Address, LinkId, PortId, Tag};
+pub use address::{Address, AddressOverflow, CubeId, GlobalAddress, LinkId, PortId, Tag};
 pub use flit::{bandwidth_efficiency, flits_to_bytes, FLIT_BYTES, OVERHEAD_FLITS};
 pub use packet::{FlowType, RequestKind, RequestPacket, ResponsePacket};
 pub use size::{InvalidPayloadSize, PayloadSize};

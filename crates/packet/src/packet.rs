@@ -2,7 +2,7 @@
 
 use core::fmt;
 
-use crate::address::{Address, PortId, Tag};
+use crate::address::{Address, CubeId, PortId, Tag};
 use crate::flit::{flits_to_bytes, OVERHEAD_FLITS};
 use crate::size::PayloadSize;
 
@@ -124,7 +124,11 @@ pub struct RequestPacket {
     pub port: PortId,
     /// The port-local tag identifying this outstanding transaction.
     pub tag: Tag,
-    /// The 34-bit target address.
+    /// The destination cube — the header's 3-bit CUB field, stamped by
+    /// the host when the global address is split. [`CubeId::HOST`] on a
+    /// single-cube system.
+    pub cube: CubeId,
+    /// The 34-bit in-cube target address.
     pub addr: Address,
     /// The requested operation.
     pub kind: RequestKind,
@@ -259,6 +263,7 @@ mod tests {
         let req = RequestPacket {
             port: PortId(4),
             tag: Tag(17),
+            cube: CubeId::HOST,
             addr: Address::new(0x1000),
             kind: RequestKind::Read {
                 size: PayloadSize::B32,
@@ -295,6 +300,7 @@ mod tests {
         let req = RequestPacket {
             port: PortId(0),
             tag: Tag(1),
+            cube: CubeId::HOST,
             addr: Address::new(0),
             kind: RequestKind::Write {
                 size: PayloadSize::B64,

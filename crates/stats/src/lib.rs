@@ -31,4 +31,4 @@ pub use bandwidth::{little_law_outstanding, BandwidthMeter};
 pub use histogram::{Histogram, SharedRange};
 pub use latency::LatencyRecorder;
 pub use summary::Summary;
-pub use table::{json_escape, Table};
+pub use table::{json_escape, json_f64, Table};

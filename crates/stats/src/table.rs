@@ -117,6 +117,15 @@ impl Table {
     /// experiment dumps. Serde is deliberately not used: the workspace
     /// builds offline, so serialization is hand-rolled here with full
     /// string escaping ([`json_escape`]).
+    ///
+    /// Every cell is emitted as a JSON *string*, so the document is
+    /// well-formed regardless of cell content — a `NaN` formatted into a
+    /// cell yields the (valid, if unhelpful) string `"NaN"`, never a bare
+    /// `NaN` token. Emitters that build JSON *numbers* by hand (tables
+    /// built from float aggregates, the perfgate harness) must go through
+    /// [`json_f64`], which serializes non-finite values as `null`: a
+    /// zero-completion port's mean latency is `NaN`, and a bare `NaN` in
+    /// a numeric position is invalid JSON.
     pub fn to_json(&self) -> String {
         let arr = |cells: &[String]| -> String {
             let quoted: Vec<String> = cells
@@ -154,6 +163,28 @@ impl Table {
             push_row(row);
         }
         out
+    }
+}
+
+/// Formats a float for a JSON *number* position with `decimals` fraction
+/// digits, serializing non-finite values (`NaN`, `±inf` — e.g. the mean
+/// latency of a port that completed nothing) as `null`: a bare `NaN`
+/// token is invalid JSON and silently breaks every downstream parser.
+///
+/// # Examples
+///
+/// ```
+/// use hmc_stats::json_f64;
+///
+/// assert_eq!(json_f64(1.25, 2), "1.25");
+/// assert_eq!(json_f64(f64::NAN, 3), "null");
+/// assert_eq!(json_f64(f64::INFINITY, 0), "null");
+/// ```
+pub fn json_f64(v: f64, decimals: usize) -> String {
+    if v.is_finite() {
+        format!("{v:.decimals$}")
+    } else {
+        "null".to_owned()
     }
 }
 
@@ -247,6 +278,120 @@ mod tests {
     #[test]
     fn json_escape_covers_control_chars() {
         assert_eq!(json_escape("a\\b\t\u{1}"), "a\\\\b\\t\\u0001");
+    }
+
+    /// A minimal JSON well-formedness checker (the workspace builds
+    /// offline, so no serde): consumes one value, returns the rest.
+    fn json_value(s: &str) -> Result<&str, String> {
+        let s = s.trim_start();
+        let Some(c) = s.chars().next() else {
+            return Err("unexpected end of input".to_owned());
+        };
+        match c {
+            '{' => {
+                let mut s = s[1..].trim_start();
+                if let Some(rest) = s.strip_prefix('}') {
+                    return Ok(rest);
+                }
+                loop {
+                    s = json_value(s)?.trim_start(); // key
+                    s = s
+                        .strip_prefix(':')
+                        .ok_or_else(|| format!("expected ':' at {s:.20?}"))?;
+                    s = json_value(s)?.trim_start();
+                    if let Some(rest) = s.strip_prefix(',') {
+                        s = rest.trim_start();
+                    } else {
+                        return s
+                            .strip_prefix('}')
+                            .ok_or_else(|| format!("expected '}}' at {s:.20?}"));
+                    }
+                }
+            }
+            '[' => {
+                let mut s = s[1..].trim_start();
+                if let Some(rest) = s.strip_prefix(']') {
+                    return Ok(rest);
+                }
+                loop {
+                    s = json_value(s)?.trim_start();
+                    if let Some(rest) = s.strip_prefix(',') {
+                        s = rest.trim_start();
+                    } else {
+                        return s
+                            .strip_prefix(']')
+                            .ok_or_else(|| format!("expected ']' at {s:.20?}"));
+                    }
+                }
+            }
+            '"' => {
+                let mut chars = s[1..].char_indices();
+                while let Some((i, c)) = chars.next() {
+                    match c {
+                        '\\' => {
+                            chars.next();
+                        }
+                        '"' => return Ok(&s[1 + i + 1..]),
+                        _ => {}
+                    }
+                }
+                Err("unterminated string".to_owned())
+            }
+            _ => {
+                for (lit, len) in [("null", 4), ("true", 4), ("false", 5)] {
+                    if s.starts_with(lit) {
+                        return Ok(&s[len..]);
+                    }
+                }
+                let end = s
+                    .find(|c: char| !"+-0123456789.eE".contains(c))
+                    .unwrap_or(s.len());
+                if end == 0 {
+                    return Err(format!("invalid token at {s:.20?}"));
+                }
+                s[..end]
+                    .parse::<f64>()
+                    .map_err(|e| format!("bad number {:?}: {e}", &s[..end]))?;
+                Ok(&s[end..])
+            }
+        }
+    }
+
+    fn assert_parses(doc: &str) {
+        let rest = json_value(doc).unwrap_or_else(|e| panic!("invalid JSON: {e}\n{doc}"));
+        assert!(rest.trim().is_empty(), "trailing garbage: {rest:?}");
+    }
+
+    #[test]
+    fn json_f64_serializes_non_finite_as_null() {
+        assert_eq!(json_f64(2.5, 3), "2.500");
+        assert_eq!(json_f64(-0.125, 2), "-0.12");
+        assert_eq!(json_f64(f64::NAN, 2), "null");
+        assert_eq!(json_f64(f64::INFINITY, 2), "null");
+        assert_eq!(json_f64(f64::NEG_INFINITY, 2), "null");
+    }
+
+    #[test]
+    fn numeric_documents_with_non_finite_inputs_still_parse() {
+        // The audit case: a zero-completion port's mean latency is NaN.
+        // Emitted naively into a numeric position it breaks the document;
+        // through json_f64 it becomes null and the document parses.
+        let mean = f64::NAN;
+        let naive = format!("{{\"mean_ns\":{mean:.2}}}");
+        assert!(json_value(&naive).is_err(), "bare NaN must not parse");
+        let fixed = format!("{{\"mean_ns\":{}}}", json_f64(mean, 2));
+        assert_parses(&fixed);
+        assert!(fixed.contains("null"));
+    }
+
+    #[test]
+    fn table_json_always_parses_even_with_nan_cells() {
+        // Table cells are JSON strings, so even a formatted NaN stays a
+        // valid (string) token — locked down by the parser.
+        let mut t = Table::new(["latency (ns)", "note"]);
+        t.row([format!("{:.1}", f64::NAN), "say \"hi\"\n".to_owned()]);
+        t.row([json_f64(f64::NAN, 1), "null-cell form".to_owned()]);
+        assert_parses(&t.to_json());
     }
 
     #[test]

@@ -187,7 +187,11 @@ mod tests {
         let m = map();
         let vaults = vec![VaultId(2), VaultId(7), VaultId(11)];
         let t = random_reads_in_vaults(&m, &vaults, PayloadSize::B64, 500, 1);
-        let seen: BTreeSet<u8> = t.ops().iter().map(|op| m.decode(op.addr).vault.0).collect();
+        let seen: BTreeSet<u8> = t
+            .ops()
+            .iter()
+            .map(|op| m.decode(op.addr.local_unchecked()).vault.0)
+            .collect();
         assert!(seen.iter().all(|v| [2, 7, 11].contains(v)));
         assert_eq!(seen.len(), 3, "all requested vaults get traffic");
     }
@@ -197,7 +201,7 @@ mod tests {
         let m = map();
         let t = random_reads_in_banks(&m, VaultId(4), 2, PayloadSize::B32, 500, 2);
         for op in t.ops() {
-            let loc = m.decode(op.addr);
+            let loc = m.decode(op.addr.local_unchecked());
             assert_eq!(loc.vault, VaultId(4));
             assert!(loc.bank.0 < 2);
             assert_eq!(op.addr.raw() % 32, 0, "aligned to request size");
@@ -218,7 +222,11 @@ mod tests {
     fn linear_walks_sequential_blocks() {
         let m = map();
         let t = linear_reads(Address::new(0), PayloadSize::B128, 16);
-        let vaults: Vec<u8> = t.ops().iter().map(|op| m.decode(op.addr).vault.0).collect();
+        let vaults: Vec<u8> = t
+            .ops()
+            .iter()
+            .map(|op| m.decode(op.addr.local_unchecked()).vault.0)
+            .collect();
         assert_eq!(vaults, (0..16).collect::<Vec<u8>>());
     }
 
@@ -252,7 +260,11 @@ mod tests {
     fn bank_ids_spread_within_vault() {
         let m = map();
         let t = random_reads_in_vaults(&m, &[VaultId(0)], PayloadSize::B16, 1000, 7);
-        let banks: BTreeSet<u8> = t.ops().iter().map(|op| m.decode(op.addr).bank.0).collect();
+        let banks: BTreeSet<u8> = t
+            .ops()
+            .iter()
+            .map(|op| m.decode(op.addr.local_unchecked()).bank.0)
+            .collect();
         assert!(
             banks.len() >= 12,
             "uniform draw should hit most banks, got {banks:?}"

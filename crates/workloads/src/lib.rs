@@ -119,7 +119,8 @@ pub use generate::{
     VaultCombinations,
 };
 pub use source::{
-    source_factory, Completion, Feedback, GupsOp, GupsSource, LinearSource, OffloadSource, Paced,
-    PointerChase, SourceFactory, SourceStep, TraceReplay, TrafficSource, UniformSource,
+    source_factory, Completion, Feedback, GlobalGupsSource, GupsOp, GupsSource, LinearSource,
+    OffloadSource, Paced, PointerChase, SourceFactory, SourceStep, TraceReplay, TrafficSource,
+    UniformSource,
 };
 pub use trace::{ParseTraceError, Trace, TraceOp};

@@ -46,8 +46,8 @@ use std::collections::{BTreeMap, VecDeque};
 use std::sync::Arc;
 
 use hmc_des::{Delay, Time};
-use hmc_mapping::{AddressFilter, AddressMap, BankId, VaultId};
-use hmc_packet::{Address, PayloadSize, RequestKind};
+use hmc_mapping::{AddressFilter, AddressMap, BankId, FabricAddressMap, VaultId};
+use hmc_packet::{Address, CubeId, GlobalAddress, PayloadSize, RequestKind};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -174,6 +174,28 @@ impl GupsOp {
             GupsOp::Mix { size, .. } => size,
         }
     }
+
+    /// Draws one request kind from this template — shared by every GUPS
+    /// generator so the op semantics (including the `Mix` percentage
+    /// draw) cannot diverge between them. Consumes RNG state only for
+    /// `Mix`.
+    fn draw_kind(&self, rng: &mut SmallRng) -> RequestKind {
+        match *self {
+            GupsOp::Read(s) => RequestKind::Read { size: s },
+            GupsOp::Write(s) => RequestKind::Write { size: s },
+            GupsOp::ReadModifyWrite => RequestKind::ReadModifyWrite,
+            GupsOp::Mix {
+                size,
+                write_percent,
+            } => {
+                if rng.gen_range(0u8..100) < write_percent {
+                    RequestKind::Write { size }
+                } else {
+                    RequestKind::Read { size }
+                }
+            }
+        }
+    }
 }
 
 /// The GUPS firmware as a pull source: random addresses through a
@@ -211,22 +233,11 @@ impl TrafficSource for GupsSource {
         let size = self.op.payload();
         let raw = self.rng.gen::<u64>() & !(u64::from(size.bytes()) - 1);
         let addr = self.filter.apply(raw);
-        let kind = match self.op {
-            GupsOp::Read(s) => RequestKind::Read { size: s },
-            GupsOp::Write(s) => RequestKind::Write { size: s },
-            GupsOp::ReadModifyWrite => RequestKind::ReadModifyWrite,
-            GupsOp::Mix {
-                size,
-                write_percent,
-            } => {
-                if self.rng.gen_range(0u8..100) < write_percent {
-                    RequestKind::Write { size }
-                } else {
-                    RequestKind::Read { size }
-                }
-            }
-        };
-        SourceStep::Op(TraceOp { addr, kind })
+        let kind = self.op.draw_kind(&mut self.rng);
+        SourceStep::Op(TraceOp {
+            addr: addr.into(),
+            kind,
+        })
     }
 
     fn duration_gated(&self) -> bool {
@@ -239,6 +250,98 @@ impl TrafficSource for GupsSource {
 
     fn label(&self) -> &'static str {
         "gups"
+    }
+}
+
+/// GUPS over a *fabric-global* window: random addresses drawn uniformly
+/// from a power-of-two window of the global address space, emitted raw so
+/// the port's [cube targeting](hmc_mapping::CubeTargeting) derives the
+/// CUB field from the address. Under a blocked map a one-cube-sized
+/// window pins every request to cube 0; under an interleaved map the very
+/// same draws spread across all cubes — the contrast the `ext-intercube`
+/// experiment measures.
+#[derive(Debug, Clone)]
+pub struct GlobalGupsSource {
+    op: GupsOp,
+    window_mask: u64,
+    rng: SmallRng,
+}
+
+impl GlobalGupsSource {
+    /// Random ops of `op`'s kind over the first `window_bytes` of
+    /// `fabric`'s global space, aligned to the request size.
+    ///
+    /// The map is taken up front to reject a silent skew at construction:
+    /// aligning a raw global draw to a request *larger* than the
+    /// interleaved map's block zeroes part of the cube field, which would
+    /// pin every request to a subset of cubes while the run claims an
+    /// interleaved spread — the same silent-aliasing class the checked
+    /// split exists to make loud.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window_bytes` or the op size is not a power of two, the
+    /// window is smaller than one request, or the aligned request size
+    /// cannot reach every cube of `fabric`
+    /// ([`FabricAddressMap::fits_aligned_requests`]).
+    pub fn new(
+        op: GupsOp,
+        window_bytes: u64,
+        fabric: &FabricAddressMap,
+        seed: u64,
+    ) -> GlobalGupsSource {
+        assert!(
+            window_bytes.is_power_of_two(),
+            "global GUPS window must be a power of two"
+        );
+        assert!(
+            op.payload().bytes().is_power_of_two(),
+            "GUPS sizes must be powers of two for address alignment"
+        );
+        assert!(
+            window_bytes >= u64::from(op.payload().bytes()),
+            "window must hold at least one request"
+        );
+        assert!(
+            fabric.fits_aligned_requests(op.payload().bytes()),
+            "a {} B aligned request zeroes the map's cube bits: \
+             requests must not exceed the interleaved block size",
+            op.payload().bytes()
+        );
+        assert!(
+            fabric.splits_whole_window(window_bytes),
+            "a {window_bytes} B window draws addresses the fabric map rejects \
+             (above capacity, or cube-field values with no cube behind them)"
+        );
+        GlobalGupsSource {
+            op,
+            window_mask: window_bytes - 1,
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl TrafficSource for GlobalGupsSource {
+    fn next(&mut self, _now: Time, _feedback: &Feedback<'_>) -> SourceStep {
+        let size = self.op.payload();
+        let raw = self.rng.gen::<u64>() & self.window_mask & !(u64::from(size.bytes()) - 1);
+        let kind = self.op.draw_kind(&mut self.rng);
+        SourceStep::Op(TraceOp {
+            addr: GlobalAddress::new(raw),
+            kind,
+        })
+    }
+
+    fn duration_gated(&self) -> bool {
+        true
+    }
+
+    fn rx_extra_flits(&self) -> u32 {
+        0
+    }
+
+    fn label(&self) -> &'static str {
+        "gups-global"
     }
 }
 
@@ -373,10 +476,12 @@ pub struct LinearSource {
 
 impl LinearSource {
     /// `count` reads of `size` bytes starting at `base`, each advancing by
-    /// one request size.
-    pub fn new(base: Address, size: PayloadSize, count: u64) -> LinearSource {
+    /// one request size. The walk is over the *global* space: a base
+    /// beyond one cube's range stays intact until the port's cube
+    /// targeting splits it.
+    pub fn new(base: impl Into<GlobalAddress>, size: PayloadSize, count: u64) -> LinearSource {
         LinearSource {
-            next_addr: base.raw(),
+            next_addr: base.into().raw(),
             size,
             remaining: count,
         }
@@ -389,7 +494,7 @@ impl TrafficSource for LinearSource {
             return SourceStep::Done;
         }
         self.remaining -= 1;
-        let addr = Address::new(self.next_addr);
+        let addr = GlobalAddress::new(self.next_addr);
         self.next_addr += u64::from(self.size.bytes());
         SourceStep::Op(TraceOp::read(addr, self.size))
     }
@@ -570,7 +675,7 @@ impl PointerChase {
     }
 
     /// The next address of a chain whose last read returned from `addr`.
-    fn follow(&self, addr: Address) -> Address {
+    fn follow(&self, addr: GlobalAddress) -> Address {
         self.chase_addr(addr.raw() ^ self.salt)
     }
 
@@ -593,7 +698,7 @@ impl PointerChase {
         let mut ops = Vec::new();
         for _ in 0..self.remaining[0] {
             ops.push(TraceOp::read(addr, self.size));
-            addr = self.follow(addr);
+            addr = self.follow(addr.into());
         }
         Trace::from_ops(ops)
     }
@@ -635,22 +740,36 @@ impl TrafficSource for PointerChase {
 /// the write completes. At most `window` pairs are in flight — the
 /// host-mediated copy loop whose NoC round trips NOM's in-memory network
 /// is designed to eliminate.
+///
+/// [`OffloadSource::between_cubes`] lifts the copy onto a memory network:
+/// source and destination may live in *different cubes* of a
+/// [`FabricAddressMap`]-described fabric, so every read returns from one
+/// cube and its dependent write crosses the fabric to another — the
+/// inter-cube transfer NOM proposes doing inside the memory network. The
+/// port running such a stream must use
+/// [`CubeTargeting::Addressed`](hmc_mapping::CubeTargeting) over the same
+/// map.
 #[derive(Debug, Clone)]
 pub struct OffloadSource {
     map: AddressMap,
+    /// How vault-local addresses embed into the fabric-global space (the
+    /// identity map for the classic same-cube copy).
+    fabric: FabricAddressMap,
     size: PayloadSize,
+    src_cube: CubeId,
+    dst_cube: CubeId,
     src: VaultId,
     dst: VaultId,
     blocks: u64,
     window: u16,
     issued_reads: u64,
     retired: u64,
-    pending_writes: VecDeque<Address>,
+    pending_writes: VecDeque<GlobalAddress>,
 }
 
 impl OffloadSource {
-    /// A copy of `blocks` blocks of `size` bytes from `src` to `dst`,
-    /// with at most `window` pairs outstanding.
+    /// A copy of `blocks` blocks of `size` bytes from `src` to `dst`
+    /// within one cube, with at most `window` pairs outstanding.
     ///
     /// # Panics
     ///
@@ -663,15 +782,55 @@ impl OffloadSource {
         blocks: u64,
         window: u16,
     ) -> OffloadSource {
+        OffloadSource::between_cubes(
+            map,
+            FabricAddressMap::single(),
+            (CubeId::HOST, src),
+            (CubeId::HOST, dst),
+            size,
+            blocks,
+            window,
+        )
+    }
+
+    /// A copy of `blocks` blocks of `size` bytes from vault `src.1` of
+    /// cube `src.0` to vault `dst.1` of cube `dst.0`, with at most
+    /// `window` pairs outstanding. Addresses are emitted fabric-global
+    /// through `fabric`, so the host derives each request's CUB field
+    /// from the address itself.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `blocks` or `window` is zero, a vault is out of range,
+    /// or a cube is outside `fabric`.
+    pub fn between_cubes(
+        map: &AddressMap,
+        fabric: FabricAddressMap,
+        src: (CubeId, VaultId),
+        dst: (CubeId, VaultId),
+        size: PayloadSize,
+        blocks: u64,
+        window: u16,
+    ) -> OffloadSource {
         assert!(blocks > 0, "need at least one block to copy");
         assert!(window > 0, "need a nonzero copy window");
         let g = map.geometry();
-        assert!(src.0 < g.vaults && dst.0 < g.vaults, "vault out of range");
+        assert!(
+            src.1 .0 < g.vaults && dst.1 .0 < g.vaults,
+            "vault out of range"
+        );
+        assert!(
+            src.0 .0 < fabric.cube_count() && dst.0 .0 < fabric.cube_count(),
+            "copy endpoint cube outside the fabric"
+        );
         OffloadSource {
             map: *map,
+            fabric,
             size,
-            src,
-            dst,
+            src_cube: src.0,
+            dst_cube: dst.0,
+            src: src.1,
+            dst: dst.1,
             blocks,
             window,
             issued_reads: 0,
@@ -681,13 +840,14 @@ impl OffloadSource {
     }
 
     /// Read address of block `i`: a linear walk through the source vault's
-    /// banks, then rows.
-    fn read_addr(&self, i: u64) -> Address {
+    /// banks, then rows, embedded at the source cube.
+    fn read_addr(&self, i: u64) -> GlobalAddress {
         let g = self.map.geometry();
         let banks = u64::from(g.banks_per_vault);
         let bank = BankId((i % banks) as u8);
         let row = (i / banks) % self.map.rows_per_bank();
-        self.map.encode(self.src, bank, row, 0)
+        self.fabric
+            .join(self.src_cube, self.map.encode(self.src, bank, row, 0))
     }
 
     /// Pairs retired so far (read and dependent write both completed).
@@ -701,12 +861,18 @@ impl TrafficSource for OffloadSource {
         for c in feedback.completions {
             if c.op.kind.is_read() {
                 // The read data arrived: the dependent write targets the
-                // same bank/row in the destination vault.
-                let loc = self.map.decode(c.op.addr);
+                // same bank/row in the destination vault — possibly in a
+                // different cube, which is exactly the inter-cube copy.
+                let (_, local) = self
+                    .fabric
+                    .split(c.op.addr)
+                    .expect("completed read carried an in-fabric address");
+                let loc = self.map.decode(local);
                 let w = self
                     .map
                     .encode(self.dst, loc.bank, loc.block_row, loc.offset);
-                self.pending_writes.push_back(w);
+                self.pending_writes
+                    .push_back(self.fabric.join(self.dst_cube, w));
             } else {
                 self.retired += 1;
             }
@@ -828,7 +994,7 @@ mod tests {
                 panic!("GUPS always has a next op");
             };
             assert_eq!(op.addr.raw() % 64, 0, "aligned");
-            assert!(m.decode(op.addr).vault.0 < 2, "filtered");
+            assert!(m.decode(op.addr.local_unchecked()).vault.0 < 2, "filtered");
         }
     }
 
@@ -931,7 +1097,7 @@ mod tests {
         let ops = drain(&mut chase, 4, 1000);
         assert_eq!(ops.len(), 100, "4 walkers x 25 hops");
         for op in &ops {
-            let v = m.decode(op.addr).vault;
+            let v = m.decode(op.addr.local_unchecked()).vault;
             assert!(vaults.contains(&v), "address escaped the vault subset");
             assert_eq!(op.addr.raw() % 32, 0, "aligned to request size");
         }
@@ -953,8 +1119,8 @@ mod tests {
         assert_eq!(reads.len(), 30);
         assert_eq!(writes.len(), 30);
         for (r, w) in reads.iter().zip(&writes) {
-            let rl = m.decode(r.addr);
-            let wl = m.decode(w.addr);
+            let rl = m.decode(r.addr.local_unchecked());
+            let wl = m.decode(w.addr.local_unchecked());
             assert_eq!(rl.vault, VaultId(0));
             assert_eq!(wl.vault, VaultId(8));
             assert_eq!(

@@ -3,12 +3,18 @@
 use core::fmt;
 use std::str::FromStr;
 
-use hmc_packet::{Address, PayloadSize, RequestKind};
+use hmc_packet::{GlobalAddress, PayloadSize, RequestKind};
 
 /// One operation in a memory trace file.
 ///
 /// The multi-port stream implementation "generates requests from memory
 /// trace files" (Section III); a trace is an ordered list of these.
+///
+/// The address is *fabric-global* ([`GlobalAddress`]): every bit the
+/// workload produced survives until the port's cube-targeting logic
+/// splits it into a CUB field and an in-cube address, so addresses beyond
+/// one cube's 34-bit range reach the checked fabric boundary intact
+/// instead of silently wrapping here.
 ///
 /// # Examples
 ///
@@ -22,25 +28,26 @@ use hmc_packet::{Address, PayloadSize, RequestKind};
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TraceOp {
-    /// Target address.
-    pub addr: Address,
+    /// Target address (fabric-global; split into cube + in-cube address
+    /// at the host port).
+    pub addr: GlobalAddress,
     /// Operation and size.
     pub kind: RequestKind,
 }
 
 impl TraceOp {
     /// A read of `size` bytes at `addr`.
-    pub fn read(addr: Address, size: PayloadSize) -> TraceOp {
+    pub fn read(addr: impl Into<GlobalAddress>, size: PayloadSize) -> TraceOp {
         TraceOp {
-            addr,
+            addr: addr.into(),
             kind: RequestKind::Read { size },
         }
     }
 
     /// A write of `size` bytes at `addr`.
-    pub fn write(addr: Address, size: PayloadSize) -> TraceOp {
+    pub fn write(addr: impl Into<GlobalAddress>, size: PayloadSize) -> TraceOp {
         TraceOp {
-            addr,
+            addr: addr.into(),
             kind: RequestKind::Write { size },
         }
     }
@@ -111,7 +118,10 @@ impl FromStr for TraceOp {
             .parse()
             .map_err(|e| ParseTraceError::new(format!("bad size: {e}")))?;
         let size = PayloadSize::new(bytes).map_err(|e| ParseTraceError::new(e.to_string()))?;
-        let addr = Address::new(raw);
+        // Deliberately unmasked: a trace address beyond one cube's 34-bit
+        // range must reach the fabric boundary intact so the checked
+        // split can reject it instead of aliasing it into cube 0.
+        let addr = GlobalAddress::new(raw);
         match op {
             "R" | "r" => Ok(TraceOp::read(addr, size)),
             "W" | "w" => Ok(TraceOp::write(addr, size)),
@@ -227,6 +237,7 @@ impl Extend<TraceOp> for Trace {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use hmc_packet::Address;
 
     #[test]
     fn parse_and_render_roundtrip() {
