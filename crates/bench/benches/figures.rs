@@ -17,6 +17,7 @@ fn ctx() -> ExpContext {
         scale: Scale::Smoke,
         seed: 2018,
         threads: 0,
+        stats: Default::default(),
     }
 }
 
@@ -55,7 +56,7 @@ fn bench_fig7_8(c: &mut Criterion) {
         b.iter(|| {
             let map = AddressMap::hmc_gen2_default();
             let trace = random_reads_in_banks(&map, VaultId(0), 16, PayloadSize::B64, 55, 3);
-            let report = stream_run(3, vec![trace]);
+            let report = stream_run(&ctx(), 3, vec![trace]);
             ONCE.call_once(|| {
                 eprintln!("[fig7] n=55 64B: {:.2} us", report.mean_latency_us());
             });
@@ -82,7 +83,7 @@ fn bench_fig9(c: &mut Criterion) {
                     )
                 })
                 .collect();
-            stream_run(10, traces).max_latency_us()
+            stream_run(&ctx(), 10, traces).max_latency_us()
         });
     });
     // The full sweep at smoke scale (all 16 sweep positions × 4 sizes).

@@ -24,6 +24,10 @@
 //! - With `--baseline FILE` (a previous perfgate JSON, e.g. the
 //!   `BENCH_*.json` trajectory at the repo root), per-experiment speedups
 //!   are computed and embedded as `speedup_vs_baseline`.
+//! - Each case also reports round-trip `latency_p50_ns`/`p99`/`p999`
+//!   from one *untimed* run with the telemetry hub attached. These are
+//!   recorded for trend inspection, never gated — and the timed reps stay
+//!   telemetry-off, so the hub's cost cannot leak into the wall times.
 //!
 //! Perf PRs append their snapshot as `BENCH_PR<n>.json` at the repo root;
 //! see README "Performance".
@@ -40,8 +44,11 @@ use hmc_sim::workloads::OffloadSource;
 /// One basket entry: a named, seeded, fixed-size workload.
 struct Case {
     name: &'static str,
-    /// Builds and runs the workload, returning the report + engine stats.
-    run: fn(Scale2) -> (RunReport, hmc_sim::des::EngineStats),
+    /// Builds and runs the workload, returning the report + engine
+    /// stats. Timed reps pass `Probe::off()` (the one-branch no-op path
+    /// the gate measures); the extra untimed percentile run passes an
+    /// attached probe.
+    run: fn(Scale2, Probe) -> (RunReport, hmc_sim::des::EngineStats),
 }
 
 /// Harness scale: `Smoke` shrinks measurement windows so CI finishes in
@@ -77,7 +84,7 @@ impl Scale2 {
 
 /// The unloaded Figure 6 point: one 16 B read port, one tag, one bank —
 /// the idle-skip stress (few events over many simulated cycles).
-fn fig6_low(scale: Scale2) -> (RunReport, hmc_sim::des::EngineStats) {
+fn fig6_low(scale: Scale2, probe: Probe) -> (RunReport, hmc_sim::des::EngineStats) {
     let cfg = SystemConfig::ac510(2018);
     let filter = AccessPattern::Banks {
         vault: VaultId(0),
@@ -85,7 +92,7 @@ fn fig6_low(scale: Scale2) -> (RunReport, hmc_sim::des::EngineStats) {
     }
     .filter(&cfg.device.map);
     let specs = vec![PortSpec::gups(filter, GupsOp::Read(PayloadSize::B16)).with_tags(1)];
-    let mut sim = SystemSim::new(cfg, specs);
+    let mut sim = SystemSim::with_telemetry(cfg, specs, probe);
     let (warmup, measure) = scale.gups_windows();
     let report = sim.run_gups(warmup, measure);
     (report, sim.engine_stats())
@@ -94,11 +101,11 @@ fn fig6_low(scale: Scale2) -> (RunReport, hmc_sim::des::EngineStats) {
 /// The saturated Figure 6 point: nine 128 B read ports over all 16
 /// vaults — the bandwidth ceiling, the densest event traffic in the
 /// basket and the point the ≥1.3x events/sec gate is measured on.
-fn fig6_sat(scale: Scale2) -> (RunReport, hmc_sim::des::EngineStats) {
+fn fig6_sat(scale: Scale2, probe: Probe) -> (RunReport, hmc_sim::des::EngineStats) {
     let cfg = SystemConfig::ac510(2018);
     let filter = AccessPattern::Vaults { count: 16 }.filter(&cfg.device.map);
     let specs = vec![PortSpec::gups(filter, GupsOp::Read(PayloadSize::B128)); 9];
-    let mut sim = SystemSim::new(cfg, specs);
+    let mut sim = SystemSim::with_telemetry(cfg, specs, probe);
     let (warmup, measure) = scale.gups_windows();
     let report = sim.run_gups(warmup, measure);
     (report, sim.engine_stats())
@@ -106,18 +113,18 @@ fn fig6_sat(scale: Scale2) -> (RunReport, hmc_sim::des::EngineStats) {
 
 /// A 4-cube chain with four 64 B GUPS ports hammering the far cube:
 /// every request transits three pass-through crossbars each way.
-fn ext_chain4(scale: Scale2) -> (RunReport, hmc_sim::des::EngineStats) {
+fn ext_chain4(scale: Scale2, probe: Probe) -> (RunReport, hmc_sim::des::EngineStats) {
     let cfg = FabricConfig::chain(2018, 4);
     let filter = AccessPattern::Vaults { count: 16 }.filter(&cfg.cube.map);
     let specs = vec![FabricPortSpec::gups(filter, GupsOp::Read(PayloadSize::B64), CubeId(3)); 4];
-    let mut sim = FabricSim::new(cfg, specs);
+    let mut sim = FabricSim::with_telemetry(cfg, specs, probe);
     let (warmup, measure) = scale.gups_windows();
     let report = sim.run_gups(warmup, measure);
     (report, sim.engine_stats())
 }
 
 /// The pointer-chase probe: 8 dependent-read walkers on one cube.
-fn probe_chase(scale: Scale2) -> (RunReport, hmc_sim::des::EngineStats) {
+fn probe_chase(scale: Scale2, probe: Probe) -> (RunReport, hmc_sim::des::EngineStats) {
     let cfg = SystemConfig::ac510(2018);
     let map = cfg.device.map;
     let vaults: Vec<VaultId> = (0..16).map(VaultId).collect();
@@ -133,13 +140,13 @@ fn probe_chase(scale: Scale2) -> (RunReport, hmc_sim::des::EngineStats) {
         ))
     })
     .with_tags(8);
-    let mut sim = SystemSim::new(cfg, vec![spec]);
+    let mut sim = SystemSim::with_telemetry(cfg, vec![spec], probe);
     let report = sim.run_streams();
     (report, sim.engine_stats())
 }
 
 /// The NOM-style offload stream: read→dependent-write vault copies.
-fn ext_offload(scale: Scale2) -> (RunReport, hmc_sim::des::EngineStats) {
+fn ext_offload(scale: Scale2, probe: Probe) -> (RunReport, hmc_sim::des::EngineStats) {
     let cfg = SystemConfig::ac510(2018);
     let map = cfg.device.map;
     let pairs = scale.offload_pairs();
@@ -153,7 +160,7 @@ fn ext_offload(scale: Scale2) -> (RunReport, hmc_sim::des::EngineStats) {
             8,
         ))
     });
-    let mut sim = SystemSim::new(cfg, vec![spec]);
+    let mut sim = SystemSim::with_telemetry(cfg, vec![spec], probe);
     let report = sim.run_streams();
     (report, sim.engine_stats())
 }
@@ -195,6 +202,10 @@ struct Measured {
     sig: Signature,
     wall_best_s: f64,
     reps: u32,
+    /// Round-trip `(p50, p99, p999)` ps from one untimed telemetry-on
+    /// run. Recorded for trend inspection, never gated: latency is part
+    /// of the simulated model, not the harness's wall-clock subject.
+    tail_ps: Option<[u64; 3]>,
 }
 
 impl Measured {
@@ -304,7 +315,7 @@ fn main() -> ExitCode {
         let mut sig: Option<Signature> = None;
         for rep in 0..args.reps {
             let start = Instant::now();
-            let (report, stats) = (case.run)(args.scale);
+            let (report, stats) = (case.run)(args.scale, Probe::off());
             let wall = start.elapsed().as_secs_f64();
             best = best.min(wall);
             let this = Signature {
@@ -329,11 +340,18 @@ fn main() -> ExitCode {
         }
         let sig = sig.expect("at least one rep ran");
         assert!(sig.accesses > 0, "{} moved no traffic", case.name);
+        // One extra untimed run with the telemetry hub attached: the
+        // latency percentiles ride along in the snapshot without the
+        // instruments' cost ever touching the timed reps.
+        let hub = Hub::shared(HubConfig::default());
+        let _ = (case.run)(args.scale, Probe::attached(&hub));
+        let tail_ps = hub.borrow().aggregate_tail_ps();
         results.push(Measured {
             name: case.name,
             sig,
             wall_best_s: best,
             reps: args.reps,
+            tail_ps,
         });
     }
 
@@ -354,6 +372,14 @@ fn main() -> ExitCode {
             json_f64(m.wall_best_s, 4),
             json_f64(m.events_per_sec(), 0),
         );
+        if let Some([p50, p99, p999]) = m.tail_ps {
+            fields.push_str(&format!(
+                ",\"latency_p50_ns\":{},\"latency_p99_ns\":{},\"latency_p999_ns\":{}",
+                json_f64(p50 as f64 / 1000.0, 3),
+                json_f64(p99 as f64 / 1000.0, 3),
+                json_f64(p999 as f64 / 1000.0, 3),
+            ));
+        }
         if let Some((_, base)) = baseline.iter().find(|(n, _)| n == m.name) {
             fields.push_str(&format!(
                 ",\"baseline_events_per_sec\":{},\"speedup_vs_baseline\":{}",

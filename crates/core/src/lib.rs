@@ -52,6 +52,7 @@ pub use hmc_mapping as mapping;
 pub use hmc_noc as noc;
 pub use hmc_packet as packet;
 pub use hmc_stats as stats;
+pub use hmc_telemetry as telemetry;
 pub use hmc_workloads as workloads;
 
 /// The most commonly used items, importable in one line.
@@ -66,7 +67,8 @@ pub mod prelude {
         VaultId,
     };
     pub use hmc_packet::{Address, GlobalAddress, PayloadSize, PortId, RequestKind};
-    pub use hmc_stats::{Histogram, LatencyRecorder, Summary, Table};
+    pub use hmc_stats::{Histogram, LatencyRecorder, LatencySketch, Summary, Table};
+    pub use hmc_telemetry::{Hub, HubConfig, LinkDir, Probe, SharedHub, Stage};
     pub use hmc_workloads::{
         random_reads_in_banks, random_reads_in_vaults, vault_combinations, Feedback, OffloadSource,
         Paced, PointerChase, SourceStep, Trace, TrafficSource,

@@ -182,13 +182,29 @@ impl SystemSim {
     /// Panics if the configurations are invalid, `specs` is empty, or the
     /// host and device disagree on link count.
     pub fn new(cfg: SystemConfig, specs: Vec<PortSpec>) -> SystemSim {
+        SystemSim::with_telemetry(cfg, specs, hmc_telemetry::Probe::off())
+    }
+
+    /// Builds a system with a telemetry probe attached to every component
+    /// (see [`FabricSim::with_telemetry`]). With
+    /// [`Probe::off`](hmc_telemetry::Probe::off) this is exactly
+    /// [`SystemSim::new`].
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`SystemSim::new`].
+    pub fn with_telemetry(
+        cfg: SystemConfig,
+        specs: Vec<PortSpec>,
+        probe: hmc_telemetry::Probe,
+    ) -> SystemSim {
         let fabric = FabricConfig::single(cfg.device, cfg.host, cfg.seed);
         let specs = specs
             .into_iter()
             .map(|s| s.targeting(CubeId::HOST))
             .collect();
         SystemSim {
-            inner: FabricSim::new(fabric, specs),
+            inner: FabricSim::with_telemetry(fabric, specs, probe),
         }
     }
 

@@ -27,6 +27,12 @@ struct Args {
     names: Vec<String>,
     list: bool,
     json: bool,
+    /// Write a Chrome `trace_event` JSON of one designated traced run.
+    trace_out: Option<PathBuf>,
+    /// Trace every Nth issued request of the designated run.
+    trace_sample: u64,
+    /// Validate a JSON file (e.g. an exported trace) and exit.
+    validate_json: Option<PathBuf>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -38,6 +44,9 @@ fn parse_args() -> Result<Args, String> {
         names: Vec::new(),
         list: false,
         json: false,
+        trace_out: None,
+        trace_sample: 64,
+        validate_json: None,
     };
     let mut scale_flag: Option<&'static str> = None;
     let mut set_scale = |args: &mut Args, flag: &'static str, scale| -> Result<(), String> {
@@ -68,6 +77,21 @@ fn parse_args() -> Result<Args, String> {
                 let v = it.next().ok_or("--out needs a directory")?;
                 args.out = Some(PathBuf::from(v));
             }
+            "--trace-out" => {
+                let v = it.next().ok_or("--trace-out needs a path")?;
+                args.trace_out = Some(PathBuf::from(v));
+            }
+            "--trace-sample" => {
+                let v = it.next().ok_or("--trace-sample needs a value")?;
+                args.trace_sample = v.parse().map_err(|e| format!("bad sample rate: {e}"))?;
+                if args.trace_sample == 0 {
+                    return Err("--trace-sample must be >= 1".to_owned());
+                }
+            }
+            "--validate-json" => {
+                let v = it.next().ok_or("--validate-json needs a path")?;
+                args.validate_json = Some(PathBuf::from(v));
+            }
             "--help" | "-h" => {
                 return Err(String::new());
             }
@@ -81,11 +105,18 @@ fn parse_args() -> Result<Args, String> {
 fn usage() {
     eprintln!(
         "usage: repro [--full] [--json] [--seed N] [--threads N] [--out DIR] \
-         <experiment...|all|--list>"
+         [--trace-out PATH [--trace-sample N]] <experiment...|all|--list>"
     );
+    eprintln!("       repro --validate-json PATH");
     eprintln!("experiments: {}", EXPERIMENTS.join(" "));
     eprintln!("aliases: fig10 fig11 fig12 (one combined sweep)");
     eprintln!("--threads N: worker threads for sweeps (0 = all cores; results are identical)");
+    eprintln!(
+        "--trace-out PATH: export one designated traced run as Chrome trace_event JSON \
+         (open in chrome://tracing or Perfetto); --trace-sample N traces every Nth request \
+         (default 64)"
+    );
+    eprintln!("--validate-json PATH: check that PATH holds one well-formed JSON value and exit");
 }
 
 fn sanitize(title: &str) -> String {
@@ -145,7 +176,26 @@ fn main() -> ExitCode {
         }
         return ExitCode::SUCCESS;
     }
-    if args.names.is_empty() {
+    if let Some(path) = &args.validate_json {
+        let doc = match std::fs::read_to_string(path) {
+            Ok(doc) => doc,
+            Err(e) => {
+                eprintln!("error: cannot read {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        return match hmc_sim::stats::validate_json(&doc) {
+            Ok(()) => {
+                println!("{}: valid JSON ({} bytes)", path.display(), doc.len());
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("error: {}: {e}", path.display());
+                ExitCode::FAILURE
+            }
+        };
+    }
+    if args.names.is_empty() && args.trace_out.is_none() {
         usage();
         return ExitCode::from(2);
     }
@@ -166,6 +216,7 @@ fn main() -> ExitCode {
         scale: args.scale,
         seed: args.seed,
         threads: args.threads,
+        stats: Default::default(),
     };
     if let Some(dir) = &args.out {
         if let Err(e) = std::fs::create_dir_all(dir) {
@@ -210,6 +261,23 @@ fn main() -> ExitCode {
     }
     if args.json {
         println!("[{}]", json_outcomes.join(","));
+    }
+    if let Some(path) = &args.trace_out {
+        // One extra, designated traced run — tracing never perturbs the
+        // sweeps above.
+        let start = std::time::Instant::now();
+        let (doc, slices) = hmc_experiments::ext_timeline::traced_run(&ctx, args.trace_sample);
+        if let Err(e) = std::fs::write(path, &doc) {
+            eprintln!("error: cannot write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        eprintln!(
+            "[trace] {} slices (1/{} sampling) -> {} in {:.1}s",
+            slices,
+            args.trace_sample,
+            path.display(),
+            start.elapsed().as_secs_f64()
+        );
     }
     ExitCode::SUCCESS
 }

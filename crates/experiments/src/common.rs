@@ -1,8 +1,9 @@
 //! Shared experiment plumbing: scales, parallel sweeps, run helpers.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 
+use hmc_sim::des::EngineStats;
 use hmc_sim::prelude::*;
 
 /// How much work an experiment performs.
@@ -21,8 +22,56 @@ pub enum Scale {
     Full,
 }
 
+/// Aggregate event-engine counters across every simulation a context ran,
+/// summed with atomics so parallel sweep jobs can record concurrently.
+/// The sums are order-independent, so the tally is thread-count-invariant
+/// like everything else an experiment reports.
+#[derive(Debug, Default)]
+pub struct EngineTally {
+    runs: AtomicU64,
+    dispatched: AtomicU64,
+    wake_fires: AtomicU64,
+    wake_cancels: AtomicU64,
+    scratch_spills: AtomicU64,
+}
+
+impl EngineTally {
+    /// Adds one finished simulation's counters.
+    pub fn record(&self, stats: &EngineStats) {
+        self.runs.fetch_add(1, Ordering::Relaxed);
+        self.dispatched
+            .fetch_add(stats.dispatched, Ordering::Relaxed);
+        self.wake_fires
+            .fetch_add(stats.wake_fires, Ordering::Relaxed);
+        self.wake_cancels
+            .fetch_add(stats.wake_cancels, Ordering::Relaxed);
+        self.scratch_spills
+            .fetch_add(stats.scratch_spills, Ordering::Relaxed);
+    }
+
+    /// Clears the tally (the `repro` driver resets it per experiment).
+    pub fn reset(&self) {
+        self.runs.store(0, Ordering::Relaxed);
+        self.dispatched.store(0, Ordering::Relaxed);
+        self.wake_fires.store(0, Ordering::Relaxed);
+        self.wake_cancels.store(0, Ordering::Relaxed);
+        self.scratch_spills.store(0, Ordering::Relaxed);
+    }
+
+    /// `(runs, dispatched, wake_fires, wake_cancels, scratch_spills)`.
+    pub fn snapshot(&self) -> (u64, u64, u64, u64, u64) {
+        (
+            self.runs.load(Ordering::Relaxed),
+            self.dispatched.load(Ordering::Relaxed),
+            self.wake_fires.load(Ordering::Relaxed),
+            self.wake_cancels.load(Ordering::Relaxed),
+            self.scratch_spills.load(Ordering::Relaxed),
+        )
+    }
+}
+
 /// Context shared by all experiments.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct ExpContext {
     /// Work scale.
     pub scale: Scale,
@@ -34,6 +83,9 @@ pub struct ExpContext {
     /// after the parallel section — the determinism regressions run the
     /// same sweep at different widths and diff the rendered output.
     pub threads: usize,
+    /// Event-engine counter tally every run helper records into; shared
+    /// across clones of this context so sweep jobs all feed one sink.
+    pub stats: Arc<EngineTally>,
 }
 
 impl ExpContext {
@@ -43,6 +95,7 @@ impl ExpContext {
             scale: Scale::Quick,
             seed,
             threads: 0,
+            stats: Arc::default(),
         }
     }
 
@@ -52,6 +105,7 @@ impl ExpContext {
             scale: Scale::Full,
             seed,
             threads: 0,
+            stats: Arc::default(),
         }
     }
 
@@ -208,15 +262,21 @@ pub fn gups_run(
     cfg.seed = seed;
     let filter = pattern.filter(&cfg.device.map);
     let specs = vec![PortSpec::gups(filter, op); ports];
-    SystemSim::new(cfg, specs).run_gups(ctx.gups_warmup(), ctx.gups_measure())
+    let mut sim = SystemSim::new(cfg, specs);
+    let report = sim.run_gups(ctx.gups_warmup(), ctx.gups_measure());
+    ctx.stats.record(&sim.engine_stats());
+    report
 }
 
 /// Runs one multi-port stream experiment from explicit traces.
-pub fn stream_run(seed: u64, traces: Vec<Trace>) -> RunReport {
+pub fn stream_run(ctx: &ExpContext, seed: u64, traces: Vec<Trace>) -> RunReport {
     let mut cfg = SystemConfig::ac510(seed);
     cfg.seed = seed;
     let specs = traces.into_iter().map(PortSpec::stream).collect();
-    SystemSim::new(cfg, specs).run_streams()
+    let mut sim = SystemSim::new(cfg, specs);
+    let report = sim.run_streams();
+    ctx.stats.record(&sim.engine_stats());
+    report
 }
 
 /// The four request sizes every figure sweeps.

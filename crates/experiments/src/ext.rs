@@ -18,7 +18,7 @@ pub fn ddr_comparison(ctx: &ExpContext) -> Table {
     let map = AddressMap::hmc_gen2_default();
     let seed = ctx.seed_for("ext-ddr", 0);
     let trace = random_reads_in_banks(&map, VaultId(0), 16, PayloadSize::B64, 1, seed);
-    let hmc_no_load = stream_run(seed, vec![trace]).mean_latency_ns();
+    let hmc_no_load = stream_run(ctx, seed, vec![trace]).mean_latency_ns();
     // HMC peak: 9 GUPS ports, 128 B reads over all vaults.
     let hmc_peak = gups_run(
         ctx,
@@ -74,8 +74,8 @@ pub struct RwMixPoint {
 /// Ext-B: sweep the write percentage at 128 B over all vaults.
 pub fn rw_mix(ctx: &ExpContext) -> Vec<RwMixPoint> {
     let mixes: Vec<u8> = vec![0, 25, 50, 75, 100];
-    let ctx = *ctx;
-    ctx.par_map(mixes, move |&write_percent| {
+    let ctx = ctx.clone();
+    ctx.clone().par_map(mixes, move |&write_percent| {
         let seed = ctx.seed_for("ext-rw", u64::from(write_percent));
         let op = GupsOp::Mix {
             size: PayloadSize::B128,
@@ -133,6 +133,7 @@ mod tests {
             scale: Scale::Smoke,
             seed: 20,
             threads: 0,
+            stats: Default::default(),
         };
         let table = ddr_comparison(&ctx);
         let csv = table.to_csv();
@@ -148,6 +149,7 @@ mod tests {
             scale: Scale::Smoke,
             seed: 21,
             threads: 0,
+            stats: Default::default(),
         };
         let points = rw_mix(&ctx);
         let at = |wp: u8| {

@@ -49,8 +49,8 @@ pub fn chain(ctx: &ExpContext) -> Vec<ChainPoint> {
 /// scale-driven sweep restricted to chosen points (used by the scheduler
 /// determinism regression, which replays the 4-cube chain alone).
 pub fn chain_for_lengths(ctx: &ExpContext, lengths: Vec<u8>) -> Vec<ChainPoint> {
-    let ctx = *ctx;
-    ctx.par_map(lengths, move |&n| {
+    let ctx = ctx.clone();
+    ctx.clone().par_map(lengths, move |&n| {
         let far = CubeId(n - 1);
         let mk = || FabricConfig::chain(ctx.seed_for("ext-chain", u64::from(n)), n);
 
@@ -64,15 +64,17 @@ pub fn chain_for_lengths(ctx: &ExpContext, lengths: Vec<u8>) -> Vec<ChainPoint> 
             1,
             ctx.seed_for("ext-chain-unloaded", u64::from(n)),
         );
-        let unloaded = FabricSim::new(cfg, vec![FabricPortSpec::stream(trace, far)])
-            .run_streams()
-            .mean_latency_ns();
+        let mut sim = FabricSim::new(cfg, vec![FabricPortSpec::stream(trace, far)]);
+        let unloaded = sim.run_streams().mean_latency_ns();
+        ctx.stats.record(&sim.engine_stats());
 
         // Loaded: nine GUPS ports of 128 B reads over all vaults.
         let cfg = mk();
         let filter = AccessPattern::Vaults { count: 16 }.filter(&cfg.cube.map);
         let specs = vec![FabricPortSpec::gups(filter, GupsOp::Read(PayloadSize::B128), far); 9];
-        let report = FabricSim::new(cfg, specs).run_gups(ctx.gups_warmup(), ctx.gups_measure());
+        let mut sim = FabricSim::new(cfg, specs);
+        let report = sim.run_gups(ctx.gups_warmup(), ctx.gups_measure());
+        ctx.stats.record(&sim.engine_stats());
 
         ChainPoint {
             cubes: n,
@@ -131,8 +133,8 @@ pub fn star(ctx: &ExpContext) -> Vec<StarPoint> {
     let routes = FabricConfig::star(seed, STAR_CUBES).routes();
 
     // Unloaded probes, one per target cube.
-    let ctx2 = *ctx;
-    let unloaded: Vec<f64> = ctx.par_map((0..STAR_CUBES).collect(), move |&c| {
+    let ctx2 = ctx.clone();
+    let unloaded: Vec<f64> = ctx.clone().par_map((0..STAR_CUBES).collect(), move |&c| {
         let cfg = FabricConfig::star(ctx2.seed_for("ext-star", 1), STAR_CUBES);
         let trace = hmc_sim::workloads::random_reads_in_banks(
             &cfg.cube.map,
@@ -142,9 +144,10 @@ pub fn star(ctx: &ExpContext) -> Vec<StarPoint> {
             1,
             ctx2.seed_for("ext-star-unloaded", u64::from(c)),
         );
-        FabricSim::new(cfg, vec![FabricPortSpec::stream(trace, CubeId(c))])
-            .run_streams()
-            .mean_latency_ns()
+        let mut sim = FabricSim::new(cfg, vec![FabricPortSpec::stream(trace, CubeId(c))]);
+        let unloaded = sim.run_streams().mean_latency_ns();
+        ctx2.stats.record(&sim.engine_stats());
+        unloaded
     });
 
     // Loaded: two 128 B GUPS ports per cube, all vaults.
@@ -155,7 +158,9 @@ pub fn star(ctx: &ExpContext) -> Vec<StarPoint> {
             vec![FabricPortSpec::gups(filter, GupsOp::Read(PayloadSize::B128), CubeId(c)); 2]
         })
         .collect();
-    let report = FabricSim::new(cfg, specs).run_gups(ctx.gups_warmup(), ctx.gups_measure());
+    let mut sim = FabricSim::new(cfg, specs);
+    let report = sim.run_gups(ctx.gups_warmup(), ctx.gups_measure());
+    ctx.stats.record(&sim.engine_stats());
 
     (0..STAR_CUBES)
         .map(|c| StarPoint {
@@ -199,6 +204,7 @@ mod tests {
             scale: Scale::Smoke,
             seed: 30,
             threads: 0,
+            stats: Default::default(),
         };
         let points = chain(&ctx);
         assert_eq!(points.len(), 3);
@@ -230,6 +236,7 @@ mod tests {
             scale: Scale::Smoke,
             seed: 2018,
             threads: 0,
+            stats: Default::default(),
         };
         let a = chain_table(&chain_for_lengths(&ctx, vec![4])).to_json();
         let b = chain_table(&chain_for_lengths(&ctx, vec![4])).to_json();
@@ -243,6 +250,7 @@ mod tests {
             scale: Scale::Smoke,
             seed: 31,
             threads: 0,
+            stats: Default::default(),
         };
         let points = star(&ctx);
         assert_eq!(points.len(), usize::from(STAR_CUBES));

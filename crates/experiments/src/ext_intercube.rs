@@ -93,7 +93,9 @@ fn run_point(
     .with_tags(hmc_sim::GUPS_TAGS)
     .addressed(fabric_map);
     let specs = vec![spec; port_count(ctx)];
-    let report = FabricSim::new(cfg, specs).run_gups(ctx.gups_warmup(), ctx.gups_measure());
+    let mut sim = FabricSim::new(cfg, specs);
+    let report = sim.run_gups(ctx.gups_warmup(), ctx.gups_measure());
+    ctx.stats.record(&sim.engine_stats());
     let total: u64 = (0..8).map(|c| report.cube_completions(CubeId(c))).sum();
     IntercubePoint {
         topology,
@@ -112,7 +114,7 @@ fn run_point(
 
 /// Runs the sweep: chain and star, each cube count, both policies.
 pub fn run(ctx: &ExpContext) -> Vec<IntercubePoint> {
-    let ctx2 = *ctx;
+    let ctx2 = ctx.clone();
     let mut jobs: Vec<(Topology, u8, CubePolicy)> = Vec::new();
     for topology in [Topology::Chain, Topology::Star] {
         for &n in &cube_counts(ctx) {
@@ -121,7 +123,7 @@ pub fn run(ctx: &ExpContext) -> Vec<IntercubePoint> {
             }
         }
     }
-    ctx.par_map(jobs, move |&(topology, n, policy)| {
+    ctx.clone().par_map(jobs, move |&(topology, n, policy)| {
         run_point(&ctx2, topology, n, policy)
     })
 }
@@ -160,6 +162,7 @@ mod tests {
             scale: Scale::Smoke,
             seed: 2018,
             threads: 0,
+            stats: Default::default(),
         }
     }
 
@@ -213,6 +216,7 @@ mod tests {
                 scale: Scale::Smoke,
                 seed: 2018,
                 threads,
+                stats: Default::default(),
             };
             table(&run(&ctx)).to_json()
         };

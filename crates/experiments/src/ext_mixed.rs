@@ -55,9 +55,9 @@ pub struct MixedPoint {
 /// Runs the sweep: one chase port plus 0..N background GUPS ports, all
 /// targeting the far cube of the chain.
 pub fn run(ctx: &ExpContext) -> Vec<MixedPoint> {
-    let ctx2 = *ctx;
+    let ctx2 = ctx.clone();
     let cubes = chain_cubes(ctx);
-    ctx.par_map(background_ports(ctx), move |&bg| {
+    ctx.clone().par_map(background_ports(ctx), move |&bg| {
         let cfg = FabricConfig::chain(ctx2.seed_for("ext-mixed", bg as u64), cubes);
         let far = CubeId(cubes - 1);
         let map = cfg.cube.map;
@@ -89,7 +89,9 @@ pub fn run(ctx: &ExpContext) -> Vec<MixedPoint> {
             );
             bg
         ]);
-        let report = FabricSim::new(cfg, specs).run_gups(ctx2.gups_warmup(), ctx2.gups_measure());
+        let mut sim = FabricSim::new(cfg, specs);
+        let report = sim.run_gups(ctx2.gups_warmup(), ctx2.gups_measure());
+        ctx2.stats.record(&sim.engine_stats());
         let mut point = MixedPoint {
             background: bg,
             chase_reads: 0,
@@ -144,6 +146,7 @@ mod tests {
             scale: Scale::Smoke,
             seed: 2018,
             threads: 0,
+            stats: Default::default(),
         }
     }
 
@@ -177,6 +180,7 @@ mod tests {
                 scale: Scale::Smoke,
                 seed: 2018,
                 threads,
+                stats: Default::default(),
             };
             table(&run(&ctx)).to_json()
         };

@@ -102,34 +102,36 @@ pub fn offload_chain_lengths(ctx: &ExpContext) -> Vec<u8> {
 
 /// Runs the chain sweep: the copy lives in the far cube.
 pub fn chain(ctx: &ExpContext) -> Vec<OffloadPoint> {
-    let ctx = *ctx;
+    let ctx = ctx.clone();
     let blocks = copy_blocks(&ctx);
-    ctx.par_map(offload_chain_lengths(&ctx), move |&n| {
+    ctx.clone().par_map(offload_chain_lengths(&ctx), move |&n| {
         let cfg = FabricConfig::chain(ctx.seed_for("ext-offload-chain", u64::from(n)), n);
         let map = cfg.cube.map;
         let far = CubeId(n - 1);
-        let report =
-            FabricSim::new(cfg, vec![offload_spec(map, far, blocks, DEFAULT_WINDOW)]).run_streams();
+        let mut sim = FabricSim::new(cfg, vec![offload_spec(map, far, blocks, DEFAULT_WINDOW)]);
+        let report = sim.run_streams();
+        ctx.stats.record(&sim.engine_stats());
         point_from(&report, n - 1, u32::from(n - 1), DEFAULT_WINDOW, blocks)
     })
 }
 
 /// Runs the star sweep: the copy on the hub, then on each leaf.
 pub fn star(ctx: &ExpContext) -> Vec<OffloadPoint> {
-    let ctx = *ctx;
+    let ctx = ctx.clone();
     let blocks = copy_blocks(&ctx);
-    ctx.par_map((0..STAR_CUBES).collect(), move |&c| {
+    ctx.clone().par_map((0..STAR_CUBES).collect(), move |&c| {
         let cfg = FabricConfig::star(
             ctx.seed_for("ext-offload-star", 1 + u64::from(c)),
             STAR_CUBES,
         );
         let hops = cfg.routes().hops(CubeId(0), CubeId(c));
         let map = cfg.cube.map;
-        let report = FabricSim::new(
+        let mut sim = FabricSim::new(
             cfg,
             vec![offload_spec(map, CubeId(c), blocks, DEFAULT_WINDOW)],
-        )
-        .run_streams();
+        );
+        let report = sim.run_streams();
+        ctx.stats.record(&sim.engine_stats());
         point_from(&report, c, hops, DEFAULT_WINDOW, blocks)
     })
 }
@@ -144,17 +146,18 @@ pub fn window_values(ctx: &ExpContext) -> Vec<u16> {
 
 /// Runs the window sweep on a single cube.
 pub fn windows(ctx: &ExpContext) -> Vec<OffloadPoint> {
-    let ctx = *ctx;
+    let ctx = ctx.clone();
     let blocks = copy_blocks(&ctx);
-    ctx.par_map(window_values(&ctx), move |&w| {
+    ctx.clone().par_map(window_values(&ctx), move |&w| {
         let cfg = FabricConfig::single(
             DeviceConfig::ac510_hmc(),
             HostConfig::ac510_default(),
             ctx.seed_for("ext-offload-window", u64::from(w)),
         );
         let map = cfg.cube.map;
-        let report =
-            FabricSim::new(cfg, vec![offload_spec(map, CubeId(0), blocks, w)]).run_streams();
+        let mut sim = FabricSim::new(cfg, vec![offload_spec(map, CubeId(0), blocks, w)]);
+        let report = sim.run_streams();
+        ctx.stats.record(&sim.engine_stats());
         point_from(&report, 0, 0, w, blocks)
     })
 }
@@ -196,6 +199,7 @@ mod tests {
             scale: Scale::Smoke,
             seed: 33,
             threads: 0,
+            stats: Default::default(),
         }
     }
 

@@ -31,8 +31,8 @@ pub fn run(ctx: &ExpContext, size: PayloadSize) -> CombosData {
     let combos: Vec<Vec<VaultId>> = vault_combinations(16, 4)
         .step_by(ctx.combo_stride())
         .collect();
-    let ctx_copy = *ctx;
-    let averages: Vec<f64> = ctx.par_map(combos.clone(), move |combo| {
+    let ctx_copy = ctx.clone();
+    let averages: Vec<f64> = ctx.clone().par_map(combos.clone(), move |combo| {
         let reads = ctx_copy.stream_reads();
         let map = AddressMap::hmc_gen2_default();
         let mut key = u64::from(size.bytes());
@@ -47,7 +47,7 @@ pub fn run(ctx: &ExpContext, size: PayloadSize) -> CombosData {
                 random_reads_in_vaults(&map, &[v], size, reads, seed.wrapping_add(i as u64))
             })
             .collect();
-        let report = stream_run(seed, traces);
+        let report = stream_run(ctx, seed, traces);
         report.mean_latency_ns()
     });
     let mut per_vault_ns: Vec<Vec<f64>> = vec![Vec::new(); 16];
@@ -83,6 +83,11 @@ pub fn fig10_table(data: &CombosData) -> Table {
     for b in 0..BINS {
         headers.push(format!("{:.0}ns", template.bin_center(b)));
     }
+    // Out-of-range samples clamp to the edge bins (see
+    // `hmc_stats::Histogram`); the tally is reported so a nonzero count
+    // is visible rather than silently folded into the edges. With the
+    // shared range derived from the samples themselves it stays 0.
+    headers.push("clamped".to_owned());
     let mut t = Table::new(headers);
     for (v, samples) in data.per_vault_ns.iter().enumerate() {
         let mut h = range.histogram(BINS).expect("range nonempty");
@@ -91,6 +96,7 @@ pub fn fig10_table(data: &CombosData) -> Table {
         }
         let mut row = vec![v.to_string()];
         row.extend(h.normalized().iter().map(|f| format!("{f:.3}")));
+        row.push(h.clamped().to_string());
         t.row(row);
     }
     t
@@ -169,6 +175,7 @@ mod tests {
             scale: Scale::Smoke,
             seed: 10,
             threads: 0,
+            stats: Default::default(),
         }
     }
 

@@ -32,8 +32,8 @@ pub fn run(ctx: &ExpContext) -> Vec<Fig13Point> {
             }
         }
     }
-    let ctx = *ctx;
-    ctx.par_map(jobs, move |&(pattern, size, ports)| {
+    let ctx = ctx.clone();
+    ctx.clone().par_map(jobs, move |&(pattern, size, ports)| {
         let map = AddressMap::hmc_gen2_default();
         let key = pattern.total_banks(&map) as u64 * 10_000
             + u64::from(size.bytes()) * 16
@@ -86,6 +86,7 @@ mod tests {
             scale: Scale::Smoke,
             seed: 13,
             threads: 0,
+            stats: Default::default(),
         };
         // Run just the patterns the assertions need, at 3 port counts, by
         // filtering after the full quick run would be wasteful; instead

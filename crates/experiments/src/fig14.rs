@@ -31,8 +31,8 @@ pub fn run(ctx: &ExpContext) -> Vec<Fig14Point> {
             jobs.push((banks, size));
         }
     }
-    let ctx = *ctx;
-    ctx.par_map(jobs, move |&(banks, size)| {
+    let ctx = ctx.clone();
+    ctx.clone().par_map(jobs, move |&(banks, size)| {
         let pattern = AccessPattern::Banks {
             vault: VaultId(0),
             count: banks,
@@ -116,6 +116,7 @@ mod tests {
             scale: Scale::Smoke,
             seed: 14,
             threads: 0,
+            stats: Default::default(),
         };
         let points = run(&ctx);
         let two = average_outstanding(&points, 2);

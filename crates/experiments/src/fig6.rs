@@ -26,8 +26,8 @@ pub fn run(ctx: &ExpContext) -> Vec<Fig6Point> {
             jobs.push((pattern, size));
         }
     }
-    let ctx = *ctx;
-    ctx.par_map(jobs, move |&(pattern, size)| {
+    let ctx = ctx.clone();
+    ctx.clone().par_map(jobs, move |&(pattern, size)| {
         let seed = ctx.seed_for(
             "fig6",
             pattern.total_banks(&AddressMap::hmc_gen2_default()) as u64 * 1000
@@ -70,6 +70,7 @@ mod tests {
             scale: Scale::Smoke,
             seed: 42,
             threads: 0,
+            stats: Default::default(),
         };
         let point = |pattern: AccessPattern, bytes: u32| {
             let size = PayloadSize::new(bytes).unwrap();

@@ -38,8 +38,8 @@ pub fn run(ctx: &ExpContext, max_n: usize) -> Vec<LowLoadPoint> {
             jobs.push((n, size));
         }
     }
-    let ctx = *ctx;
-    ctx.par_map(jobs, move |&(n, size)| {
+    let ctx = ctx.clone();
+    ctx.clone().par_map(jobs, move |&(n, size)| {
         let vaults: Vec<u8> = (0..16u8).step_by(ctx.vault_stride()).collect();
         let mut acc = 0.0;
         for &v in &vaults {
@@ -49,7 +49,7 @@ pub fn run(ctx: &ExpContext, max_n: usize) -> Vec<LowLoadPoint> {
             );
             let map = AddressMap::hmc_gen2_default();
             let trace = random_reads_in_banks(&map, VaultId(v), 16, size, n, seed);
-            let report = stream_run(seed, vec![trace]);
+            let report = stream_run(&ctx, seed, vec![trace]);
             acc += report.mean_latency_us();
         }
         LowLoadPoint {
@@ -94,6 +94,7 @@ mod tests {
             scale: Scale::Smoke,
             seed: 7,
             threads: 0,
+            stats: Default::default(),
         };
         let points = run(&ctx, 55);
         let at = |n: usize, bytes: u32| {
@@ -125,6 +126,7 @@ mod tests {
             scale: Scale::Smoke,
             seed: 8,
             threads: 0,
+            stats: Default::default(),
         };
         let points = run(&ctx, 350);
         let series: Vec<&LowLoadPoint> = points.iter().filter(|p| p.size.bytes() == 128).collect();

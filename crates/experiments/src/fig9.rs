@@ -29,8 +29,8 @@ pub fn run(ctx: &ExpContext, pinned_vault: u8) -> Vec<Fig9Point> {
             jobs.push((sweep, size));
         }
     }
-    let ctx = *ctx;
-    ctx.par_map(jobs, move |&(sweep, size)| {
+    let ctx = ctx.clone();
+    ctx.clone().par_map(jobs, move |&(sweep, size)| {
         let reads = ctx.stream_reads();
         let map = AddressMap::hmc_gen2_default();
         let base = ctx.seed_for(
@@ -48,7 +48,7 @@ pub fn run(ctx: &ExpContext, pinned_vault: u8) -> Vec<Fig9Point> {
                 base.wrapping_add(port),
             ));
         }
-        let report = stream_run(base, traces);
+        let report = stream_run(&ctx, base, traces);
         Fig9Point {
             sweep_vault: sweep,
             size,
@@ -109,6 +109,7 @@ mod tests {
             scale: Scale::Quick,
             seed: 9,
             threads: 0,
+            stats: Default::default(),
         };
         let pinned = 5;
         let points = run(&ctx, pinned);

@@ -24,6 +24,7 @@ pub mod ext_fabric;
 pub mod ext_intercube;
 pub mod ext_mixed;
 pub mod ext_offload;
+pub mod ext_timeline;
 pub mod fig10_12;
 pub mod fig13;
 pub mod fig14;
@@ -63,6 +64,7 @@ pub const EXPERIMENTS: &[&str] = &[
     "ext-offload",
     "ext-intercube",
     "ext-mixed",
+    "ext-timeline",
 ];
 
 /// Resolves aliases (`fig10`, `fig11`, `fig12` share one sweep;
@@ -80,7 +82,10 @@ pub fn canonical_name(name: &str) -> Option<&'static str> {
 /// unknown names.
 pub fn run_by_name(name: &str, ctx: &ExpContext) -> Option<Outcome> {
     let canonical = canonical_name(name)?;
-    let outcome = match canonical {
+    // The tally covers exactly this experiment's simulations; the sums
+    // are order-independent so the appended table is thread-invariant.
+    ctx.stats.reset();
+    let mut outcome = match canonical {
         "table1" => Outcome {
             name: "table1",
             tables: vec![(
@@ -250,6 +255,24 @@ pub fn run_by_name(name: &str, ctx: &ExpContext) -> Option<Outcome> {
                 ext_mixed::table(&ext_mixed::run(ctx)),
             )],
         },
+        "ext-timeline" => {
+            let points = ext_timeline::run(ctx);
+            Outcome {
+                name: "ext-timeline",
+                tables: vec![
+                    (
+                        "Ext-timeline A: epoch bandwidth/latency timelines at the fig6 knee"
+                            .to_owned(),
+                        ext_timeline::timeline_table(&points),
+                    ),
+                    (
+                        "Ext-timeline B: round-trip latency percentiles per port and per cube"
+                            .to_owned(),
+                        ext_timeline::percentile_table(&points),
+                    ),
+                ],
+            }
+        }
         "ext-offload" => Outcome {
             name: "ext-offload",
             tables: vec![
@@ -269,7 +292,31 @@ pub fn run_by_name(name: &str, ctx: &ExpContext) -> Option<Outcome> {
         },
         _ => unreachable!("canonical names are exhaustive"),
     };
+    outcome.tables.push((
+        "Engine: event-core counters over this experiment's runs".to_owned(),
+        engine_stats_table(ctx),
+    ));
     Some(outcome)
+}
+
+/// The event-engine counter tally as a one-row table.
+fn engine_stats_table(ctx: &ExpContext) -> Table {
+    let (runs, dispatched, wake_fires, wake_cancels, scratch_spills) = ctx.stats.snapshot();
+    let mut t = Table::new([
+        "runs",
+        "dispatched",
+        "wake_fires",
+        "wake_cancels",
+        "scratch_spills",
+    ]);
+    t.row([
+        runs.to_string(),
+        dispatched.to_string(),
+        wake_fires.to_string(),
+        wake_cancels.to_string(),
+        scratch_spills.to_string(),
+    ]);
+    t
 }
 
 #[cfg(test)]
@@ -288,7 +335,9 @@ mod tests {
     #[test]
     fn table1_runs_instantly() {
         let out = run_by_name("table1", &ExpContext::quick(0)).unwrap();
-        assert_eq!(out.tables.len(), 1);
+        // The figure table plus the appended engine-counter table.
+        assert_eq!(out.tables.len(), 2);
         assert!(out.tables[0].1.to_ascii().contains("2~9 flits"));
+        assert!(out.tables[1].0.contains("Engine"));
     }
 }

@@ -50,7 +50,7 @@ pub fn chain(ctx: &ExpContext) -> Vec<ChainChasePoint> {
 /// The chain sweep with an explicit worker-thread count (`0` = all
 /// cores) — exercised by the cross-thread determinism regression.
 pub fn chain_with_threads(ctx: &ExpContext, threads: usize) -> Vec<ChainChasePoint> {
-    let ctx = *ctx;
+    let ctx = ctx.clone();
     let hops = chain_len(&ctx);
     parallel_map_with_threads(chain_lengths(&ctx), threads, move |&n| {
         let far = CubeId(n - 1);
@@ -71,7 +71,9 @@ pub fn chain_with_threads(ctx: &ExpContext, threads: usize) -> Vec<ChainChasePoi
             },
             far,
         );
-        let report = FabricSim::new(cfg, vec![spec]).run_streams();
+        let mut sim = FabricSim::new(cfg, vec![spec]);
+        let report = sim.run_streams();
+        ctx.stats.record(&sim.engine_stats());
         ChainChasePoint {
             cubes: n,
             hops: u32::from(n - 1),
@@ -117,7 +119,7 @@ pub fn walker_counts(ctx: &ExpContext) -> Vec<u16> {
 /// Runs the walker sweep on a single cube: every walker chases all
 /// vaults, `chain_len` hops each.
 pub fn walkers(ctx: &ExpContext) -> Vec<WalkerPoint> {
-    let ctx = *ctx;
+    let ctx = ctx.clone();
     let hops = chain_len(&ctx);
     parallel_map_with_threads(walker_counts(&ctx), ctx.threads, move |&w| {
         let cfg = SystemConfig::ac510(ctx.seed_for("probe-chase-mlp", u64::from(w)));
@@ -134,7 +136,9 @@ pub fn walkers(ctx: &ExpContext) -> Vec<WalkerPoint> {
             ))
         })
         .with_tags(w.max(1));
-        let report = SystemSim::new(cfg, vec![spec]).run_streams();
+        let mut sim = SystemSim::new(cfg, vec![spec]);
+        let report = sim.run_streams();
+        ctx.stats.record(&sim.engine_stats());
         let reads = report.total_reads();
         let elapsed_ps = report.elapsed.as_ps() as f64;
         WalkerPoint {
@@ -171,6 +175,7 @@ mod tests {
             scale: Scale::Smoke,
             seed: 2018,
             threads: 0,
+            stats: Default::default(),
         }
     }
 

@@ -59,3 +59,37 @@ fn unknown_experiment_exits_nonzero_and_list_names_the_new_ones() {
         assert!(stdout.lines().any(|l| l == name), "missing {name}");
     }
 }
+
+#[test]
+fn trace_and_validate_flags_are_checked() {
+    // --trace-sample must be a positive count.
+    for args in [
+        &["--trace-sample", "0", "fig6"][..],
+        &["--trace-sample", "x", "fig6"][..],
+        &["--trace-out"][..],
+    ] {
+        let out = repro(args);
+        assert_eq!(out.status.code(), Some(2), "args: {args:?}");
+    }
+
+    // --validate-json accepts exactly well-formed documents.
+    let dir = std::env::temp_dir();
+    let good = dir.join(format!("repro_cli_good_{}.json", std::process::id()));
+    let bad = dir.join(format!("repro_cli_bad_{}.json", std::process::id()));
+    std::fs::write(&good, "{\"traceEvents\":[{\"ph\":\"X\"}]}").unwrap();
+    std::fs::write(&bad, "{\"traceEvents\":[").unwrap();
+    let out = repro(&["--validate-json", good.to_str().unwrap()]);
+    assert!(out.status.success(), "well-formed JSON must validate");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("valid JSON"), "{stdout}");
+    let out = repro(&["--validate-json", bad.to_str().unwrap()]);
+    assert!(!out.status.success(), "truncated JSON must fail");
+    let out = repro(&["--validate-json", "/no/such/file.json"]);
+    assert!(!out.status.success(), "missing file must fail");
+    std::fs::remove_file(&good).ok();
+    std::fs::remove_file(&bad).ok();
+
+    let out = repro(&["--list"]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.lines().any(|l| l == "ext-timeline"));
+}

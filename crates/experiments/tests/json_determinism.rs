@@ -31,6 +31,7 @@ fn fig6_json_is_byte_identical_across_in_process_reruns() {
         scale: Scale::Smoke,
         seed: 2018,
         threads: 0,
+        stats: Default::default(),
     };
     let cold = render_json("fig6", &ctx);
     let warm = render_json("fig6", &ctx);
@@ -49,10 +50,30 @@ fn thread_count_does_not_affect_results() {
         scale: Scale::Smoke,
         seed: 2018,
         threads,
+        stats: Default::default(),
     };
     let serial = render_json("fig6", &ctx(1));
     let parallel = render_json("fig6", &ctx(0));
     let two = render_json("fig6", &ctx(2));
     assert_eq!(serial, parallel, "all-cores sweep must equal serial sweep");
     assert_eq!(serial, two, "two-worker sweep must equal serial sweep");
+}
+
+#[test]
+fn timeline_percentile_rows_are_thread_invariant() {
+    // The telemetry path end to end: epoch series and quantile sketches
+    // must render byte-identically whatever the sweep worker count —
+    // the sketch merge is elementwise, so shard order cannot show.
+    let ctx = |threads: usize| ExpContext {
+        scale: Scale::Smoke,
+        seed: 2018,
+        threads,
+        stats: Default::default(),
+    };
+    let serial = render_json("ext-timeline", &ctx(1));
+    let two = render_json("ext-timeline", &ctx(2));
+    let all = render_json("ext-timeline", &ctx(0));
+    assert!(serial.contains("p999"), "percentile table rendered");
+    assert_eq!(serial, two, "two-worker run must equal serial run");
+    assert_eq!(serial, all, "all-cores run must equal serial run");
 }

@@ -23,6 +23,7 @@ use hmc_link::{Deliveries, LinkConfig, LinkTx, LinkWidth};
 use hmc_mapping::CubeTargeting;
 use hmc_noc::{Departures, SwitchConfig, SwitchCore, SwitchEntry};
 use hmc_packet::{LinkId, PortId, RequestPacket, ResponsePacket};
+use hmc_telemetry::{LinkDir, Probe, Stage};
 use hmc_workloads::{source_factory, GupsSource, SourceFactory, TraceReplay, TrafficSource};
 
 use crate::config::{CubeId, FabricConfig};
@@ -145,6 +146,14 @@ impl TransitMsg {
             TransitBody::Resp(pkt) => pkt.flits(),
         }
     }
+
+    /// The `(port, tag)` transaction identity telemetry traces by.
+    fn identity(&self) -> (u16, u16) {
+        match &self.body {
+            TransitBody::Req(pkt) => (u16::from(pkt.port.0), pkt.tag.0),
+            TransitBody::Resp(pkt) => (u16::from(pkt.port.0), pkt.tag.0),
+        }
+    }
 }
 
 /// Messages exchanged between the components. Periodic work (host FPGA
@@ -215,6 +224,8 @@ struct HostComp {
     tick: AutoWake,
     measure_start: Time,
     measure_end: Option<Time>,
+    /// Telemetry probe; its epoch window re-anchors when monitors reset.
+    probe: Probe,
 }
 
 impl HostComp {
@@ -311,6 +322,7 @@ impl Component<Msg> for HostComp {
             Msg::HostResetStats => {
                 self.model.reset_stats();
                 self.measure_start = ctx.now();
+                self.probe.reset_window(ctx.now());
             }
             Msg::HostResponse { link, pkt } => {
                 let events = self.model.on_response_arrival(ctx.now(), link, pkt);
@@ -520,6 +532,8 @@ struct AdapterComp {
     dep_scratch: Departures<TransitMsg>,
     /// Reused delivery scratch for egress serializer service.
     del_scratch: Deliveries<TransitMsg>,
+    /// Telemetry probe (detached by default).
+    probe: Probe,
 }
 
 impl AdapterComp {
@@ -553,6 +567,8 @@ impl AdapterComp {
             self.sw.service_into(now, &mut deps);
             for d in deps.drain() {
                 progress = true;
+                let (t_port, t_tag) = d.payload.identity();
+                self.probe.trace_mark(t_port, t_tag, Stage::Transit, d.at);
                 // Input drained: return the space to whoever serialized
                 // into it.
                 match self.layout.classify(d.input) {
@@ -790,6 +806,22 @@ impl FabricSim {
     /// statically targets a cube outside the fabric, or an addressed
     /// spec's map disagrees with the fabric's cube count.
     pub fn new(cfg: FabricConfig, specs: Vec<FabricPortSpec>) -> FabricSim {
+        FabricSim::with_telemetry(cfg, specs, Probe::off())
+    }
+
+    /// Builds a fabric system with a telemetry probe attached to every
+    /// component: the host's ports and request serializers, each cube's
+    /// device and response serializers, and (multi-cube) the pass-through
+    /// stages. With [`Probe::off`] this is exactly [`FabricSim::new`].
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`FabricSim::new`].
+    pub fn with_telemetry(
+        cfg: FabricConfig,
+        specs: Vec<FabricPortSpec>,
+        probe: Probe,
+    ) -> FabricSim {
         cfg.validate().expect("valid fabric config");
         assert!(!specs.is_empty(), "a system needs at least one port");
         for s in &specs {
@@ -822,13 +854,13 @@ impl FabricSim {
                 ..cfg.cube.clone()
             }
         };
-        let probe = HmcDevice::new(dev_cfg.clone());
+        let proto = HmcDevice::new(dev_cfg.clone());
         let mut host_cfg: HostConfig = cfg.host.clone();
         // Request-direction tokens guard the first receiver's input
         // buffer: the cube's link RX directly, or cube 0's pass-through
         // input.
         host_cfg.link.input_buffer_flits = if n == 1 {
-            probe.request_tokens_per_link()
+            proto.request_tokens_per_link()
         } else {
             cfg.hop.input_capacity_flits
         };
@@ -844,7 +876,8 @@ impl FabricSim {
                     .with_targeting(spec.targeting)
             })
             .collect();
-        let host_model = HostModel::new(host_cfg, ports);
+        let mut host_model = HostModel::new(host_cfg, ports);
+        host_model.attach_probe(&probe);
         let period = host_model.config().fpga_period;
 
         // Component census is known up front: one host, n devices and
@@ -859,11 +892,14 @@ impl FabricSim {
             tick: AutoWake::new(),
             measure_start: Time::ZERO,
             measure_end: None,
+            probe: probe.clone(),
         }));
         let devices: Vec<ComponentId> = (0..n)
-            .map(|_| {
+            .map(|c| {
+                let mut device = HmcDevice::new(dev_cfg.clone());
+                device.attach_probe(&probe, c as u8);
                 engine.add_component(Box::new(DeviceComp {
-                    device: HmcDevice::new(dev_cfg.clone()),
+                    device,
                     up: Upstream::Host(host),
                     wake: AutoWake::new(),
                 }))
@@ -916,15 +952,17 @@ impl FabricSim {
                         PortClass::Dev(_) => {
                             // Downstream buffer: the device's link RX
                             // (its request token pool).
-                            *credit = probe.request_tokens_per_link();
+                            *credit = proto.request_tokens_per_link();
                             tx.push(None);
                         }
                         PortClass::Fabric(_) => {
                             *credit = cfg.hop.egress_capacity_flits;
-                            tx.push(Some(LinkTx::new(&LinkConfig {
+                            let mut link = LinkTx::new(&LinkConfig {
                                 input_buffer_flits: cfg.hop.input_capacity_flits,
                                 ..cfg.hop.link
-                            })));
+                            });
+                            link.set_probe(probe.clone(), c as u8, p as u8, LinkDir::Transit);
+                            tx.push(Some(link));
                         }
                         PortClass::Host(_) => {
                             *credit = cfg.hop.egress_capacity_flits;
@@ -932,19 +970,23 @@ impl FabricSim {
                             // link model, tokens guarding the host RX
                             // buffer — as the device's serializer does on
                             // a single-cube system.
-                            tx.push(Some(LinkTx::new(&LinkConfig {
+                            let mut link = LinkTx::new(&LinkConfig {
                                 min_packet_time: Delay::ZERO,
                                 ..cfg.cube.link
-                            })));
+                            });
+                            link.set_probe(probe.clone(), c as u8, p as u8, LinkDir::Response);
+                            tx.push(Some(link));
                         }
                     }
                 }
                 let caps = vec![cfg.hop.input_capacity_flits; count];
+                let mut sw = SwitchCore::with_input_capacities(sw_cfg, &caps, &credits);
+                sw.set_probe(probe.clone(), c as u8);
                 engine.add_component(Box::new(AdapterComp {
                     cube: CubeId(c as u8),
                     layout,
                     routes: routes.clone(),
-                    sw: SwitchCore::with_input_capacities(sw_cfg, &caps, &credits),
+                    sw,
                     tx,
                     edges: vec![None; count],
                     device: devices[c],
@@ -952,6 +994,7 @@ impl FabricSim {
                     wake: AutoWake::new(),
                     dep_scratch: Departures::new(),
                     del_scratch: Deliveries::new(),
+                    probe: probe.clone(),
                 }))
             })
             .collect();

@@ -9,6 +9,7 @@ use hmc_link::{Deliveries, LinkTx};
 use hmc_mapping::VaultId;
 use hmc_noc::{Departures, SwitchConfig, SwitchCore, SwitchEntry};
 use hmc_packet::{LinkId, RequestPacket, ResponsePacket};
+use hmc_telemetry::{LinkDir, Probe, Stage};
 
 use crate::config::DeviceConfig;
 use crate::transaction::{DeviceOutput, DeviceRequest, DeviceResponse};
@@ -206,6 +207,10 @@ pub struct HmcDevice {
     delivery_scratch: Deliveries<ResponsePacket>,
     requests_received: u64,
     responses_sent: u64,
+    /// Telemetry probe (detached by default — every emit is one branch).
+    probe: Probe,
+    /// Cube id this device reports as in telemetry events.
+    probe_cube: u8,
 }
 
 impl HmcDevice {
@@ -296,7 +301,20 @@ impl HmcDevice {
             delivery_scratch: Deliveries::new(),
             requests_received: 0,
             responses_sent: 0,
+            probe: Probe::off(),
+            probe_cube: 0,
         }
+    }
+
+    /// Attaches a telemetry probe; events from this device report as cube
+    /// `cube`. Also wires the upstream serializers so response-direction
+    /// link flits are attributed to this cube.
+    pub fn attach_probe(&mut self, probe: &Probe, cube: u8) {
+        for (l, tx) in self.link_tx.iter_mut().enumerate() {
+            tx.set_probe(probe.clone(), cube, l as u8, LinkDir::Response);
+        }
+        self.probe = probe.clone();
+        self.probe_cube = cube;
     }
 
     /// The configuration in effect.
@@ -316,7 +334,7 @@ impl HmcDevice {
     ///
     /// Panics if the link input buffer lacks space — with correct token
     /// flow control on the host side this cannot happen.
-    pub fn on_request(&mut self, _now: Time, link: LinkId, pkt: RequestPacket) {
+    pub fn on_request(&mut self, now: Time, link: LinkId, pkt: RequestPacket) {
         let loc = self.cfg.map.decode(pkt.addr);
         let req = DeviceRequest {
             pkt,
@@ -336,6 +354,10 @@ impl HmcDevice {
             .unwrap_or_else(|_| panic!("link input buffer overflow: token protocol violated"));
         self.req_dirty |= 1 << q;
         self.requests_received += 1;
+        self.probe
+            .request_enqueue(self.probe_cube, loc.vault.0, now);
+        self.probe
+            .trace_mark(u16::from(pkt.port.0), pkt.tag.0, Stage::DeviceIngress, now);
     }
 
     /// Returns host-RX-buffer tokens to the upstream serializer of `link`
@@ -378,9 +400,16 @@ impl HmcDevice {
                 break;
             }
             let Reverse(entry) = self.calendar.pop().expect("peeked entry exists");
+            let at = entry.at;
             match entry.ev {
                 InternalEvent::VaultArrival(req) => {
                     let v = req.vault.index();
+                    self.probe.trace_mark(
+                        u16::from(req.pkt.port.0),
+                        req.pkt.tag.0,
+                        Stage::VaultService,
+                        at,
+                    );
                     self.vaults[v].push_ingress(req);
                     self.mark_dirty(v);
                 }
@@ -518,6 +547,12 @@ impl HmcDevice {
                 self.link_tx[l].service_into(now, &mut deliveries);
                 for delivery in deliveries.drain() {
                     progress = true;
+                    self.probe.trace_mark(
+                        u16::from(delivery.payload.port.0),
+                        delivery.payload.tag.0,
+                        Stage::ResponseLink,
+                        delivery.at,
+                    );
                     self.outputs.push(DeviceOutput::Response {
                         link: LinkId(l as u8),
                         pkt: delivery.payload,
@@ -670,6 +705,7 @@ impl HmcDevice {
                 pkt: ResponsePacket::for_request(&req.pkt),
                 link: req.link,
             };
+            let (t_port, t_tag) = (u16::from(req.pkt.port.0), req.pkt.tag.0);
             let flits = resp.pkt.flits();
             let entry = SwitchEntry {
                 output: self.route_response(q, &resp),
@@ -681,6 +717,8 @@ impl HmcDevice {
                 Ok(()) => {
                     let _ = self.vaults[v].take_completed(bank);
                     self.resp_dirty |= 1 << q;
+                    self.probe
+                        .trace_mark(t_port, t_tag, Stage::ResponseReady, now);
                     progress = true;
                 }
                 Err(_) => break,
@@ -689,6 +727,7 @@ impl HmcDevice {
         // Idle banks with queued work → DRAM.
         let ctrl_out = self.cfg.vault.ctrl_latency;
         for (bank, completion) in self.vaults[v].start_services(now) {
+            self.probe.vault_service(self.probe_cube, v as u8, now);
             self.schedule(
                 completion + ctrl_out,
                 InternalEvent::BankComplete { vault: v, bank },

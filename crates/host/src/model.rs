@@ -5,6 +5,7 @@ use hmc_des::{Clocked, InlineVec, Time};
 use hmc_link::{Deliveries, LinkTx};
 use hmc_noc::{BoundedQueue, RoundRobinArbiter};
 use hmc_packet::{LinkId, PortId, RequestPacket, ResponsePacket};
+use hmc_telemetry::{LinkDir, Probe, Stage};
 
 use crate::config::HostConfig;
 use crate::port::Port;
@@ -77,6 +78,7 @@ pub struct HostModel {
     events: HostEvents,
     /// Reused delivery scratch for link serializer service.
     delivery_scratch: Deliveries<RequestPacket>,
+    probe: Probe,
 }
 
 impl HostModel {
@@ -112,7 +114,22 @@ impl HostModel {
             rx_busy,
             events: HostEvents::new(),
             delivery_scratch: Deliveries::new(),
+            probe: Probe::off(),
         }
+    }
+
+    /// Attaches a telemetry probe to the host and everything it owns:
+    /// the ports (issue tracing, completion sketches) and the request
+    /// link serializers (link-flit events, stamped cube 0 — the cube the
+    /// host's links physically attach to). Detached by default.
+    pub fn attach_probe(&mut self, probe: &Probe) {
+        for p in &mut self.ports {
+            p.set_probe(probe.clone());
+        }
+        for (l, tx) in self.link_tx.iter_mut().enumerate() {
+            tx.set_probe(probe.clone(), 0, l as u8, LinkDir::Request);
+        }
+        self.probe = probe.clone();
     }
 
     /// The configuration in effect.
@@ -183,6 +200,8 @@ impl HostModel {
             let Some(p) = granted else { break };
             let pkt = self.fifos[p].pop().expect("granted head exists");
             self.stage_admit_at[link] = now + self.cfg.fpga_period;
+            self.probe
+                .trace_mark(u16::from(pkt.port.0), pkt.tag.0, Stage::HostLink, now);
             self.staged[link].push_back((now + self.cfg.ctrl_latency_req, pkt));
         }
         // Serialize onto the wire.

@@ -7,6 +7,7 @@ use hmc_des::Time;
 use hmc_mapping::CubeTargeting;
 use hmc_packet::{CubeId, PortId, RequestPacket, ResponsePacket, Tag};
 use hmc_stats::{BandwidthMeter, LatencyRecorder};
+use hmc_telemetry::Probe;
 use hmc_workloads::{Completion, Feedback, SourceStep, TraceOp, TrafficSource};
 
 /// A pool of transaction tags bounding a port's outstanding requests.
@@ -125,6 +126,7 @@ pub struct Port {
     /// Completions recorded in the measurement window, per destination
     /// cube — the per-cube attribution of a split (addressed) stream.
     completed_by_cube: [u64; 8],
+    probe: Probe,
 }
 
 impl fmt::Debug for Port {
@@ -172,6 +174,7 @@ impl Port {
             reads_recorded: 0,
             writes_recorded: 0,
             completed_by_cube: [0; 8],
+            probe: Probe::off(),
         }
     }
 
@@ -180,6 +183,13 @@ impl Port {
     pub fn with_targeting(mut self, targeting: CubeTargeting) -> Port {
         self.targeting = targeting;
         self
+    }
+
+    /// Attaches a telemetry probe (default [`Probe::off`]): issues feed
+    /// the sampled packet tracer, completions feed the per-source and
+    /// per-cube latency sketches.
+    pub fn set_probe(&mut self, probe: Probe) {
+        self.probe = probe;
     }
 
     /// The port's cube-targeting policy.
@@ -283,6 +293,8 @@ impl Port {
         let tag = self.tags.allocate(now).expect("free tag checked above");
         self.op_by_tag[usize::from(tag.0)] = Some((op, self.issued, cube));
         self.issued += 1;
+        self.probe
+            .trace_issue(u16::from(self.id.0), tag.0, cube.0, now);
         Some(RequestPacket {
             port: self.id,
             tag,
@@ -305,8 +317,11 @@ impl Port {
             .take()
             .expect("tag carries its request op");
         self.completed += 1;
+        self.probe
+            .trace_complete(u16::from(self.id.0), pkt.tag.0, now);
         if self.recording {
-            self.latency.record_ps((now - issued_at).as_ps());
+            let latency_ps = (now - issued_at).as_ps();
+            self.latency.record_ps(latency_ps);
             self.bytes.add_bytes(op.kind.round_trip_bytes());
             if op.kind.is_read() {
                 self.reads_recorded += 1;
@@ -314,6 +329,13 @@ impl Port {
                 self.writes_recorded += 1;
             }
             self.completed_by_cube[cube.index()] += 1;
+            self.probe.completion(
+                u16::from(self.id.0),
+                cube.0,
+                latency_ps,
+                op.kind.round_trip_bytes(),
+                now,
+            );
         }
         self.fresh.push(Completion {
             index,

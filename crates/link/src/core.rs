@@ -4,6 +4,7 @@ use std::collections::VecDeque;
 
 use hmc_des::{Clocked, Delay, InlineVec, Time};
 use hmc_noc::Credits;
+use hmc_telemetry::{LinkDir, Probe};
 
 use crate::config::LinkConfig;
 
@@ -69,6 +70,9 @@ pub struct LinkTx<P> {
     busy_until: Time,
     tokens: Credits,
     stats: LinkStats,
+    probe: Probe,
+    /// `(cube, link, direction)` identity stamped on emitted telemetry.
+    site: (u8, u8, LinkDir),
 }
 
 impl<P> LinkTx<P> {
@@ -87,7 +91,18 @@ impl<P> LinkTx<P> {
             busy_until: Time::ZERO,
             tokens: Credits::new(cfg.input_buffer_flits),
             stats: LinkStats::default(),
+            probe: Probe::off(),
+            site: (0, 0, LinkDir::Request),
         }
+    }
+
+    /// Attaches a telemetry probe; committed packets emit one
+    /// link-flit event stamped `(cube, link, dir)` at their wire-commit
+    /// time. Detached by default ([`Probe::off`]), which keeps
+    /// [`LinkTx::service_into`] on its allocation-free fast path.
+    pub fn set_probe(&mut self, probe: Probe, cube: u8, link: u8, dir: LinkDir) {
+        self.probe = probe;
+        self.site = (cube, link, dir);
     }
 
     /// Appends a packet of `flits` flits to the sender queue.
@@ -184,6 +199,8 @@ impl<P> LinkTx<P> {
             cursor = end;
             self.stats.packets_sent += 1;
             self.stats.flits_sent += u64::from(flits);
+            let (cube, link, dir) = self.site;
+            self.probe.link_flits(cube, link, dir, flits, end);
             out.push(LinkDelivery {
                 at: end + self.serdes_latency,
                 flits,

@@ -6,8 +6,19 @@ use core::fmt;
 ///
 /// Figures 10 and 12 of the paper bin per-vault average latencies into nine
 /// intervals between the observed extremes; this type reproduces that
-/// construction. Samples outside the range clamp into the edge bins so no
-/// observation is lost (counts are conserved — property-tested).
+/// construction.
+///
+/// # Out-of-range samples
+///
+/// Samples outside `[lo, hi)` **clamp** into the edge bins — they are
+/// never dropped, so counts are conserved (property-tested) and the total
+/// still matches the number of `record` calls. This choice matches the
+/// paper's construction, where the range is derived from the observed
+/// extremes and nothing can fall outside it; when a fixed range is reused
+/// (e.g. across runs), clamped samples would otherwise silently distort
+/// the edge bins. The histogram therefore also counts how many samples
+/// clamped on each side ([`clamped_lo`](Histogram::clamped_lo) /
+/// [`clamped_hi`](Histogram::clamped_hi)) so reports can surface them.
 ///
 /// # Examples
 ///
@@ -22,12 +33,15 @@ use core::fmt;
 /// assert_eq!(h.bin_counts()[0], 1);
 /// assert_eq!(h.bin_counts()[1], 2);
 /// assert_eq!(h.bin_counts()[8], 2); // 89.0 and the clamped 100.0
+/// assert_eq!(h.clamped_hi(), 1); // the 100.0 was out of range
 /// ```
 #[derive(Debug, Clone, PartialEq)]
 pub struct Histogram {
     lo: f64,
     hi: f64,
     counts: Vec<u64>,
+    clamped_lo: u64,
+    clamped_hi: u64,
 }
 
 impl Histogram {
@@ -43,6 +57,8 @@ impl Histogram {
             lo,
             hi,
             counts: vec![0; bins],
+            clamped_lo: 0,
+            clamped_hi: 0,
         }
     }
 
@@ -70,16 +86,43 @@ impl Histogram {
         (self.hi - self.lo) / self.counts.len() as f64
     }
 
-    /// Records a sample, clamping out-of-range values into the edge bins.
+    /// Records a sample, clamping out-of-range values into the edge bins
+    /// (see the type-level docs: clamp, not drop). Clamped samples are
+    /// additionally tallied in [`clamped_lo`](Histogram::clamped_lo) /
+    /// [`clamped_hi`](Histogram::clamped_hi).
     ///
     /// # Panics
     ///
     /// Panics if `x` is NaN.
     pub fn record(&mut self, x: f64) {
         assert!(!x.is_nan(), "histogram samples must not be NaN");
+        if x < self.lo {
+            self.clamped_lo += 1;
+        } else if x >= self.hi {
+            self.clamped_hi += 1;
+        }
         let idx = ((x - self.lo) / self.bin_width()).floor();
         let idx = (idx.max(0.0) as usize).min(self.counts.len() - 1);
         self.counts[idx] += 1;
+    }
+
+    /// Samples that fell below `lo` and clamped into the first bin.
+    #[inline]
+    pub fn clamped_lo(&self) -> u64 {
+        self.clamped_lo
+    }
+
+    /// Samples at or above `hi` that clamped into the last bin.
+    #[inline]
+    pub fn clamped_hi(&self) -> u64 {
+        self.clamped_hi
+    }
+
+    /// Total out-of-range samples (both sides). These are *included* in
+    /// [`count`](Histogram::count) — clamping conserves observations.
+    #[inline]
+    pub fn clamped(&self) -> u64 {
+        self.clamped_lo + self.clamped_hi
     }
 
     /// Per-bin counts.
@@ -150,6 +193,8 @@ impl Histogram {
         for (a, b) in self.counts.iter_mut().zip(&other.counts) {
             *a += b;
         }
+        self.clamped_lo += other.clamped_lo;
+        self.clamped_hi += other.clamped_hi;
     }
 }
 
@@ -247,6 +292,34 @@ mod tests {
         h.record(10.0); // exactly hi clamps into last bin
         assert_eq!(h.bin_counts()[0], 1);
         assert_eq!(h.bin_counts()[4], 2);
+        // Clamp, not drop: the total is conserved and both sides are
+        // tallied separately.
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.clamped_lo(), 1);
+        assert_eq!(h.clamped_hi(), 2);
+        assert_eq!(h.clamped(), 3);
+    }
+
+    #[test]
+    fn in_range_samples_do_not_count_as_clamped() {
+        let mut h = Histogram::new(0.0, 10.0, 5);
+        h.record(0.0); // inclusive lower edge is in range
+        h.record(9.999);
+        assert_eq!(h.clamped(), 0);
+        assert_eq!(h.count(), 2);
+    }
+
+    #[test]
+    fn merge_adds_clamp_tallies() {
+        let mut a = Histogram::new(0.0, 10.0, 2);
+        let mut b = Histogram::new(0.0, 10.0, 2);
+        a.record(-1.0);
+        b.record(11.0);
+        b.record(5.0);
+        a.merge(&b);
+        assert_eq!(a.clamped_lo(), 1);
+        assert_eq!(a.clamped_hi(), 1);
+        assert_eq!(a.count(), 3);
     }
 
     #[test]

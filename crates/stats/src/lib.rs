@@ -24,11 +24,15 @@
 mod bandwidth;
 mod histogram;
 mod latency;
+mod sketch;
 mod summary;
 mod table;
+mod validate;
 
 pub use bandwidth::{little_law_outstanding, BandwidthMeter};
 pub use histogram::{Histogram, SharedRange};
 pub use latency::LatencyRecorder;
+pub use sketch::LatencySketch;
 pub use summary::Summary;
 pub use table::{json_escape, json_f64, Table};
+pub use validate::validate_json;

@@ -280,86 +280,10 @@ mod tests {
         assert_eq!(json_escape("a\\b\t\u{1}"), "a\\\\b\\t\\u0001");
     }
 
-    /// A minimal JSON well-formedness checker (the workspace builds
-    /// offline, so no serde): consumes one value, returns the rest.
-    fn json_value(s: &str) -> Result<&str, String> {
-        let s = s.trim_start();
-        let Some(c) = s.chars().next() else {
-            return Err("unexpected end of input".to_owned());
-        };
-        match c {
-            '{' => {
-                let mut s = s[1..].trim_start();
-                if let Some(rest) = s.strip_prefix('}') {
-                    return Ok(rest);
-                }
-                loop {
-                    s = json_value(s)?.trim_start(); // key
-                    s = s
-                        .strip_prefix(':')
-                        .ok_or_else(|| format!("expected ':' at {s:.20?}"))?;
-                    s = json_value(s)?.trim_start();
-                    if let Some(rest) = s.strip_prefix(',') {
-                        s = rest.trim_start();
-                    } else {
-                        return s
-                            .strip_prefix('}')
-                            .ok_or_else(|| format!("expected '}}' at {s:.20?}"));
-                    }
-                }
-            }
-            '[' => {
-                let mut s = s[1..].trim_start();
-                if let Some(rest) = s.strip_prefix(']') {
-                    return Ok(rest);
-                }
-                loop {
-                    s = json_value(s)?.trim_start();
-                    if let Some(rest) = s.strip_prefix(',') {
-                        s = rest.trim_start();
-                    } else {
-                        return s
-                            .strip_prefix(']')
-                            .ok_or_else(|| format!("expected ']' at {s:.20?}"));
-                    }
-                }
-            }
-            '"' => {
-                let mut chars = s[1..].char_indices();
-                while let Some((i, c)) = chars.next() {
-                    match c {
-                        '\\' => {
-                            chars.next();
-                        }
-                        '"' => return Ok(&s[1 + i + 1..]),
-                        _ => {}
-                    }
-                }
-                Err("unterminated string".to_owned())
-            }
-            _ => {
-                for (lit, len) in [("null", 4), ("true", 4), ("false", 5)] {
-                    if s.starts_with(lit) {
-                        return Ok(&s[len..]);
-                    }
-                }
-                let end = s
-                    .find(|c: char| !"+-0123456789.eE".contains(c))
-                    .unwrap_or(s.len());
-                if end == 0 {
-                    return Err(format!("invalid token at {s:.20?}"));
-                }
-                s[..end]
-                    .parse::<f64>()
-                    .map_err(|e| format!("bad number {:?}: {e}", &s[..end]))?;
-                Ok(&s[end..])
-            }
-        }
-    }
+    use crate::validate_json;
 
     fn assert_parses(doc: &str) {
-        let rest = json_value(doc).unwrap_or_else(|e| panic!("invalid JSON: {e}\n{doc}"));
-        assert!(rest.trim().is_empty(), "trailing garbage: {rest:?}");
+        validate_json(doc).unwrap_or_else(|e| panic!("invalid JSON: {e}\n{doc}"));
     }
 
     #[test]
@@ -378,7 +302,7 @@ mod tests {
         // through json_f64 it becomes null and the document parses.
         let mean = f64::NAN;
         let naive = format!("{{\"mean_ns\":{mean:.2}}}");
-        assert!(json_value(&naive).is_err(), "bare NaN must not parse");
+        assert!(validate_json(&naive).is_err(), "bare NaN must not parse");
         let fixed = format!("{{\"mean_ns\":{}}}", json_f64(mean, 2));
         assert_parses(&fixed);
         assert!(fixed.contains("null"));

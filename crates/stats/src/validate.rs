@@ -1,0 +1,149 @@
+//! A minimal JSON well-formedness checker.
+//!
+//! The workspace builds offline (no serde), yet several emitters build
+//! JSON by hand: [`Table::to_json`](crate::Table::to_json), the `repro`
+//! binary's experiment dumps, the perfgate basket, and the telemetry
+//! tracer's Chrome `trace_event` files. This module is the shared
+//! validator those paths (and CI) use to prove their output parses.
+
+/// Checks that `s` is exactly one well-formed JSON value (objects,
+/// arrays, strings, numbers, `true`/`false`/`null`), with nothing but
+/// whitespace after it.
+///
+/// This is a *well-formedness* check, not a full RFC 8259 parser: numbers
+/// are accepted if Rust's `f64` parser accepts them, and string escapes
+/// are skipped rather than decoded. That is exactly the level of rigor
+/// needed to catch the classic hand-rolled-JSON failures (bare `NaN`
+/// tokens, unbalanced brackets, trailing commas, unterminated strings).
+///
+/// # Examples
+///
+/// ```
+/// use hmc_stats::validate_json;
+///
+/// assert!(validate_json("{\"a\": [1, 2.5, null]}").is_ok());
+/// assert!(validate_json("{\"a\": NaN}").is_err());
+/// assert!(validate_json("[1, 2,]").is_err());
+/// ```
+pub fn validate_json(s: &str) -> Result<(), String> {
+    let rest = json_value(s)?;
+    if rest.trim().is_empty() {
+        Ok(())
+    } else {
+        Err(format!("trailing garbage after JSON value: {rest:.40?}"))
+    }
+}
+
+/// Consumes one JSON value from the front of `s`, returning the rest.
+fn json_value(s: &str) -> Result<&str, String> {
+    let s = s.trim_start();
+    let Some(c) = s.chars().next() else {
+        return Err("unexpected end of input".to_owned());
+    };
+    match c {
+        '{' => {
+            let mut s = s[1..].trim_start();
+            if let Some(rest) = s.strip_prefix('}') {
+                return Ok(rest);
+            }
+            loop {
+                s = json_value(s)?.trim_start(); // key
+                s = s
+                    .strip_prefix(':')
+                    .ok_or_else(|| format!("expected ':' at {s:.20?}"))?;
+                s = json_value(s)?.trim_start();
+                if let Some(rest) = s.strip_prefix(',') {
+                    s = rest.trim_start();
+                } else {
+                    return s
+                        .strip_prefix('}')
+                        .ok_or_else(|| format!("expected '}}' at {s:.20?}"));
+                }
+            }
+        }
+        '[' => {
+            let mut s = s[1..].trim_start();
+            if let Some(rest) = s.strip_prefix(']') {
+                return Ok(rest);
+            }
+            loop {
+                s = json_value(s)?.trim_start();
+                if let Some(rest) = s.strip_prefix(',') {
+                    s = rest.trim_start();
+                } else {
+                    return s
+                        .strip_prefix(']')
+                        .ok_or_else(|| format!("expected ']' at {s:.20?}"));
+                }
+            }
+        }
+        '"' => {
+            let mut chars = s[1..].char_indices();
+            while let Some((i, c)) = chars.next() {
+                match c {
+                    '\\' => {
+                        chars.next();
+                    }
+                    '"' => return Ok(&s[1 + i + 1..]),
+                    _ => {}
+                }
+            }
+            Err("unterminated string".to_owned())
+        }
+        _ => {
+            for (lit, len) in [("null", 4), ("true", 4), ("false", 5)] {
+                if s.starts_with(lit) {
+                    return Ok(&s[len..]);
+                }
+            }
+            let end = s
+                .find(|c: char| !"+-0123456789.eE".contains(c))
+                .unwrap_or(s.len());
+            if end == 0 {
+                return Err(format!("invalid token at {s:.20?}"));
+            }
+            s[..end]
+                .parse::<f64>()
+                .map_err(|e| format!("bad number {:?}: {e}", &s[..end]))?;
+            Ok(&s[end..])
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_well_formed_documents() {
+        for doc in [
+            "null",
+            "42",
+            "-1.5e3",
+            "\"hi\\\"there\"",
+            "[]",
+            "{}",
+            "{\"k\": [1, {\"n\": null}, false]}",
+            " { \"spaced\" : [ 1 , 2 ] } ",
+        ] {
+            validate_json(doc).unwrap_or_else(|e| panic!("{doc}: {e}"));
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for doc in [
+            "",
+            "{",
+            "[1 2]",
+            "[1,]",
+            "{\"a\" 1}",
+            "\"unterminated",
+            "{\"a\": NaN}",
+            "Infinity",
+            "[1] trailing",
+        ] {
+            assert!(validate_json(doc).is_err(), "{doc:?} should be rejected");
+        }
+    }
+}

@@ -1,0 +1,402 @@
+//! The telemetry sink: epoch counters, quantile sketches, and the tracer.
+
+use crate::probe::LinkDir;
+use crate::trace::{Stage, Tracer};
+use hmc_des::{Delay, Time};
+use hmc_stats::LatencySketch;
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+/// The shared handle probes hold: single-threaded interior mutability.
+/// Simulations are built, run and torn down inside one worker thread
+/// (only plain result values cross threads), so `Rc<RefCell<_>>` is both
+/// sufficient and the cheapest correct choice.
+pub type SharedHub = Rc<RefCell<Hub>>;
+
+/// Configuration for a [`Hub`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HubConfig {
+    /// Width of one epoch bucket in the counter timelines.
+    pub epoch: Delay,
+    /// Trace every Nth issued request (`None` disables the tracer).
+    pub trace_sample: Option<u64>,
+}
+
+impl Default for HubConfig {
+    fn default() -> HubConfig {
+        HubConfig {
+            epoch: Delay::from_us(5),
+            trace_sample: None,
+        }
+    }
+}
+
+/// A monotone event-count timeline: one `u64` per fixed-width epoch,
+/// grown on demand. Epoch 0 starts at the hub's window origin.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EpochSeries {
+    counts: Vec<u64>,
+}
+
+impl EpochSeries {
+    fn add(&mut self, epoch: usize, n: u64) {
+        if self.counts.len() <= epoch {
+            self.counts.resize(epoch + 1, 0);
+        }
+        self.counts[epoch] += n;
+    }
+
+    /// Per-epoch counts (index = epoch number).
+    #[inline]
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// The count in `epoch` (0 for epochs past the last event).
+    #[inline]
+    pub fn get(&self, epoch: usize) -> u64 {
+        self.counts.get(epoch).copied().unwrap_or(0)
+    }
+
+    /// Number of epochs with at least one recorded event after them.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// `true` if no events were recorded.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    /// Total over all epochs.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+}
+
+/// Convenience: a sketch's (p50, p99, p999) in picoseconds.
+pub(crate) fn tail_ps(sketch: &LatencySketch) -> Option<[u64; 3]> {
+    Some([
+        sketch.quantile_ps(0.50)?,
+        sketch.quantile_ps(0.99)?,
+        sketch.quantile_ps(0.999)?,
+    ])
+}
+
+/// The sink behind attached [`Probe`](crate::Probe)s: streaming epoch
+/// counters keyed by component, per-source / per-cube latency sketches,
+/// and the sampled packet tracer. All maps are `BTreeMap`s so iteration
+/// (and therefore any report built from a hub) is deterministic.
+#[derive(Debug, Clone)]
+pub struct Hub {
+    cfg: HubConfig,
+    origin: Time,
+    /// Requests entering each (cube, vault) request queue.
+    enqueues: BTreeMap<(u8, u8), EpochSeries>,
+    /// DRAM service starts per (cube, vault) — the vault bandwidth timeline.
+    vault_services: BTreeMap<(u8, u8), EpochSeries>,
+    /// Flits committed per (cube, link, direction).
+    link_flits: BTreeMap<(u8, u8, LinkDir), EpochSeries>,
+    /// Switch grants (flits) per cube.
+    switch_flits: BTreeMap<u8, EpochSeries>,
+    /// Completed-request round-trip bytes per epoch (bandwidth timeline).
+    completion_bytes: EpochSeries,
+    /// Completed requests per epoch.
+    completion_count: EpochSeries,
+    /// Sum of completed-request latencies (ps) per epoch; divide by
+    /// [`Hub::completion_count`] for a mean-latency timeline.
+    completion_latency_ps: EpochSeries,
+    by_source: BTreeMap<u16, LatencySketch>,
+    by_cube: BTreeMap<u8, LatencySketch>,
+    tracer: Tracer,
+}
+
+impl Hub {
+    /// Creates an empty hub.
+    pub fn new(cfg: HubConfig) -> Hub {
+        Hub {
+            cfg,
+            origin: Time::ZERO,
+            enqueues: BTreeMap::new(),
+            vault_services: BTreeMap::new(),
+            link_flits: BTreeMap::new(),
+            switch_flits: BTreeMap::new(),
+            completion_bytes: EpochSeries::default(),
+            completion_count: EpochSeries::default(),
+            completion_latency_ps: EpochSeries::default(),
+            by_source: BTreeMap::new(),
+            by_cube: BTreeMap::new(),
+            tracer: Tracer::new(cfg.trace_sample),
+        }
+    }
+
+    /// Creates a hub behind the shared handle probes attach to.
+    pub fn shared(cfg: HubConfig) -> SharedHub {
+        Rc::new(RefCell::new(Hub::new(cfg)))
+    }
+
+    #[inline]
+    fn epoch_of(&self, now: Time) -> usize {
+        let ps = now.as_ps().saturating_sub(self.origin.as_ps());
+        (ps / self.cfg.epoch.as_ps().max(1)) as usize
+    }
+
+    /// Restarts the measurement window at `now`: clears every instrument
+    /// and re-anchors epoch 0. Called when the warmup window ends so
+    /// timelines and sketches cover only the measured interval. The
+    /// tracer is *not* cleared — packet lifecycles span the boundary.
+    pub fn reset_window(&mut self, now: Time) {
+        self.origin = now;
+        self.enqueues.clear();
+        self.vault_services.clear();
+        self.link_flits.clear();
+        self.switch_flits.clear();
+        self.completion_bytes = EpochSeries::default();
+        self.completion_count = EpochSeries::default();
+        self.completion_latency_ps = EpochSeries::default();
+        self.by_source.clear();
+        self.by_cube.clear();
+    }
+
+    // --- event sinks (called via Probe) ---
+
+    pub(crate) fn on_enqueue(&mut self, cube: u8, vault: u8, now: Time) {
+        let e = self.epoch_of(now);
+        self.enqueues.entry((cube, vault)).or_default().add(e, 1);
+    }
+
+    pub(crate) fn on_vault_service(&mut self, cube: u8, vault: u8, now: Time) {
+        let e = self.epoch_of(now);
+        self.vault_services
+            .entry((cube, vault))
+            .or_default()
+            .add(e, 1);
+    }
+
+    pub(crate) fn on_link_flits(
+        &mut self,
+        cube: u8,
+        link: u8,
+        dir: LinkDir,
+        flits: u32,
+        now: Time,
+    ) {
+        let e = self.epoch_of(now);
+        self.link_flits
+            .entry((cube, link, dir))
+            .or_default()
+            .add(e, u64::from(flits));
+    }
+
+    pub(crate) fn on_switch_forward(&mut self, cube: u8, flits: u32, now: Time) {
+        let e = self.epoch_of(now);
+        self.switch_flits
+            .entry(cube)
+            .or_default()
+            .add(e, u64::from(flits));
+    }
+
+    pub(crate) fn on_completion(
+        &mut self,
+        source: u16,
+        cube: u8,
+        latency_ps: u64,
+        bytes: u64,
+        now: Time,
+    ) {
+        let e = self.epoch_of(now);
+        self.completion_bytes.add(e, bytes);
+        self.completion_count.add(e, 1);
+        self.completion_latency_ps.add(e, latency_ps);
+        self.by_source
+            .entry(source)
+            .or_default()
+            .record_ps(latency_ps);
+        self.by_cube.entry(cube).or_default().record_ps(latency_ps);
+    }
+
+    pub(crate) fn on_trace_issue(&mut self, port: u16, tag: u16, cube: u8, now: Time) {
+        self.tracer.on_issue(port, tag, cube, now);
+    }
+
+    pub(crate) fn on_trace_mark(&mut self, port: u16, tag: u16, stage: Stage, now: Time) {
+        self.tracer.mark(port, tag, stage, now);
+    }
+
+    pub(crate) fn on_trace_complete(&mut self, port: u16, tag: u16, now: Time) {
+        self.tracer.complete(port, tag, now);
+    }
+
+    // --- accessors ---
+
+    /// The configured epoch width in picoseconds.
+    pub fn epoch_ps(&self) -> u64 {
+        self.cfg.epoch.as_ps()
+    }
+
+    /// Start of the current measurement window.
+    pub fn origin(&self) -> Time {
+        self.origin
+    }
+
+    /// Number of epochs covered by the completion timeline.
+    pub fn epochs(&self) -> usize {
+        self.completion_count.len()
+    }
+
+    /// Round-trip bytes completed per epoch.
+    pub fn completion_bytes(&self) -> &EpochSeries {
+        &self.completion_bytes
+    }
+
+    /// Requests completed per epoch.
+    pub fn completion_count(&self) -> &EpochSeries {
+        &self.completion_count
+    }
+
+    /// Sum of round-trip latencies (ps) completed per epoch.
+    pub fn completion_latency_ps(&self) -> &EpochSeries {
+        &self.completion_latency_ps
+    }
+
+    /// Request arrivals per (cube, vault).
+    pub fn enqueues(&self) -> &BTreeMap<(u8, u8), EpochSeries> {
+        &self.enqueues
+    }
+
+    /// DRAM service starts per (cube, vault).
+    pub fn vault_services(&self) -> &BTreeMap<(u8, u8), EpochSeries> {
+        &self.vault_services
+    }
+
+    /// Flits committed per (cube, link, direction).
+    pub fn link_flits(&self) -> &BTreeMap<(u8, u8, LinkDir), EpochSeries> {
+        &self.link_flits
+    }
+
+    /// Switch grant flits per cube.
+    pub fn switch_flits(&self) -> &BTreeMap<u8, EpochSeries> {
+        &self.switch_flits
+    }
+
+    /// Latency sketch per source port.
+    pub fn source_sketches(&self) -> &BTreeMap<u16, LatencySketch> {
+        &self.by_source
+    }
+
+    /// Latency sketch per target cube.
+    pub fn cube_sketches(&self) -> &BTreeMap<u8, LatencySketch> {
+        &self.by_cube
+    }
+
+    /// All completions merged into one sketch (merge order is the fixed
+    /// cube-id order, and sketch merging is order-independent anyway).
+    pub fn aggregate_sketch(&self) -> LatencySketch {
+        let mut all = LatencySketch::new();
+        for s in self.by_cube.values() {
+            all.merge(s);
+        }
+        all
+    }
+
+    /// `(p50, p99, p999)` round-trip picoseconds across all completions,
+    /// or `None` if nothing completed.
+    pub fn aggregate_tail_ps(&self) -> Option<[u64; 3]> {
+        tail_ps(&self.aggregate_sketch())
+    }
+
+    /// `(p50, p99, p999)` round-trip picoseconds for `sketch`-style maps:
+    /// a source's entry, or `None` if it completed nothing.
+    pub fn source_tail_ps(&self, source: u16) -> Option<[u64; 3]> {
+        tail_ps(self.by_source.get(&source)?)
+    }
+
+    /// `(p50, p99, p999)` for one cube.
+    pub fn cube_tail_ps(&self, cube: u8) -> Option<[u64; 3]> {
+        tail_ps(self.by_cube.get(&cube)?)
+    }
+
+    /// Whether the sampled packet tracer is active.
+    pub fn tracing(&self) -> bool {
+        self.tracer.enabled()
+    }
+
+    /// Completed packet-lifecycle slices captured so far.
+    pub fn traced_slices(&self) -> usize {
+        self.tracer.traced()
+    }
+
+    /// The sampled packet lifecycles as a Chrome `trace_event` JSON
+    /// document (see [`crate`] docs).
+    pub fn trace_json(&self) -> String {
+        self.tracer.to_chrome_json()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_counters_bucket_by_time() {
+        let mut h = Hub::new(HubConfig {
+            epoch: Delay::from_us(1),
+            trace_sample: None,
+        });
+        h.on_vault_service(0, 3, Time::from_ns(100));
+        h.on_vault_service(0, 3, Time::from_ns(200));
+        h.on_vault_service(0, 3, Time::from_us(2) + Delay::from_ns(1));
+        let s = &h.vault_services()[&(0, 3)];
+        assert_eq!(s.counts(), &[2, 0, 1]);
+        assert_eq!(s.total(), 3);
+        assert_eq!(s.get(7), 0);
+    }
+
+    #[test]
+    fn reset_window_reanchors_epochs() {
+        let mut h = Hub::new(HubConfig {
+            epoch: Delay::from_us(1),
+            trace_sample: None,
+        });
+        h.on_completion(0, 0, 500, 160, Time::from_ns(100));
+        h.reset_window(Time::from_us(10));
+        assert_eq!(h.epochs(), 0);
+        h.on_completion(1, 0, 700, 160, Time::from_us(10) + Delay::from_ns(50));
+        assert_eq!(h.completion_count().counts(), &[1]);
+        // Only the post-reset completion survives in the sketches.
+        assert_eq!(h.aggregate_sketch().count(), 1);
+        assert!(h.source_tail_ps(0).is_none());
+        assert_eq!(h.source_tail_ps(1), Some([700, 700, 700]));
+    }
+
+    #[test]
+    fn completions_feed_source_and_cube_sketches() {
+        let mut h = Hub::new(HubConfig::default());
+        h.on_completion(4, 1, 1000, 160, Time::from_ns(10));
+        h.on_completion(4, 2, 3000, 160, Time::from_ns(20));
+        h.on_completion(5, 1, 2000, 32, Time::from_ns(30));
+        assert_eq!(h.source_sketches()[&4].count(), 2);
+        assert_eq!(h.cube_sketches()[&1].count(), 2);
+        assert_eq!(h.aggregate_sketch().count(), 3);
+        let [p50, p99, p999] = h.cube_tail_ps(1).unwrap();
+        assert!(p50 <= p99 && p99 <= p999);
+        assert_eq!(h.completion_bytes().total(), 352);
+    }
+
+    #[test]
+    fn trace_round_trip_via_hub() {
+        let mut h = Hub::new(HubConfig {
+            epoch: Delay::from_us(1),
+            trace_sample: Some(1),
+        });
+        assert!(h.tracing());
+        h.on_trace_issue(0, 1, 0, Time::from_ns(5));
+        h.on_trace_mark(0, 1, Stage::VaultService, Time::from_ns(25));
+        h.on_trace_complete(0, 1, Time::from_ns(90));
+        assert_eq!(h.traced_slices(), 2);
+        hmc_stats::validate_json(&h.trace_json()).unwrap();
+    }
+}

@@ -1,0 +1,48 @@
+//! # hmc-telemetry
+//!
+//! Streaming observability for the `hmc-noc-sim` workspace. The paper's
+//! insights all come from *looking inside* the cube — per-vault bandwidth,
+//! link utilization, latency distributions under open- vs closed-loop load
+//! — but report-time aggregates can't show *when* a vault saturated or
+//! *which* source's tail collapsed. This crate adds three layers:
+//!
+//! 1. [`Probe`] — a cheap, cloneable handle threaded through every
+//!    simulator layer (`Port`, `HostModel`, `LinkTx`, `SwitchCore`,
+//!    `HmcDevice`). When detached ([`Probe::off`]) each event call is a
+//!    single branch on a `None`; the `off` cargo feature compiles even
+//!    that branch away.
+//! 2. [`Hub`] — the sink behind attached probes: per-vault / per-link
+//!    **epoch counters** (bandwidth and occupancy timelines) and
+//!    per-source / per-cube [`hmc_stats::LatencySketch`] quantile sketches
+//!    for streaming p50/p99/p999.
+//! 3. a **packet-lifecycle tracer** that samples every Nth issued request
+//!    and emits Chrome `trace_event` JSON ([`Hub::trace_json`]), one track
+//!    per component the packet crosses — open it in `chrome://tracing` or
+//!    Perfetto.
+//!
+//! Everything is deterministic: epoch indices derive from simulated time,
+//! sketches have a fixed bucket structure, and all maps iterate in key
+//! order, so telemetry output is byte-identical across runs and thread
+//! counts.
+//!
+//! ```
+//! use hmc_des::Time;
+//! use hmc_telemetry::{Hub, HubConfig, Probe};
+//!
+//! let hub = Hub::shared(HubConfig::default());
+//! let probe = Probe::attached(&hub);
+//! probe.completion(0, 0, 1_500_000, 160, Time::from_us(2));
+//! # #[cfg(not(feature = "off"))]
+//! assert_eq!(hub.borrow().aggregate_sketch().count(), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod hub;
+mod probe;
+mod trace;
+
+pub use hub::{EpochSeries, Hub, HubConfig, SharedHub};
+pub use probe::{LinkDir, Probe};
+pub use trace::Stage;

@@ -1,0 +1,189 @@
+//! The probe handle simulator components carry.
+
+use crate::hub::SharedHub;
+use crate::trace::Stage;
+use core::fmt;
+use hmc_des::Time;
+
+/// Which way a serialized link is pointing, from the host's perspective.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum LinkDir {
+    /// Host → device request traffic.
+    Request,
+    /// Device → host response traffic.
+    Response,
+    /// Cube-to-cube transit traffic (multi-cube fabrics).
+    Transit,
+}
+
+impl LinkDir {
+    /// Short label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            LinkDir::Request => "req",
+            LinkDir::Response => "resp",
+            LinkDir::Transit => "transit",
+        }
+    }
+}
+
+/// A cheap, cloneable telemetry handle. Components hold one and call the
+/// typed event methods unconditionally; a detached probe ([`Probe::off`],
+/// the default) reduces every call to a single `None` branch, and the
+/// crate's `off` feature compiles even that away (the struct becomes a
+/// zero-sized type with the same API).
+///
+/// Event methods take raw ids (`u8` cube/vault/link, `u16` port/tag) so
+/// leaf crates (`hmc-link`, `hmc-noc`) can feed events without depending
+/// on packet or topology types.
+#[derive(Clone, Default)]
+pub struct Probe {
+    #[cfg(not(feature = "off"))]
+    hub: Option<SharedHub>,
+}
+
+impl fmt::Debug for Probe {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Probe({})", if self.is_on() { "on" } else { "off" })
+    }
+}
+
+impl Probe {
+    /// A detached probe: every event call is a no-op.
+    pub fn off() -> Probe {
+        Probe::default()
+    }
+
+    /// A probe feeding `hub`. With the `off` feature this still compiles
+    /// but returns a detached probe.
+    pub fn attached(hub: &SharedHub) -> Probe {
+        #[cfg(not(feature = "off"))]
+        {
+            Probe {
+                hub: Some(hub.clone()),
+            }
+        }
+        #[cfg(feature = "off")]
+        {
+            let _ = hub;
+            Probe {}
+        }
+    }
+
+    /// Whether events reach a hub.
+    #[inline]
+    pub fn is_on(&self) -> bool {
+        #[cfg(not(feature = "off"))]
+        {
+            self.hub.is_some()
+        }
+        #[cfg(feature = "off")]
+        {
+            false
+        }
+    }
+
+    #[inline]
+    fn with(&self, f: impl FnOnce(&mut crate::Hub)) {
+        #[cfg(not(feature = "off"))]
+        if let Some(hub) = &self.hub {
+            f(&mut hub.borrow_mut());
+        }
+        #[cfg(feature = "off")]
+        {
+            let _ = f;
+        }
+    }
+
+    /// A request entered cube `cube`'s queue for `vault`.
+    #[inline]
+    pub fn request_enqueue(&self, cube: u8, vault: u8, now: Time) {
+        self.with(|h| h.on_enqueue(cube, vault, now));
+    }
+
+    /// A vault controller started DRAM service in `(cube, vault)`.
+    #[inline]
+    pub fn vault_service(&self, cube: u8, vault: u8, now: Time) {
+        self.with(|h| h.on_vault_service(cube, vault, now));
+    }
+
+    /// A serialized link committed `flits` flits at `now`.
+    #[inline]
+    pub fn link_flits(&self, cube: u8, link: u8, dir: LinkDir, flits: u32, now: Time) {
+        self.with(|h| h.on_link_flits(cube, link, dir, flits, now));
+    }
+
+    /// A switch granted a packet of `flits` flits in `cube`.
+    #[inline]
+    pub fn switch_forward(&self, cube: u8, flits: u32, now: Time) {
+        self.with(|h| h.on_switch_forward(cube, flits, now));
+    }
+
+    /// A request completed its round trip: `source` port, target `cube`,
+    /// measured `latency_ps`, `bytes` moved on the links.
+    #[inline]
+    pub fn completion(&self, source: u16, cube: u8, latency_ps: u64, bytes: u64, now: Time) {
+        self.with(|h| h.on_completion(source, cube, latency_ps, bytes, now));
+    }
+
+    /// Restart the measurement window (end of warmup): clears counters
+    /// and sketches, re-anchors epoch 0 at `now`.
+    #[inline]
+    pub fn reset_window(&self, now: Time) {
+        self.with(|h| h.reset_window(now));
+    }
+
+    /// A port issued `(port, tag)` toward `cube` — the tracer decides
+    /// whether this request is sampled.
+    #[inline]
+    pub fn trace_issue(&self, port: u16, tag: u16, cube: u8, now: Time) {
+        self.with(|h| h.on_trace_issue(port, tag, cube, now));
+    }
+
+    /// A sampled request reached `stage`.
+    #[inline]
+    pub fn trace_mark(&self, port: u16, tag: u16, stage: Stage, now: Time) {
+        self.with(|h| h.on_trace_mark(port, tag, stage, now));
+    }
+
+    /// A sampled request's response arrived back at its port.
+    #[inline]
+    pub fn trace_complete(&self, port: u16, tag: u16, now: Time) {
+        self.with(|h| h.on_trace_complete(port, tag, now));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Hub, HubConfig};
+
+    #[test]
+    fn detached_probe_is_inert() {
+        let p = Probe::off();
+        assert!(!p.is_on());
+        p.completion(0, 0, 100, 160, Time::ZERO);
+        p.vault_service(0, 0, Time::ZERO);
+        p.reset_window(Time::ZERO);
+    }
+
+    #[test]
+    fn attached_probe_feeds_the_hub() {
+        let hub = Hub::shared(HubConfig::default());
+        let p = Probe::attached(&hub);
+        let q = p.clone(); // clones share the hub
+        p.completion(2, 0, 1_000, 160, Time::from_ns(1));
+        q.completion(2, 0, 3_000, 160, Time::from_ns(2));
+        #[cfg(not(feature = "off"))]
+        {
+            assert!(p.is_on());
+            let h = hub.borrow();
+            assert_eq!(h.source_sketches()[&2].count(), 2);
+        }
+        #[cfg(feature = "off")]
+        {
+            assert!(!p.is_on());
+            assert_eq!(hub.borrow().aggregate_sketch().count(), 0);
+        }
+    }
+}
