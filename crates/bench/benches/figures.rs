@@ -17,6 +17,7 @@ fn ctx() -> ExpContext {
         scale: Scale::Smoke,
         seed: 2018,
         threads: 0,
+        domains: 1,
         stats: Default::default(),
     }
 }

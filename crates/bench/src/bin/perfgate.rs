@@ -39,7 +39,7 @@ use std::time::Instant;
 use hmc_sim::des::Delay;
 use hmc_sim::prelude::*;
 use hmc_sim::stats::{json_escape, json_f64};
-use hmc_sim::workloads::OffloadSource;
+use hmc_sim::workloads::{GlobalGupsSource, OffloadSource};
 
 /// One basket entry: a named, seeded, fixed-size workload.
 struct Case {
@@ -165,6 +165,49 @@ fn ext_offload(scale: Scale2, probe: Probe) -> (RunReport, hmc_sim::des::EngineS
     (report, sim.engine_stats())
 }
 
+/// The saturated 8-cube chain: nine 128 B read ports over an
+/// address-interleaved global window, so every port's stream spreads
+/// across all eight cubes and transit traffic loads every hop. The one
+/// basket workload large enough for the conservative-parallel domain
+/// scheduler — the `-d4` variant runs the *identical* workload split
+/// over four engine domains, so their signatures must match and the
+/// events/sec ratio is the parallel speedup (≈1 on a single hardware
+/// thread, where the domains time-slice one core).
+fn ext_intercube8(
+    scale: Scale2,
+    probe: Probe,
+    domains: usize,
+) -> (RunReport, hmc_sim::des::EngineStats) {
+    let cfg = FabricConfig::ac510(Topology::Chain, 8, 2018);
+    let fabric_map = FabricAddressMap::new(CubePolicy::Interleaved, 8, &cfg.cube.map);
+    let window = 1u64 << Address::BITS;
+    let spec = FabricPortSpec::from_source(
+        move |seed| {
+            Box::new(GlobalGupsSource::new(
+                GupsOp::Read(PayloadSize::B128),
+                window,
+                &fabric_map,
+                seed,
+            ))
+        },
+        CubeId::HOST,
+    )
+    .with_tags(hmc_sim::GUPS_TAGS)
+    .addressed(fabric_map);
+    let mut sim = FabricSim::with_telemetry(cfg, vec![spec; 9], probe).with_domains(domains);
+    let (warmup, measure) = scale.gups_windows();
+    let report = sim.run_gups(warmup, measure);
+    (report, sim.engine_stats())
+}
+
+fn ext_intercube8_serial(scale: Scale2, probe: Probe) -> (RunReport, hmc_sim::des::EngineStats) {
+    ext_intercube8(scale, probe, 1)
+}
+
+fn ext_intercube8_d4(scale: Scale2, probe: Probe) -> (RunReport, hmc_sim::des::EngineStats) {
+    ext_intercube8(scale, probe, 4)
+}
+
 const BASKET: &[Case] = &[
     Case {
         name: "fig6-low",
@@ -185,6 +228,14 @@ const BASKET: &[Case] = &[
     Case {
         name: "ext-offload",
         run: ext_offload,
+    },
+    Case {
+        name: "ext-intercube-8-sat",
+        run: ext_intercube8_serial,
+    },
+    Case {
+        name: "ext-intercube-8-sat-d4",
+        run: ext_intercube8_d4,
     },
 ];
 

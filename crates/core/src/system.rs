@@ -208,6 +208,15 @@ impl SystemSim {
         }
     }
 
+    /// Requests a parallel-domain budget (see [`FabricSim::with_domains`]).
+    /// A single-cube system always runs serially, so this is an API-parity
+    /// no-op kept so generic drivers can thread one `--domains` setting
+    /// through either simulator type.
+    pub fn with_domains(mut self, domains: usize) -> SystemSim {
+        self.inner = self.inner.with_domains(domains);
+        self
+    }
+
     /// Runs the GUPS firmware: every port generates random requests for
     /// `warmup + measure`, monitors reset after `warmup`, and the
     /// measurement freezes at the end while in-flight traffic drains.

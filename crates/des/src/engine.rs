@@ -8,6 +8,21 @@ use crate::inline;
 use crate::time::{Delay, Time};
 use crate::wheel::{Entry, EventQueue};
 
+/// The high bit that marks an explicitly *keyed* event sequence number
+/// (see [`Ctx::send_keyed_at`]).
+///
+/// Ordinary pushes draw their tie-break sequence from a monotone per-engine
+/// counter starting at zero, so every ordinary sequence number is far below
+/// `2^63` in any realistic run. Keyed events carry a caller-chosen sequence
+/// with this bit set, which gives two guarantees at equal timestamps:
+/// keyed events sort **after** every ordinary event, and keyed events sort
+/// among themselves in **key order** — independent of push order and of
+/// which engine they were pushed into. That push-order independence is what
+/// lets a partitioned (multi-engine) simulation inject cross-partition
+/// events at synchronization barriers and still dispatch in exactly the
+/// order the single-engine run would have used.
+pub const KEYED_EVENT_BIT: u64 = 1 << 63;
+
 /// Identifies a component registered with an [`Engine`].
 ///
 /// Ids are dense indices assigned in registration order, which makes wiring
@@ -147,9 +162,23 @@ impl<M> EngineCore<M> {
         debug_assert!(time >= self.time, "cannot schedule into the past");
         let seq = self.seq;
         self.seq += 1;
+        debug_assert!(seq < KEYED_EVENT_BIT, "ordinary sequence space exhausted");
         self.queue.push(Entry {
             time,
             seq,
+            item: Scheduled { target, kind },
+        });
+    }
+
+    /// Pushes an event whose tie-break sequence is the caller-chosen `key`
+    /// (bit 63 set; see [`KEYED_EVENT_BIT`]). Does not consume an ordinary
+    /// sequence number, so keyed pushes leave ordinary FIFO order intact.
+    fn push_keyed(&mut self, time: Time, target: ComponentId, key: u64, kind: EventKind<M>) {
+        debug_assert!(time >= self.time, "cannot schedule into the past");
+        debug_assert!(key >= KEYED_EVENT_BIT, "keys carry KEYED_EVENT_BIT");
+        self.queue.push(Entry {
+            time,
+            seq: key,
             item: Scheduled { target, kind },
         });
     }
@@ -239,6 +268,25 @@ impl<'a, M> Ctx<'a, M> {
     #[inline]
     pub fn send_at(&mut self, at: Time, to: ComponentId, msg: M) {
         self.core.push(at, to, EventKind::Msg(msg));
+    }
+
+    /// Schedules `msg` for delivery to `to` at the absolute instant `at`
+    /// with an explicit tie-break `key` instead of the engine's FIFO
+    /// counter (see [`KEYED_EVENT_BIT`]).
+    ///
+    /// At equal timestamps a keyed event is delivered after every
+    /// FIFO-ordered event and keyed events are delivered in ascending key
+    /// order, regardless of push order. Callers own key uniqueness; a
+    /// duplicate `(at, key)` pair leaves the relative order of the two
+    /// duplicates unspecified.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `at` is in the past or `key` lacks
+    /// [`KEYED_EVENT_BIT`].
+    #[inline]
+    pub fn send_keyed_at(&mut self, at: Time, to: ComponentId, key: u64, msg: M) {
+        self.core.push_keyed(at, to, key, EventKind::Msg(msg));
     }
 
     /// Arms a timer: the current component's [`Component::on_wake`] runs at
@@ -340,6 +388,10 @@ pub struct Engine<M> {
     names: Vec<String>,
     /// [`inline::spill_allocs`] at creation; `stats()` reports the delta.
     spill_baseline: u64,
+    /// Timestamp of the most recently dispatched event ([`Time::ZERO`]
+    /// before any dispatch). Unlike [`Engine::now`], never dragged forward
+    /// by a finite [`Engine::run_until`] horizon.
+    last_dispatched: Time,
 }
 
 impl<M> Default for Engine<M> {
@@ -374,6 +426,7 @@ impl<M> Engine<M> {
             components: Vec::with_capacity(components),
             names: Vec::with_capacity(components),
             spill_baseline: inline::spill_allocs(),
+            last_dispatched: Time::ZERO,
         }
     }
 
@@ -409,6 +462,37 @@ impl<M> Engine<M> {
     pub fn schedule_after(&mut self, delay: Delay, to: ComponentId, msg: M) {
         let at = self.core.time + delay;
         self.core.push(at, to, EventKind::Msg(msg));
+    }
+
+    /// Schedules `msg` at `at` with an explicit tie-break key (the engine
+    /// entry point of [`Ctx::send_keyed_at`]; same ordering contract).
+    /// Used to inject cross-partition events at synchronization barriers:
+    /// injection order does not matter, the key decides.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `at` is before the current time or `key`
+    /// lacks [`KEYED_EVENT_BIT`].
+    pub fn schedule_keyed(&mut self, at: Time, to: ComponentId, key: u64, msg: M) {
+        self.core.push_keyed(at, to, key, EventKind::Msg(msg));
+    }
+
+    /// The timestamp of the earliest queued event, or `None` when the
+    /// queue is empty. Cancelled-but-unreaped timers are counted (their
+    /// entries still surface, silently), so the reported bound is
+    /// conservative: the next *observable* dispatch is at or after it.
+    pub fn next_event_time(&mut self) -> Option<Time> {
+        self.core.queue.peek_time()
+    }
+
+    /// The timestamp of the most recently dispatched event, or
+    /// [`Time::ZERO`] if nothing was dispatched. Unlike [`Engine::now`],
+    /// a finite [`Engine::run_until`] horizon never drags this forward,
+    /// so it answers "when did the simulation last do real work" even
+    /// under windowed execution.
+    #[inline]
+    pub fn last_dispatched_at(&self) -> Time {
+        self.last_dispatched
     }
 
     /// Runs until the queue is empty. Returns the number of events
@@ -459,6 +543,7 @@ impl<M> Engine<M> {
             };
             debug_assert!(ev.time >= self.core.time, "event queue went backwards");
             self.core.time = ev.time;
+            self.last_dispatched = ev.time;
             self.core.dispatched += 1;
             let slot = ev.item.target.index();
             let mut component = self.components[slot]
@@ -636,6 +721,95 @@ mod tests {
         // A finite horizon, by contrast, always advances the clock.
         assert_eq!(e.run_until(Time::from_ns(3)), 0);
         assert_eq!(e.now(), Time::from_ns(3));
+    }
+
+    #[test]
+    fn keyed_events_sort_after_fifo_and_in_key_order() {
+        let mut e: Engine<u32> = Engine::new();
+        let id = e.add_component(Box::new(Counter { hits: vec![] }));
+        let t = Time::from_ps(50);
+        // Keys pushed in descending order, interleaved with FIFO pushes:
+        // dispatch must be FIFO events first, then ascending key order.
+        e.schedule_keyed(t, id, KEYED_EVENT_BIT | 30, 103);
+        e.schedule(t, id, 1);
+        e.schedule_keyed(t, id, KEYED_EVENT_BIT | 10, 101);
+        e.schedule(t, id, 2);
+        e.schedule_keyed(t, id, KEYED_EVENT_BIT | 20, 102);
+        e.run_to_quiescence();
+        let c = e.component::<Counter>(id).unwrap();
+        let payloads: Vec<u32> = c.hits.iter().map(|&(_, m)| m).collect();
+        assert_eq!(payloads, vec![1, 2, 101, 102, 103]);
+    }
+
+    #[test]
+    fn keyed_order_is_push_order_independent() {
+        // The same (time, key) set pushed in two different orders, split
+        // across engine/ctx entry points, dispatches identically.
+        let run = |flip: bool| {
+            let mut e: Engine<u32> = Engine::new();
+            let id = e.add_component(Box::new(Counter { hits: vec![] }));
+            let keys = [7u64, 3, 9, 1];
+            let order: Vec<u64> = if flip {
+                keys.iter().rev().copied().collect()
+            } else {
+                keys.to_vec()
+            };
+            for k in order {
+                e.schedule_keyed(Time::from_ns(1), id, KEYED_EVENT_BIT | k, k as u32);
+            }
+            e.run_to_quiescence();
+            e.component::<Counter>(id).unwrap().hits.clone()
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn keyed_pushes_leave_fifo_sequence_untouched() {
+        // A keyed push between two ordinary pushes must not perturb their
+        // FIFO tie-break (keyed pushes consume no ordinary sequence).
+        let mut e: Engine<u32> = Engine::new();
+        let id = e.add_component(Box::new(Counter { hits: vec![] }));
+        e.schedule(Time::from_ps(5), id, 1);
+        e.schedule_keyed(Time::from_ps(5), id, KEYED_EVENT_BIT | 1, 99);
+        e.schedule(Time::from_ps(5), id, 2);
+        e.run_to_quiescence();
+        let c = e.component::<Counter>(id).unwrap();
+        let payloads: Vec<u32> = c.hits.iter().map(|&(_, m)| m).collect();
+        assert_eq!(payloads, vec![1, 2, 99]);
+    }
+
+    #[test]
+    fn next_event_time_reports_the_head() {
+        let mut e: Engine<u32> = Engine::new();
+        let id = e.add_component(Box::new(Counter { hits: vec![] }));
+        assert_eq!(e.next_event_time(), None);
+        e.schedule(Time::from_ns(4), id, 0);
+        e.schedule(Time::from_ns(2), id, 0);
+        assert_eq!(e.next_event_time(), Some(Time::from_ns(2)));
+        e.run_until(Time::from_ns(3));
+        assert_eq!(e.next_event_time(), Some(Time::from_ns(4)));
+        e.run_to_quiescence();
+        assert_eq!(e.next_event_time(), None);
+    }
+
+    #[test]
+    fn last_dispatched_ignores_horizon_drag() {
+        let mut e: Engine<u32> = Engine::new();
+        let id = e.add_component(Box::new(Counter { hits: vec![] }));
+        e.schedule(Time::from_ns(2), id, 0);
+        e.run_until(Time::from_ns(10));
+        assert_eq!(e.now(), Time::from_ns(10), "finite horizon drags the clock");
+        assert_eq!(
+            e.last_dispatched_at(),
+            Time::from_ns(2),
+            "last dispatch is the real work timestamp"
+        );
+        e.run_until(Time::from_ns(20));
+        assert_eq!(
+            e.last_dispatched_at(),
+            Time::from_ns(2),
+            "idle windows change nothing"
+        );
     }
 
     /// Arms a wake on the first message; records fires.

@@ -67,7 +67,9 @@ mod time;
 pub mod wake;
 mod wheel;
 
-pub use engine::{AsAnyComponent, Component, ComponentId, Ctx, Engine, EngineStats, WakeToken};
+pub use engine::{
+    AsAnyComponent, Component, ComponentId, Ctx, Engine, EngineStats, WakeToken, KEYED_EVENT_BIT,
+};
 pub use inline::InlineVec;
 pub use time::{Delay, Time};
 pub use wake::{AutoWake, Clocked};

@@ -1,7 +1,7 @@
 //! `repro` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! repro [--full] [--json] [--seed N] [--threads N] [--out DIR] <experiment...|all|--list>
+//! repro [--full] [--json] [--seed N] [--threads N] [--domains N] [--out DIR] <experiment...|all|--list>
 //! ```
 //!
 //! By default each experiment's tables print as ASCII. With `--json` the
@@ -23,6 +23,9 @@ struct Args {
     /// Worker threads for parallel sweeps (`0` = all cores). Results are
     /// thread-count-invariant; this only trades wall-clock for cores.
     threads: usize,
+    /// Engine domains per multi-cube simulation (`1` = serial). Results
+    /// are domain-count-invariant; the CI determinism smoke diffs them.
+    domains: usize,
     out: Option<PathBuf>,
     names: Vec<String>,
     list: bool,
@@ -40,6 +43,7 @@ fn parse_args() -> Result<Args, String> {
         scale: Scale::Quick,
         seed: 2018,
         threads: 0,
+        domains: 1,
         out: None,
         names: Vec::new(),
         list: false,
@@ -73,6 +77,13 @@ fn parse_args() -> Result<Args, String> {
                 let v = it.next().ok_or("--threads needs a value")?;
                 args.threads = v.parse().map_err(|e| format!("bad thread count: {e}"))?;
             }
+            "--domains" => {
+                let v = it.next().ok_or("--domains needs a value")?;
+                args.domains = v.parse().map_err(|e| format!("bad domain count: {e}"))?;
+                if args.domains == 0 {
+                    return Err("--domains must be >= 1".to_owned());
+                }
+            }
             "--out" => {
                 let v = it.next().ok_or("--out needs a directory")?;
                 args.out = Some(PathBuf::from(v));
@@ -104,13 +115,17 @@ fn parse_args() -> Result<Args, String> {
 
 fn usage() {
     eprintln!(
-        "usage: repro [--full] [--json] [--seed N] [--threads N] [--out DIR] \
+        "usage: repro [--full] [--json] [--seed N] [--threads N] [--domains N] [--out DIR] \
          [--trace-out PATH [--trace-sample N]] <experiment...|all|--list>"
     );
     eprintln!("       repro --validate-json PATH");
     eprintln!("experiments: {}", EXPERIMENTS.join(" "));
     eprintln!("aliases: fig10 fig11 fig12 (one combined sweep)");
     eprintln!("--threads N: worker threads for sweeps (0 = all cores; results are identical)");
+    eprintln!(
+        "--domains N: conservative-parallel engine domains per multi-cube simulation \
+         (default 1 = serial; results are identical)"
+    );
     eprintln!(
         "--trace-out PATH: export one designated traced run as Chrome trace_event JSON \
          (open in chrome://tracing or Perfetto); --trace-sample N traces every Nth request \
@@ -216,6 +231,7 @@ fn main() -> ExitCode {
         scale: args.scale,
         seed: args.seed,
         threads: args.threads,
+        domains: args.domains,
         stats: Default::default(),
     };
     if let Some(dir) = &args.out {

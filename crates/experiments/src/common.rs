@@ -83,6 +83,12 @@ pub struct ExpContext {
     /// after the parallel section — the determinism regressions run the
     /// same sweep at different widths and diff the rendered output.
     pub threads: usize,
+    /// Engine-domain budget for each *single* multi-cube simulation
+    /// (`FabricSim::with_domains`); `1` — the default — runs every
+    /// simulation serially. Reports are domain-count-invariant, which
+    /// the determinism regressions check by diffing rendered output
+    /// across settings.
+    pub domains: usize,
     /// Event-engine counter tally every run helper records into; shared
     /// across clones of this context so sweep jobs all feed one sink.
     pub stats: Arc<EngineTally>,
@@ -95,6 +101,7 @@ impl ExpContext {
             scale: Scale::Quick,
             seed,
             threads: 0,
+            domains: 1,
             stats: Arc::default(),
         }
     }
@@ -105,6 +112,7 @@ impl ExpContext {
             scale: Scale::Full,
             seed,
             threads: 0,
+            domains: 1,
             stats: Arc::default(),
         }
     }

@@ -133,6 +133,7 @@ mod tests {
             scale: Scale::Smoke,
             seed: 20,
             threads: 0,
+            domains: 1,
             stats: Default::default(),
         };
         let table = ddr_comparison(&ctx);
@@ -149,6 +150,7 @@ mod tests {
             scale: Scale::Smoke,
             seed: 21,
             threads: 0,
+            domains: 1,
             stats: Default::default(),
         };
         let points = rw_mix(&ctx);

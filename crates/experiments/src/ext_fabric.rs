@@ -64,7 +64,8 @@ pub fn chain_for_lengths(ctx: &ExpContext, lengths: Vec<u8>) -> Vec<ChainPoint> 
             1,
             ctx.seed_for("ext-chain-unloaded", u64::from(n)),
         );
-        let mut sim = FabricSim::new(cfg, vec![FabricPortSpec::stream(trace, far)]);
+        let mut sim =
+            FabricSim::new(cfg, vec![FabricPortSpec::stream(trace, far)]).with_domains(ctx.domains);
         let unloaded = sim.run_streams().mean_latency_ns();
         ctx.stats.record(&sim.engine_stats());
 
@@ -72,7 +73,7 @@ pub fn chain_for_lengths(ctx: &ExpContext, lengths: Vec<u8>) -> Vec<ChainPoint> 
         let cfg = mk();
         let filter = AccessPattern::Vaults { count: 16 }.filter(&cfg.cube.map);
         let specs = vec![FabricPortSpec::gups(filter, GupsOp::Read(PayloadSize::B128), far); 9];
-        let mut sim = FabricSim::new(cfg, specs);
+        let mut sim = FabricSim::new(cfg, specs).with_domains(ctx.domains);
         let report = sim.run_gups(ctx.gups_warmup(), ctx.gups_measure());
         ctx.stats.record(&sim.engine_stats());
 
@@ -144,7 +145,8 @@ pub fn star(ctx: &ExpContext) -> Vec<StarPoint> {
             1,
             ctx2.seed_for("ext-star-unloaded", u64::from(c)),
         );
-        let mut sim = FabricSim::new(cfg, vec![FabricPortSpec::stream(trace, CubeId(c))]);
+        let mut sim = FabricSim::new(cfg, vec![FabricPortSpec::stream(trace, CubeId(c))])
+            .with_domains(ctx2.domains);
         let unloaded = sim.run_streams().mean_latency_ns();
         ctx2.stats.record(&sim.engine_stats());
         unloaded
@@ -158,7 +160,7 @@ pub fn star(ctx: &ExpContext) -> Vec<StarPoint> {
             vec![FabricPortSpec::gups(filter, GupsOp::Read(PayloadSize::B128), CubeId(c)); 2]
         })
         .collect();
-    let mut sim = FabricSim::new(cfg, specs);
+    let mut sim = FabricSim::new(cfg, specs).with_domains(ctx.domains);
     let report = sim.run_gups(ctx.gups_warmup(), ctx.gups_measure());
     ctx.stats.record(&sim.engine_stats());
 
@@ -204,6 +206,7 @@ mod tests {
             scale: Scale::Smoke,
             seed: 30,
             threads: 0,
+            domains: 1,
             stats: Default::default(),
         };
         let points = chain(&ctx);
@@ -236,6 +239,7 @@ mod tests {
             scale: Scale::Smoke,
             seed: 2018,
             threads: 0,
+            domains: 1,
             stats: Default::default(),
         };
         let a = chain_table(&chain_for_lengths(&ctx, vec![4])).to_json();
@@ -250,6 +254,7 @@ mod tests {
             scale: Scale::Smoke,
             seed: 31,
             threads: 0,
+            domains: 1,
             stats: Default::default(),
         };
         let points = star(&ctx);

@@ -93,7 +93,7 @@ fn run_point(
     .with_tags(hmc_sim::GUPS_TAGS)
     .addressed(fabric_map);
     let specs = vec![spec; port_count(ctx)];
-    let mut sim = FabricSim::new(cfg, specs);
+    let mut sim = FabricSim::new(cfg, specs).with_domains(ctx.domains);
     let report = sim.run_gups(ctx.gups_warmup(), ctx.gups_measure());
     ctx.stats.record(&sim.engine_stats());
     let total: u64 = (0..8).map(|c| report.cube_completions(CubeId(c))).sum();
@@ -162,6 +162,7 @@ mod tests {
             scale: Scale::Smoke,
             seed: 2018,
             threads: 0,
+            domains: 1,
             stats: Default::default(),
         }
     }
@@ -216,6 +217,7 @@ mod tests {
                 scale: Scale::Smoke,
                 seed: 2018,
                 threads,
+                domains: 1,
                 stats: Default::default(),
             };
             table(&run(&ctx)).to_json()

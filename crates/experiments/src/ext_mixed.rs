@@ -89,7 +89,7 @@ pub fn run(ctx: &ExpContext) -> Vec<MixedPoint> {
             );
             bg
         ]);
-        let mut sim = FabricSim::new(cfg, specs);
+        let mut sim = FabricSim::new(cfg, specs).with_domains(ctx2.domains);
         let report = sim.run_gups(ctx2.gups_warmup(), ctx2.gups_measure());
         ctx2.stats.record(&sim.engine_stats());
         let mut point = MixedPoint {
@@ -146,6 +146,7 @@ mod tests {
             scale: Scale::Smoke,
             seed: 2018,
             threads: 0,
+            domains: 1,
             stats: Default::default(),
         }
     }
@@ -180,6 +181,7 @@ mod tests {
                 scale: Scale::Smoke,
                 seed: 2018,
                 threads,
+                domains: 1,
                 stats: Default::default(),
             };
             table(&run(&ctx)).to_json()

@@ -108,7 +108,8 @@ pub fn chain(ctx: &ExpContext) -> Vec<OffloadPoint> {
         let cfg = FabricConfig::chain(ctx.seed_for("ext-offload-chain", u64::from(n)), n);
         let map = cfg.cube.map;
         let far = CubeId(n - 1);
-        let mut sim = FabricSim::new(cfg, vec![offload_spec(map, far, blocks, DEFAULT_WINDOW)]);
+        let mut sim = FabricSim::new(cfg, vec![offload_spec(map, far, blocks, DEFAULT_WINDOW)])
+            .with_domains(ctx.domains);
         let report = sim.run_streams();
         ctx.stats.record(&sim.engine_stats());
         point_from(&report, n - 1, u32::from(n - 1), DEFAULT_WINDOW, blocks)
@@ -129,7 +130,8 @@ pub fn star(ctx: &ExpContext) -> Vec<OffloadPoint> {
         let mut sim = FabricSim::new(
             cfg,
             vec![offload_spec(map, CubeId(c), blocks, DEFAULT_WINDOW)],
-        );
+        )
+        .with_domains(ctx.domains);
         let report = sim.run_streams();
         ctx.stats.record(&sim.engine_stats());
         point_from(&report, c, hops, DEFAULT_WINDOW, blocks)
@@ -155,7 +157,8 @@ pub fn windows(ctx: &ExpContext) -> Vec<OffloadPoint> {
             ctx.seed_for("ext-offload-window", u64::from(w)),
         );
         let map = cfg.cube.map;
-        let mut sim = FabricSim::new(cfg, vec![offload_spec(map, CubeId(0), blocks, w)]);
+        let mut sim = FabricSim::new(cfg, vec![offload_spec(map, CubeId(0), blocks, w)])
+            .with_domains(ctx.domains);
         let report = sim.run_streams();
         ctx.stats.record(&sim.engine_stats());
         point_from(&report, 0, 0, w, blocks)
@@ -199,6 +202,7 @@ mod tests {
             scale: Scale::Smoke,
             seed: 33,
             threads: 0,
+            domains: 1,
             stats: Default::default(),
         }
     }

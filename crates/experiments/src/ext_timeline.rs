@@ -213,6 +213,7 @@ mod tests {
             scale: Scale::Smoke,
             seed: 77,
             threads,
+            domains: 1,
             stats: Default::default(),
         }
     }

@@ -175,6 +175,7 @@ mod tests {
             scale: Scale::Smoke,
             seed: 10,
             threads: 0,
+            domains: 1,
             stats: Default::default(),
         }
     }

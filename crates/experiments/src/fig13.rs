@@ -86,6 +86,7 @@ mod tests {
             scale: Scale::Smoke,
             seed: 13,
             threads: 0,
+            domains: 1,
             stats: Default::default(),
         };
         // Run just the patterns the assertions need, at 3 port counts, by

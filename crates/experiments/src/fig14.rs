@@ -116,6 +116,7 @@ mod tests {
             scale: Scale::Smoke,
             seed: 14,
             threads: 0,
+            domains: 1,
             stats: Default::default(),
         };
         let points = run(&ctx);

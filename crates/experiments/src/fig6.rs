@@ -70,6 +70,7 @@ mod tests {
             scale: Scale::Smoke,
             seed: 42,
             threads: 0,
+            domains: 1,
             stats: Default::default(),
         };
         let point = |pattern: AccessPattern, bytes: u32| {

@@ -94,6 +94,7 @@ mod tests {
             scale: Scale::Smoke,
             seed: 7,
             threads: 0,
+            domains: 1,
             stats: Default::default(),
         };
         let points = run(&ctx, 55);
@@ -126,6 +127,7 @@ mod tests {
             scale: Scale::Smoke,
             seed: 8,
             threads: 0,
+            domains: 1,
             stats: Default::default(),
         };
         let points = run(&ctx, 350);

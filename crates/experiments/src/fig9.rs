@@ -109,6 +109,7 @@ mod tests {
             scale: Scale::Quick,
             seed: 9,
             threads: 0,
+            domains: 1,
             stats: Default::default(),
         };
         let pinned = 5;

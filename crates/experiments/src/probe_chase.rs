@@ -71,7 +71,7 @@ pub fn chain_with_threads(ctx: &ExpContext, threads: usize) -> Vec<ChainChasePoi
             },
             far,
         );
-        let mut sim = FabricSim::new(cfg, vec![spec]);
+        let mut sim = FabricSim::new(cfg, vec![spec]).with_domains(ctx.domains);
         let report = sim.run_streams();
         ctx.stats.record(&sim.engine_stats());
         ChainChasePoint {
@@ -175,6 +175,7 @@ mod tests {
             scale: Scale::Smoke,
             seed: 2018,
             threads: 0,
+            domains: 1,
             stats: Default::default(),
         }
     }

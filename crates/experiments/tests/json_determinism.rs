@@ -31,6 +31,7 @@ fn fig6_json_is_byte_identical_across_in_process_reruns() {
         scale: Scale::Smoke,
         seed: 2018,
         threads: 0,
+        domains: 1,
         stats: Default::default(),
     };
     let cold = render_json("fig6", &ctx);
@@ -50,6 +51,7 @@ fn thread_count_does_not_affect_results() {
         scale: Scale::Smoke,
         seed: 2018,
         threads,
+        domains: 1,
         stats: Default::default(),
     };
     let serial = render_json("fig6", &ctx(1));
@@ -68,6 +70,7 @@ fn timeline_percentile_rows_are_thread_invariant() {
         scale: Scale::Smoke,
         seed: 2018,
         threads,
+        domains: 1,
         stats: Default::default(),
     };
     let serial = render_json("ext-timeline", &ctx(1));

@@ -234,6 +234,18 @@ impl FabricConfig {
         RouteTable::for_topology(self.topology, self.cube_count)
     }
 
+    /// The conservative-parallelism lookahead of one fabric edge: the
+    /// minimum latency any cube-to-cube message pays crossing it. Both
+    /// packet deliveries and link-token returns ride the cube-to-cube
+    /// SerDes, so this is the hop link's SerDes latency. The domain
+    /// scheduler ([`FabricSim::with_domains`](crate::FabricSim::with_domains))
+    /// lets a domain run this far past its neighbors' earliest pending
+    /// events per fabric hop of separation; a zero lookahead (degenerate
+    /// tunings only) forces serial execution.
+    pub fn lookahead(&self) -> Delay {
+        self.hop.link.serdes_latency
+    }
+
     /// Validates the configuration.
     ///
     /// # Errors

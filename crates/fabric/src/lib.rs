@@ -43,6 +43,7 @@
 #![warn(missing_docs)]
 
 mod config;
+mod domain;
 mod report;
 mod route;
 mod sim;

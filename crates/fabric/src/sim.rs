@@ -15,18 +15,41 @@
 //! With `cube_count == 1` the component graph is exactly the single-cube
 //! system (host wired straight to the device, no pass-through stage), so
 //! single-cube results are unchanged by the fabric machinery.
+//!
+//! # Parallel domains
+//!
+//! [`FabricSim::with_domains`] partitions the cubes into contiguous
+//! engine *domains* that advance concurrently under conservative
+//! lookahead: every cube-to-cube message (packet deliveries *and* link
+//! token returns) crosses its edge with at least the fabric SerDes
+//! latency `L` ([`FabricConfig::lookahead`]), so a domain may safely
+//! simulate `L` per hop beyond its neighbors' earliest pending events
+//! (see [`crate::domain`]). Cross-domain messages travel as timestamped
+//! envelopes over channels and are injected as *keyed* events whose
+//! ordering key — a per-edge channel id plus a per-channel sequence —
+//! is identical in serial and parallel schedules, which is what makes
+//! the run report byte-identical for every `--domains` setting.
 
-use hmc_des::{AutoWake, Component, ComponentId, Ctx, Delay, Engine, EngineStats, Time, WakeToken};
-use hmc_device::{DeviceConfig, DeviceOutput, HmcDevice};
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+
+use hmc_des::{
+    AutoWake, Component, ComponentId, Ctx, Delay, Engine, EngineStats, Time, WakeToken,
+    KEYED_EVENT_BIT,
+};
+use hmc_device::{DeviceConfig, DeviceOutput, DeviceStats, HmcDevice};
 use hmc_host::{HostConfig, HostEvent, HostEvents, HostModel, Port};
 use hmc_link::{Deliveries, LinkConfig, LinkTx, LinkWidth};
 use hmc_mapping::CubeTargeting;
 use hmc_noc::{Departures, SwitchConfig, SwitchCore, SwitchEntry};
 use hmc_packet::{LinkId, PortId, RequestPacket, ResponsePacket};
-use hmc_telemetry::{LinkDir, Probe, Stage};
+use hmc_telemetry::{Hub, HubConfig, LinkDir, Probe, Stage};
 use hmc_workloads::{source_factory, GupsSource, SourceFactory, TraceReplay, TrafficSource};
 
 use crate::config::{CubeId, FabricConfig};
+use crate::domain::{horizon, BarrierPoisoned, DomainPlan, PhaseBarrier};
 use crate::report::{CubeReport, PortReport, RunReport, TransitStats};
 use crate::route::RouteTable;
 
@@ -189,6 +212,83 @@ enum Msg {
     AdapterCredits { output: usize, flits: u32 },
     /// Link tokens returned to the serializer behind `port`.
     AdapterLinkTokens { port: usize, flits: u32 },
+    /// Re-anchor this stage's telemetry window (end of GUPS warmup).
+    /// Scheduled for every pass-through stage so each engine domain's
+    /// telemetry shard resets even when the host lives elsewhere.
+    AdapterResetWindow,
+}
+
+/// A cross-domain message captured at the sending edge: the absolute
+/// delivery time, the canonical ordering key and the payload. Injected
+/// into the receiving domain's engine between window rounds.
+struct Envelope {
+    at: Time,
+    key: u64,
+    msg: Msg,
+}
+
+/// The staging buffer one remote edge drains into; the window loop moves
+/// its contents onto the edge's channel after each `run_until`.
+type Outbox = Rc<RefCell<Vec<Envelope>>>;
+
+/// A domain's inbound channels, each tagged with the sending cube whose
+/// adapter the delivered envelopes address.
+type Inboxes = Vec<(usize, Receiver<Envelope>)>;
+
+/// Where a fabric edge's messages go: straight into the shared engine
+/// (serial, or a neighbor in the same domain) or into an outbox bound for
+/// another domain's engine.
+enum EdgeWire {
+    Local(ComponentId),
+    Remote(Outbox),
+}
+
+impl EdgeWire {
+    fn send(&self, ctx: &mut Ctx<'_, Msg>, at: Time, key: u64, msg: Msg) {
+        match self {
+            EdgeWire::Local(to) => ctx.send_keyed_at(at, *to, key, msg),
+            EdgeWire::Remote(outbox) => outbox.borrow_mut().push(Envelope { at, key, msg }),
+        }
+    }
+}
+
+/// Builds a keyed-event ordering key: bit 63 selects the keyed band (at
+/// equal timestamps keyed events sort after all plain events, in key
+/// order), bits 62..40 the channel, bits 39..0 the per-channel sequence.
+/// Because the key — not push order — decides ties, a message injected
+/// from another domain sorts exactly where the serial schedule would have
+/// pushed it.
+fn keyed(chan: u64, seq: &mut u64) -> u64 {
+    let s = *seq;
+    *seq += 1;
+    debug_assert!(s < 1 << 40, "per-channel sequence overflow");
+    debug_assert!(chan < 1 << 23, "channel id overflows the key layout");
+    KEYED_EVENT_BIT | (chan << 40) | s
+}
+
+/// One directed fabric edge as seen by its sending pass-through stage:
+/// the wire (local engine or cross-domain outbox), the crossbar input
+/// port on the peer, and the two keyed channels — packet arrivals and
+/// link-token returns — with their monotone sequences. The channel ids
+/// derive from the global edge index, so serial and parallel schedules
+/// generate identical keys.
+struct EdgeCtl {
+    wire: EdgeWire,
+    peer_port: usize,
+    arrive_chan: u64,
+    tokens_chan: u64,
+    arrive_seq: u64,
+    tokens_seq: u64,
+}
+
+impl EdgeCtl {
+    fn next_arrive_key(&mut self) -> u64 {
+        keyed(self.arrive_chan, &mut self.arrive_seq)
+    }
+
+    fn next_tokens_key(&mut self) -> u64 {
+        keyed(self.tokens_chan, &mut self.tokens_seq)
+    }
 }
 
 /// How a run terminates.
@@ -198,6 +298,13 @@ enum RunMode {
     GupsUntil(Time),
     /// Stream ports tick until every trace is issued and answered.
     Stream,
+}
+
+/// What [`FabricSim::execute`] is asked to run.
+#[derive(Debug, Clone, Copy)]
+enum RunKind {
+    Gups { warmup: Delay, measure: Delay },
+    Streams,
 }
 
 /// Where the host's request traffic goes.
@@ -353,6 +460,7 @@ impl Component<Msg> for HostComp {
 }
 
 /// Where a device's upstream traffic (responses, freed tokens) goes.
+#[derive(Clone, Copy)]
 enum Upstream {
     /// Single cube: straight back to the host.
     Host(ComponentId),
@@ -363,7 +471,9 @@ enum Upstream {
 
 struct DeviceComp {
     device: HmcDevice,
-    up: Upstream,
+    /// Wired after construction (the pass-through stage is built later in
+    /// the same domain) and before the first message can arrive.
+    up: Option<Upstream>,
     /// Armed at the device's next internal deadline (bank timers, switch
     /// busy intervals); disarmed while the device is drained.
     wake: AutoWake,
@@ -374,9 +484,10 @@ impl DeviceComp {
     /// timer at the next internal deadline.
     fn service(&mut self, ctx: &mut Ctx<'_, Msg>) {
         let now = ctx.now();
+        let up = self.up.expect("device wired before first message");
         for out in self.device.advance(now) {
             match *out {
-                DeviceOutput::Response { link, pkt, at } => match self.up {
+                DeviceOutput::Response { link, pkt, at } => match up {
                     Upstream::Host(host) => {
                         ctx.send_at(at, host, Msg::HostResponse { link, pkt });
                     }
@@ -396,7 +507,7 @@ impl DeviceComp {
                         );
                     }
                 },
-                DeviceOutput::RequestTokens { link, flits } => match self.up {
+                DeviceOutput::RequestTokens { link, flits } => match up {
                     Upstream::Host(host) => {
                         ctx.send(Delay::ZERO, host, Msg::ReturnRequestTokens { link, flits });
                     }
@@ -501,16 +612,6 @@ impl AdapterLayout {
     }
 }
 
-/// The far end of one fabric edge.
-#[derive(Debug, Clone, Copy)]
-struct FabricEdge {
-    /// The neighboring cube's pass-through component.
-    peer: ComponentId,
-    /// The crossbar input port on the peer that this edge's serializer
-    /// delivers into (and whose drain returns our link tokens).
-    peer_port: usize,
-}
-
 /// One cube's pass-through stage: the link-layer crossbar that joins the
 /// local device, the cube-to-cube links and (on cube 0) the host links.
 struct AdapterComp {
@@ -522,9 +623,23 @@ struct AdapterComp {
     /// ports, whose receiver is the device's own link input buffer).
     tx: Vec<Option<LinkTx<TransitMsg>>>,
     /// Fabric edge wiring per port (`None` on non-fabric ports).
-    edges: Vec<Option<FabricEdge>>,
+    edges: Vec<Option<EdgeCtl>>,
     device: ComponentId,
-    host: ComponentId,
+    /// The host component — present only in the domain that owns cube 0,
+    /// the only cube with host-facing crossbar ports.
+    host: Option<ComponentId>,
+    /// The fabric edge lookahead: token returns to a neighbor ride the
+    /// reverse SerDes and arrive this much later.
+    lookahead: Delay,
+    /// The crossbar needs service: a fresh enqueue, a credit return that
+    /// un-starved an output, or the armed time wake fired.
+    sw_dirty: bool,
+    /// Per-port bitmask of egress serializers needing service: a fresh
+    /// egress enqueue or a token return that un-starved the head. Clean
+    /// serializers are provably idle — `LinkTx` commits everything its
+    /// tokens allow in one call and has no time-driven wakeups — so the
+    /// pump skips them entirely.
+    tx_dirty: u32,
     /// Armed at the crossbar's next output-free instant; disarmed while
     /// every queued head waits on credits (the credit return notifies).
     wake: AutoWake,
@@ -558,102 +673,117 @@ impl AdapterComp {
         }
     }
 
+    /// Runs crossbar and egress service to a fixpoint, but only over the
+    /// parts marked dirty: the crossbar when something enqueued, a credit
+    /// un-starved an output or its time wake fired; each serializer when
+    /// something entered it or a token return un-starved its head.
     fn pump(&mut self, now: Time, ctx: &mut Ctx<'_, Msg>) {
         let me = ctx.self_id();
         let mut deps = std::mem::take(&mut self.dep_scratch);
         let mut dels = std::mem::take(&mut self.del_scratch);
-        loop {
-            let mut progress = false;
-            self.sw.service_into(now, &mut deps);
-            for d in deps.drain() {
-                progress = true;
-                let (t_port, t_tag) = d.payload.identity();
-                self.probe.trace_mark(t_port, t_tag, Stage::Transit, d.at);
-                // Input drained: return the space to whoever serialized
-                // into it.
-                match self.layout.classify(d.input) {
-                    PortClass::Dev(l) => {
-                        ctx.send(
-                            Delay::ZERO,
-                            self.device,
-                            Msg::ReturnResponseTokens {
-                                link: LinkId(l as u8),
+        while self.sw_dirty || self.tx_dirty != 0 {
+            if self.sw_dirty {
+                self.sw_dirty = false;
+                self.sw.service_into(now, &mut deps);
+                for d in deps.drain() {
+                    // A departure may free head-of-line space the next
+                    // service round can use.
+                    self.sw_dirty = true;
+                    let (t_port, t_tag) = d.payload.identity();
+                    self.probe.trace_mark(t_port, t_tag, Stage::Transit, d.at);
+                    // Input drained: return the space to whoever
+                    // serialized into it. Across a fabric edge the return
+                    // rides the reverse SerDes — one lookahead of latency
+                    // — and carries a canonical ordering key.
+                    match self.layout.classify(d.input) {
+                        PortClass::Dev(l) => {
+                            ctx.send(
+                                Delay::ZERO,
+                                self.device,
+                                Msg::ReturnResponseTokens {
+                                    link: LinkId(l as u8),
+                                    flits: d.flits,
+                                },
+                            );
+                        }
+                        PortClass::Fabric(slot) => {
+                            let at = now + self.lookahead;
+                            let ctl = self.edges[self.layout.fabric_port(slot)]
+                                .as_mut()
+                                .expect("fabric port has an edge");
+                            let key = ctl.next_tokens_key();
+                            let port = ctl.peer_port;
+                            let msg = Msg::AdapterLinkTokens {
+                                port,
                                 flits: d.flits,
-                            },
-                        );
+                            };
+                            ctl.wire.send(ctx, at, key, msg);
+                        }
+                        PortClass::Host(l) => {
+                            ctx.send(
+                                Delay::ZERO,
+                                self.host.expect("cube 0's stage fronts the host"),
+                                Msg::ReturnRequestTokens {
+                                    link: LinkId(l as u8),
+                                    flits: d.flits,
+                                },
+                            );
+                        }
                     }
-                    PortClass::Fabric(slot) => {
-                        let edge = self.edges[self.layout.fabric_port(slot)]
-                            .expect("fabric port has an edge");
-                        ctx.send(
-                            Delay::ZERO,
-                            edge.peer,
-                            Msg::AdapterLinkTokens {
-                                port: edge.peer_port,
-                                flits: d.flits,
-                            },
-                        );
-                    }
-                    PortClass::Host(l) => {
-                        ctx.send(
-                            Delay::ZERO,
-                            self.host,
-                            Msg::ReturnRequestTokens {
-                                link: LinkId(l as u8),
-                                flits: d.flits,
-                            },
-                        );
-                    }
-                }
-                // Forward out of the crossbar.
-                match self.layout.classify(d.output) {
-                    PortClass::Dev(l) => {
-                        let TransitBody::Req(pkt) = d.payload.body else {
-                            unreachable!("responses never route to the local device")
-                        };
-                        ctx.send_at(
-                            d.at,
-                            self.device,
-                            Msg::DeviceRequest {
-                                link: LinkId(l as u8),
-                                pkt,
-                            },
-                        );
-                    }
-                    PortClass::Fabric(_) | PortClass::Host(_) => {
-                        ctx.send_at(
-                            d.at,
-                            me,
-                            Msg::AdapterEgress {
-                                port: d.output,
-                                msg: d.payload,
-                            },
-                        );
+                    // Forward out of the crossbar.
+                    match self.layout.classify(d.output) {
+                        PortClass::Dev(l) => {
+                            let TransitBody::Req(pkt) = d.payload.body else {
+                                unreachable!("responses never route to the local device")
+                            };
+                            ctx.send_at(
+                                d.at,
+                                self.device,
+                                Msg::DeviceRequest {
+                                    link: LinkId(l as u8),
+                                    pkt,
+                                },
+                            );
+                        }
+                        PortClass::Fabric(_) | PortClass::Host(_) => {
+                            ctx.send_at(
+                                d.at,
+                                me,
+                                Msg::AdapterEgress {
+                                    port: d.output,
+                                    msg: d.payload,
+                                },
+                            );
+                        }
                     }
                 }
             }
             // Egress serializers: push what tokens allow onto the wires.
-            for port in 0..self.layout.count() {
-                let Some(tx) = self.tx[port].as_mut() else {
-                    continue;
-                };
+            let mut mask = self.tx_dirty;
+            self.tx_dirty = 0;
+            while mask != 0 {
+                let port = mask.trailing_zeros() as usize;
+                mask &= mask - 1;
+                let tx = self.tx[port]
+                    .as_mut()
+                    .expect("dirty bit set on a serialized port");
                 tx.service_into(now, &mut dels);
                 for delivery in dels.drain() {
-                    progress = true;
                     // The egress slot frees once the packet is committed
                     // to the wire schedule.
-                    self.sw.return_credits(port, delivery.flits);
+                    if self.sw.return_credits(port, delivery.flits) {
+                        self.sw_dirty = true;
+                    }
                     match self.layout.classify(port) {
                         PortClass::Fabric(_) => {
-                            let edge = self.edges[port].expect("fabric port has an edge");
-                            ctx.send_at(
-                                delivery.at,
-                                edge.peer,
-                                Msg::AdapterArrive {
-                                    input: edge.peer_port,
-                                    msg: delivery.payload,
-                                },
-                            );
+                            let ctl = self.edges[port].as_mut().expect("fabric port has an edge");
+                            let key = ctl.next_arrive_key();
+                            let input = ctl.peer_port;
+                            let msg = Msg::AdapterArrive {
+                                input,
+                                msg: delivery.payload,
+                            };
+                            ctl.wire.send(ctx, delivery.at, key, msg);
                         }
                         PortClass::Host(l) => {
                             let TransitBody::Resp(pkt) = delivery.payload.body else {
@@ -661,7 +791,7 @@ impl AdapterComp {
                             };
                             ctx.send_at(
                                 delivery.at,
-                                self.host,
+                                self.host.expect("cube 0's stage fronts the host"),
                                 Msg::HostResponse {
                                     link: LinkId(l as u8),
                                     pkt,
@@ -671,9 +801,6 @@ impl AdapterComp {
                         PortClass::Dev(_) => unreachable!("device ports have no serializer"),
                     }
                 }
-            }
-            if !progress {
-                break;
             }
         }
         self.dep_scratch = deps;
@@ -706,6 +833,7 @@ impl Component<Msg> for AdapterComp {
                 self.sw
                     .try_enqueue(input, entry)
                     .unwrap_or_else(|_| panic!("pass-through input overflow: tokens violated"));
+                self.sw_dirty = true;
             }
             Msg::AdapterEgress { port, msg } => {
                 let flits = msg.flits();
@@ -713,6 +841,7 @@ impl Component<Msg> for AdapterComp {
                     .as_mut()
                     .expect("egress targets a serialized port")
                     .enqueue(msg, flits);
+                self.tx_dirty |= 1 << port;
             }
             Msg::AdapterCredits { output, flits } => {
                 // A return into a pool nobody starves on unblocks nothing:
@@ -721,6 +850,7 @@ impl Component<Msg> for AdapterComp {
                 if !self.sw.return_credits(output, flits) {
                     return;
                 }
+                self.sw_dirty = true;
             }
             Msg::AdapterLinkTokens { port, flits } => {
                 let starved = self.tx[port]
@@ -730,6 +860,11 @@ impl Component<Msg> for AdapterComp {
                 if !starved {
                     return;
                 }
+                self.tx_dirty |= 1 << port;
+            }
+            Msg::AdapterResetWindow => {
+                self.probe.reset_window(now);
+                return;
             }
             _ => unreachable!("message addressed elsewhere reached a pass-through stage"),
         }
@@ -738,6 +873,7 @@ impl Component<Msg> for AdapterComp {
 
     fn on_wake(&mut self, token: WakeToken, ctx: &mut Ctx<'_, Msg>) {
         if self.wake.fired(token) {
+            self.sw_dirty = true;
             let now = ctx.now();
             self.pump(now, ctx);
         }
@@ -764,8 +900,562 @@ fn internal_handoff_link(input_buffer_flits: u32) -> LinkConfig {
     }
 }
 
+/// Everything needed to build any engine domain of a fabric, computed
+/// once up front. `Send + Sync` so worker threads can build their own
+/// engines from a shared reference — engines themselves hold `Rc`-based
+/// telemetry and are constructed inside the thread that runs them.
+struct BuildPlan {
+    cfg: FabricConfig,
+    dev_cfg: DeviceConfig,
+    host_cfg: HostConfig,
+    specs: Vec<FabricPortSpec>,
+    routes: RouteTable,
+    layouts: Vec<AdapterLayout>,
+    /// Prefix sums of per-cube neighbor counts: the global index of cube
+    /// `c`'s directed edge `slot` is `edge_base[c] + slot`, from which
+    /// both of the edge's keyed channel ids derive.
+    edge_base: Vec<usize>,
+    /// The device's per-link request token pool (input credit of device
+    /// crossbar ports).
+    req_tokens: u32,
+    n: usize,
+}
+
+/// One engine domain, built and run on a single thread: its engine, the
+/// components it owns, and the outboxes of its outgoing cross-domain
+/// edges (ascending `(cube, slot)` order — the channel wiring in
+/// `run_parallel` enumerates edges identically).
+struct DomainParts {
+    engine: Engine<Msg>,
+    host: Option<ComponentId>,
+    devices: Vec<ComponentId>,
+    adapters: Vec<ComponentId>,
+    /// The cubes this domain owns, ascending.
+    cubes: Vec<usize>,
+    outboxes: Vec<Outbox>,
+}
+
+/// Builds domain `dom` of the partition `dom_of`: the host (domain 0
+/// only), one device per owned cube and — multi-cube — one pass-through
+/// stage per owned cube, with fabric edges wired locally inside the
+/// domain and through outboxes across domains. With `dom_of` all zeros
+/// this builds the complete serial system.
+fn build_domain(plan: &BuildPlan, probe: &Probe, dom_of: &[usize], dom: usize) -> DomainParts {
+    let n = plan.n;
+    let include_host = dom == 0;
+    let cubes: Vec<usize> = (0..n).filter(|&c| dom_of[c] == dom).collect();
+    assert!(!cubes.is_empty(), "every domain owns at least one cube");
+    let capacity = usize::from(include_host) + cubes.len() * if n > 1 { 2 } else { 1 };
+    let mut engine = Engine::with_capacity(capacity);
+
+    let host = include_host.then(|| {
+        let ports: Vec<Port> = plan
+            .specs
+            .iter()
+            .enumerate()
+            .map(|(i, spec)| {
+                let seed = plan
+                    .cfg
+                    .seed
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    .wrapping_add(i as u64 + 1);
+                Port::new(PortId(i as u8), (spec.source)(seed), spec.tags)
+                    .with_targeting(spec.targeting)
+            })
+            .collect();
+        let mut model = HostModel::new(plan.host_cfg.clone(), ports);
+        model.attach_probe(probe);
+        let period = model.config().fpga_period;
+        engine.add_component(Box::new(HostComp {
+            model,
+            down: None,
+            mode: RunMode::Stream,
+            period,
+            tick: AutoWake::new(),
+            measure_start: Time::ZERO,
+            measure_end: None,
+            probe: probe.clone(),
+        }))
+    });
+
+    let devices: Vec<ComponentId> = cubes
+        .iter()
+        .map(|&c| {
+            let mut device = HmcDevice::new(plan.dev_cfg.clone());
+            device.attach_probe(probe, c as u8);
+            let up = (n == 1).then(|| Upstream::Host(host.expect("single-cube host")));
+            engine.add_component(Box::new(DeviceComp {
+                device,
+                up,
+                wake: AutoWake::new(),
+            }))
+        })
+        .collect();
+
+    if n == 1 {
+        // The paper's single-cube system: host and device wired directly,
+        // exactly as before the fabric existed.
+        let h = host.expect("single-cube systems keep the host in domain 0");
+        engine
+            .component_mut::<HostComp>(h)
+            .expect("host registered")
+            .down = Some(Downstream::Direct { device: devices[0] });
+        return DomainParts {
+            engine,
+            host,
+            devices,
+            adapters: Vec::new(),
+            cubes,
+            outboxes: Vec::new(),
+        };
+    }
+
+    // Multi-cube: one pass-through stage per owned cube.
+    let adapters: Vec<ComponentId> = cubes
+        .iter()
+        .enumerate()
+        .map(|(i, &c)| {
+            let layout = plan.layouts[c].clone();
+            let count = layout.count();
+            debug_assert!(count <= 32, "tx dirty mask covers 32 crossbar ports");
+            let sw_cfg = SwitchConfig {
+                inputs: count,
+                outputs: count,
+                input_capacity_flits: plan.cfg.hop.input_capacity_flits,
+                hop_latency: plan.cfg.hop.passthrough_latency,
+                flit_time: plan.cfg.hop.flit_time,
+            };
+            let mut credits = vec![0u32; count];
+            let mut tx: Vec<Option<LinkTx<TransitMsg>>> = Vec::with_capacity(count);
+            for (p, credit) in credits.iter_mut().enumerate() {
+                match layout.classify(p) {
+                    PortClass::Dev(_) => {
+                        // Downstream buffer: the device's link RX (its
+                        // request token pool).
+                        *credit = plan.req_tokens;
+                        tx.push(None);
+                    }
+                    PortClass::Fabric(_) => {
+                        *credit = plan.cfg.hop.egress_capacity_flits;
+                        let mut link = LinkTx::new(&LinkConfig {
+                            input_buffer_flits: plan.cfg.hop.input_capacity_flits,
+                            ..plan.cfg.hop.link
+                        });
+                        link.set_probe(probe.clone(), c as u8, p as u8, LinkDir::Transit);
+                        tx.push(Some(link));
+                    }
+                    PortClass::Host(_) => {
+                        *credit = plan.cfg.hop.egress_capacity_flits;
+                        // Toward the host: the cube's own external link
+                        // model, tokens guarding the host RX buffer — as
+                        // the device's serializer does on a single-cube
+                        // system.
+                        let mut link = LinkTx::new(&LinkConfig {
+                            min_packet_time: Delay::ZERO,
+                            ..plan.cfg.cube.link
+                        });
+                        link.set_probe(probe.clone(), c as u8, p as u8, LinkDir::Response);
+                        tx.push(Some(link));
+                    }
+                }
+            }
+            let caps = vec![plan.cfg.hop.input_capacity_flits; count];
+            let mut sw = SwitchCore::with_input_capacities(sw_cfg, &caps, &credits);
+            sw.set_probe(probe.clone(), c as u8);
+            engine.add_component(Box::new(AdapterComp {
+                cube: CubeId(c as u8),
+                layout,
+                routes: plan.routes.clone(),
+                sw,
+                tx,
+                edges: (0..count).map(|_| None).collect(),
+                device: devices[i],
+                host,
+                lookahead: plan.cfg.lookahead(),
+                sw_dirty: false,
+                tx_dirty: 0,
+                wake: AutoWake::new(),
+                dep_scratch: Departures::new(),
+                del_scratch: Deliveries::new(),
+                probe: probe.clone(),
+            }))
+        })
+        .collect();
+
+    // Wire the fabric edges: local neighbors get a direct component wire,
+    // cross-domain neighbors an outbox. Outboxes are created in ascending
+    // (cube, slot) order so they pair index-for-index with the channels
+    // run_parallel enumerates in the same order.
+    let mut outboxes: Vec<Outbox> = Vec::new();
+    for (i, &c) in cubes.iter().enumerate() {
+        let layout = &plan.layouts[c];
+        let mut ctls: Vec<(usize, EdgeCtl)> = Vec::with_capacity(layout.neighbors.len());
+        for (slot, &peer) in layout.neighbors.iter().enumerate() {
+            let port = layout.fabric_port(slot);
+            let peer_port = plan.layouts[peer.index()].port_toward(CubeId(c as u8));
+            let edge = (plan.edge_base[c] + slot) as u64;
+            let wire = if dom_of[peer.index()] == dom {
+                let j = cubes
+                    .binary_search(&peer.index())
+                    .expect("same-domain peer is owned");
+                EdgeWire::Local(adapters[j])
+            } else {
+                let outbox: Outbox = Rc::new(RefCell::new(Vec::new()));
+                outboxes.push(outbox.clone());
+                EdgeWire::Remote(outbox)
+            };
+            ctls.push((
+                port,
+                EdgeCtl {
+                    wire,
+                    peer_port,
+                    arrive_chan: 2 * edge,
+                    tokens_chan: 2 * edge + 1,
+                    arrive_seq: 0,
+                    tokens_seq: 0,
+                },
+            ));
+        }
+        let adapter = engine
+            .component_mut::<AdapterComp>(adapters[i])
+            .expect("adapter registered");
+        for (port, ctl) in ctls {
+            adapter.edges[port] = Some(ctl);
+        }
+    }
+    for (i, &id) in devices.iter().enumerate() {
+        engine
+            .component_mut::<DeviceComp>(id)
+            .expect("device registered")
+            .up = Some(Upstream::Adapter(adapters[i]));
+    }
+    if let Some(h) = host {
+        engine
+            .component_mut::<HostComp>(h)
+            .expect("host registered")
+            .down = Some(Downstream::Fabric {
+            adapter: adapters[0],
+            host_port_base: plan.layouts[0].host_port(LinkId(0)),
+        });
+    }
+    DomainParts {
+        engine,
+        host,
+        devices,
+        adapters,
+        cubes,
+        outboxes,
+    }
+}
+
+/// Seeds a freshly built domain with its initial events. The host's kick,
+/// warmup reset and stop exist only in domain 0; the per-stage telemetry
+/// window reset at warmup is scheduled in *every* domain so shard hubs
+/// re-anchor exactly like the serial hub.
+fn schedule_initial(parts: &mut DomainParts, kind: RunKind, n: usize) {
+    match kind {
+        RunKind::Gups { warmup, measure } => {
+            let stop_at = Time::ZERO + warmup + measure;
+            if let Some(id) = parts.host {
+                {
+                    let host = parts
+                        .engine
+                        .component_mut::<HostComp>(id)
+                        .expect("host registered");
+                    host.mode = RunMode::GupsUntil(stop_at);
+                    host.model.set_all_active(true);
+                }
+                parts.engine.schedule(Time::ZERO, id, Msg::HostKick);
+                parts
+                    .engine
+                    .schedule(Time::ZERO + warmup, id, Msg::HostResetStats);
+                parts.engine.schedule(stop_at, id, Msg::HostStop);
+            }
+            if n > 1 {
+                for i in 0..parts.adapters.len() {
+                    let a = parts.adapters[i];
+                    parts
+                        .engine
+                        .schedule(Time::ZERO + warmup, a, Msg::AdapterResetWindow);
+                }
+            }
+        }
+        RunKind::Streams => {
+            if let Some(id) = parts.host {
+                parts
+                    .engine
+                    .component_mut::<HostComp>(id)
+                    .expect("host registered")
+                    .mode = RunMode::Stream;
+                parts.engine.schedule(Time::ZERO, id, Msg::HostKick);
+            }
+        }
+    }
+}
+
+/// Post-run state of one cube, extracted inside its owning thread.
+struct CubeHarvest {
+    device: DeviceStats,
+    census: Vec<(String, u64)>,
+    transit: Option<TransitStats>,
+}
+
+/// Post-run state of the host (domain 0 only).
+struct HostHarvest {
+    ports: Vec<PortReport>,
+    measure_start: Time,
+    measure_end: Option<Time>,
+}
+
+/// Everything a worker domain sends back to the caller after its engine
+/// quiesces. `Send`, unlike the engine itself.
+struct DomainHarvest {
+    cubes: Vec<(usize, CubeHarvest)>,
+    engine: EngineStats,
+    last: Time,
+    hub: Option<Hub>,
+}
+
+/// The merged result of a run, whatever the domain count.
+struct RunOutcome {
+    report: RunReport,
+    engine: EngineStats,
+    /// Peak-occupancy census per cube, for `device_peak_census`.
+    census: Vec<Vec<(String, u64)>>,
+}
+
+fn harvest_cubes(parts: &DomainParts) -> Vec<(usize, CubeHarvest)> {
+    parts
+        .cubes
+        .iter()
+        .enumerate()
+        .map(|(i, &c)| {
+            let dev = parts
+                .engine
+                .component::<DeviceComp>(parts.devices[i])
+                .expect("device registered");
+            let transit = parts.adapters.get(i).map(|&a| {
+                parts
+                    .engine
+                    .component::<AdapterComp>(a)
+                    .expect("adapter registered")
+                    .transit_stats()
+            });
+            (
+                c,
+                CubeHarvest {
+                    device: dev.device.stats(),
+                    census: dev.device.peak_census(),
+                    transit,
+                },
+            )
+        })
+        .collect()
+}
+
+fn harvest_host(parts: &DomainParts, targets: &[CubeTargeting]) -> HostHarvest {
+    let id = parts.host.expect("domain 0 hosts the host");
+    let host = parts
+        .engine
+        .component::<HostComp>(id)
+        .expect("host registered");
+    let ports = host
+        .model
+        .ports()
+        .iter()
+        .map(|p| PortReport {
+            port: p.id(),
+            source: p.source_label(),
+            issued: p.issued(),
+            completed: p.completed(),
+            latency: *p.latency(),
+            bytes: *p.bytes(),
+            reads: p.reads_recorded(),
+            writes: p.writes_recorded(),
+            cube: targets[p.id().index()].fixed_cube(),
+            cube_completions: *p.completed_by_cube(),
+        })
+        .collect();
+    HostHarvest {
+        ports,
+        measure_start: host.measure_start,
+        measure_end: host.measure_end,
+    }
+}
+
+/// Sums engine counters across domains. Every field is schedule-invariant
+/// — the same components dispatch the same events whichever engine they
+/// run on — so the merged stats match a serial run exactly.
+fn merge_stats(a: EngineStats, b: EngineStats) -> EngineStats {
+    EngineStats {
+        dispatched: a.dispatched + b.dispatched,
+        pending: a.pending + b.pending,
+        wake_fires: a.wake_fires + b.wake_fires,
+        wake_cancels: a.wake_cancels + b.wake_cancels,
+        scratch_spills: a.scratch_spills + b.scratch_spills,
+    }
+}
+
+fn assemble(
+    host: HostHarvest,
+    mut cubes: Vec<(usize, CubeHarvest)>,
+    engine: EngineStats,
+    last: Time,
+    n: usize,
+) -> RunOutcome {
+    cubes.sort_by_key(|&(c, _)| c);
+    debug_assert_eq!(cubes.len(), n, "every cube harvested exactly once");
+    let sim_end = last;
+    let measure_end = host.measure_end.unwrap_or(sim_end);
+    let elapsed = measure_end.saturating_since(host.measure_start);
+    let census: Vec<Vec<(String, u64)>> = cubes.iter().map(|(_, h)| h.census.clone()).collect();
+    let cube_reports: Vec<CubeReport> = cubes
+        .into_iter()
+        .map(|(c, h)| CubeReport {
+            cube: CubeId(c as u8),
+            device: h.device,
+            transit: h.transit,
+        })
+        .collect();
+    let report = RunReport {
+        ports: host.ports,
+        elapsed,
+        device: cube_reports[0].device.clone(),
+        cubes: cube_reports,
+        sim_end,
+    };
+    RunOutcome {
+        report,
+        engine,
+        census,
+    }
+}
+
+/// Maps each incoming cross-domain edge to the pass-through component it
+/// injects into.
+fn resolve_inlets(inc: Inboxes, parts: &DomainParts) -> Vec<(ComponentId, Receiver<Envelope>)> {
+    inc.into_iter()
+        .map(|(cube, rx)| {
+            let i = parts
+                .cubes
+                .binary_search(&cube)
+                .expect("cross edge targets an owned cube");
+            (parts.adapters[i], rx)
+        })
+        .collect()
+}
+
+/// The conservative window loop one domain runs until global quiescence.
+///
+/// Each round: publish this engine's earliest pending event time, meet at
+/// barrier A, read everyone's bound, stop if all engines are empty (no
+/// envelope can be in flight at that point — every send was drained into
+/// its channel before the previous barrier B and injected right after
+/// it), advance to the horizon, flush outboxes into their channels, meet
+/// at barrier B, inject what the neighbors sent. Barrier B orders every
+/// send before every receive, so `try_recv` drains completely.
+#[allow(clippy::too_many_arguments)]
+fn run_windows(
+    parts: &mut DomainParts,
+    d: usize,
+    dplan: &DomainPlan,
+    out: &[Sender<Envelope>],
+    inc: &[(ComponentId, Receiver<Envelope>)],
+    mins: &[AtomicU64],
+    barrier: &PhaseBarrier,
+    l: u64,
+) -> Result<(), BarrierPoisoned> {
+    debug_assert_eq!(parts.outboxes.len(), out.len(), "one channel per outbox");
+    let count = dplan.count;
+    let mut snapshot = vec![0u64; count];
+    loop {
+        let next = parts
+            .engine
+            .next_event_time()
+            .map_or(u64::MAX, |t| t.as_ps());
+        mins[d].store(next, Ordering::Release);
+        barrier.wait()?;
+        for (slot, m) in snapshot.iter_mut().enumerate() {
+            *m = mins[slot].load(Ordering::Acquire);
+        }
+        if snapshot.iter().all(|&m| m == u64::MAX) {
+            return Ok(());
+        }
+        let h = horizon(d, &snapshot, &dplan.dist[d], l);
+        parts.engine.run_until(Time::from_ps(h));
+        for (outbox, tx) in parts.outboxes.iter().zip(out) {
+            for env in outbox.borrow_mut().drain(..) {
+                if tx.send(env).is_err() {
+                    // The receiving domain died; unwind like a poison.
+                    return Err(BarrierPoisoned);
+                }
+            }
+        }
+        barrier.wait()?;
+        for (target, rx) in inc {
+            while let Ok(env) = rx.try_recv() {
+                parts
+                    .engine
+                    .schedule_keyed(env.at, *target, env.key, env.msg);
+            }
+        }
+    }
+}
+
+/// One worker domain's whole life: build the engine (with a telemetry
+/// shard hub mirroring the caller's hub config), run the window loop,
+/// harvest. Runs on its own thread; the poison guard is installed before
+/// the build so a panic anywhere releases the other domains.
+#[allow(clippy::too_many_arguments)]
+fn run_domain(
+    plan: &BuildPlan,
+    kind: RunKind,
+    d: usize,
+    dplan: &DomainPlan,
+    out: Vec<Sender<Envelope>>,
+    inc: Inboxes,
+    mins: &[AtomicU64],
+    barrier: &PhaseBarrier,
+    l: u64,
+    shard_cfg: Option<HubConfig>,
+) -> DomainHarvest {
+    let _guard = barrier.guard();
+    let (shard, probe) = match shard_cfg {
+        Some(cfg) => {
+            let hub = Hub::shared(cfg);
+            let probe = Probe::attached(&hub);
+            (Some(hub), probe)
+        }
+        None => (None, Probe::off()),
+    };
+    let mut parts = build_domain(plan, &probe, &dplan.of_cube, d);
+    schedule_initial(&mut parts, kind, plan.n);
+    let inc = resolve_inlets(inc, &parts);
+    // A poisoned barrier means another domain panicked; harvest what we
+    // have — the caller's join of the panicked thread re-raises.
+    let _ = run_windows(&mut parts, d, dplan, &out, &inc, mins, barrier, l);
+    let cubes = harvest_cubes(&parts);
+    let engine = parts.engine.stats();
+    let last = parts.engine.last_dispatched_at();
+    drop(parts);
+    drop(probe);
+    let hub = shard.map(|rc| {
+        Rc::try_unwrap(rc)
+            .map(RefCell::into_inner)
+            .unwrap_or_else(|rc| rc.borrow().clone())
+    });
+    DomainHarvest {
+        cubes,
+        engine,
+        last,
+        hub,
+    }
+}
+
 /// A complete simulated measurement system: FPGA host plus a network of
-/// HMC cubes on a deterministic event engine.
+/// HMC cubes on a deterministic event engine — or, with
+/// [`FabricSim::with_domains`], on several engines advancing in parallel
+/// under conservative lookahead, with byte-identical results.
 ///
 /// One `FabricSim` performs one run ([`FabricSim::run_gups`] or
 /// [`FabricSim::run_streams`]) and is then consumed by the report.
@@ -789,11 +1479,11 @@ fn internal_handoff_link(input_buffer_flits: u32) -> LinkConfig {
 /// assert_eq!(report.cubes.len(), 2);
 /// ```
 pub struct FabricSim {
-    engine: Engine<Msg>,
-    host: ComponentId,
-    devices: Vec<ComponentId>,
-    adapters: Vec<ComponentId>,
+    plan: BuildPlan,
+    probe: Probe,
+    domains: usize,
     port_targets: Vec<CubeTargeting>,
+    outcome: Option<RunOutcome>,
     started: bool,
 }
 
@@ -855,75 +1545,16 @@ impl FabricSim {
             }
         };
         let proto = HmcDevice::new(dev_cfg.clone());
+        let req_tokens = proto.request_tokens_per_link();
         let mut host_cfg: HostConfig = cfg.host.clone();
         // Request-direction tokens guard the first receiver's input
         // buffer: the cube's link RX directly, or cube 0's pass-through
         // input.
         host_cfg.link.input_buffer_flits = if n == 1 {
-            proto.request_tokens_per_link()
+            req_tokens
         } else {
             cfg.hop.input_capacity_flits
         };
-        let ports: Vec<Port> = specs
-            .into_iter()
-            .enumerate()
-            .map(|(i, spec)| {
-                let seed = cfg
-                    .seed
-                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
-                    .wrapping_add(i as u64 + 1);
-                Port::new(PortId(i as u8), (spec.source)(seed), spec.tags)
-                    .with_targeting(spec.targeting)
-            })
-            .collect();
-        let mut host_model = HostModel::new(host_cfg, ports);
-        host_model.attach_probe(&probe);
-        let period = host_model.config().fpga_period;
-
-        // Component census is known up front: one host, n devices and
-        // (multi-cube only) n pass-through stages.
-        let component_count = 1 + n + if n > 1 { n } else { 0 };
-        let mut engine = Engine::with_capacity(component_count);
-        let host = engine.add_component(Box::new(HostComp {
-            model: host_model,
-            down: None,
-            mode: RunMode::Stream,
-            period,
-            tick: AutoWake::new(),
-            measure_start: Time::ZERO,
-            measure_end: None,
-            probe: probe.clone(),
-        }));
-        let devices: Vec<ComponentId> = (0..n)
-            .map(|c| {
-                let mut device = HmcDevice::new(dev_cfg.clone());
-                device.attach_probe(&probe, c as u8);
-                engine.add_component(Box::new(DeviceComp {
-                    device,
-                    up: Upstream::Host(host),
-                    wake: AutoWake::new(),
-                }))
-            })
-            .collect();
-
-        if n == 1 {
-            // The paper's single-cube system: host and device wired
-            // directly, exactly as before the fabric existed.
-            engine
-                .component_mut::<HostComp>(host)
-                .expect("host registered")
-                .down = Some(Downstream::Direct { device: devices[0] });
-            return FabricSim {
-                engine,
-                host,
-                devices,
-                adapters: Vec::new(),
-                port_targets,
-                started: false,
-            };
-        }
-
-        // Multi-cube: one pass-through stage per cube.
         let routes = cfg.routes();
         let dev_links = dev_cfg.link_count();
         let host_links = usize::from(cfg.host.link_count);
@@ -934,118 +1565,43 @@ impl FabricSim {
                 host_links: if c == 0 { host_links } else { 0 },
             })
             .collect();
-        let adapters: Vec<ComponentId> = (0..n)
-            .map(|c| {
-                let layout = layouts[c].clone();
-                let count = layout.count();
-                let sw_cfg = SwitchConfig {
-                    inputs: count,
-                    outputs: count,
-                    input_capacity_flits: cfg.hop.input_capacity_flits,
-                    hop_latency: cfg.hop.passthrough_latency,
-                    flit_time: cfg.hop.flit_time,
-                };
-                let mut credits = vec![0u32; count];
-                let mut tx: Vec<Option<LinkTx<TransitMsg>>> = Vec::with_capacity(count);
-                for (p, credit) in credits.iter_mut().enumerate() {
-                    match layout.classify(p) {
-                        PortClass::Dev(_) => {
-                            // Downstream buffer: the device's link RX
-                            // (its request token pool).
-                            *credit = proto.request_tokens_per_link();
-                            tx.push(None);
-                        }
-                        PortClass::Fabric(_) => {
-                            *credit = cfg.hop.egress_capacity_flits;
-                            let mut link = LinkTx::new(&LinkConfig {
-                                input_buffer_flits: cfg.hop.input_capacity_flits,
-                                ..cfg.hop.link
-                            });
-                            link.set_probe(probe.clone(), c as u8, p as u8, LinkDir::Transit);
-                            tx.push(Some(link));
-                        }
-                        PortClass::Host(_) => {
-                            *credit = cfg.hop.egress_capacity_flits;
-                            // Toward the host: the cube's own external
-                            // link model, tokens guarding the host RX
-                            // buffer — as the device's serializer does on
-                            // a single-cube system.
-                            let mut link = LinkTx::new(&LinkConfig {
-                                min_packet_time: Delay::ZERO,
-                                ..cfg.cube.link
-                            });
-                            link.set_probe(probe.clone(), c as u8, p as u8, LinkDir::Response);
-                            tx.push(Some(link));
-                        }
-                    }
-                }
-                let caps = vec![cfg.hop.input_capacity_flits; count];
-                let mut sw = SwitchCore::with_input_capacities(sw_cfg, &caps, &credits);
-                sw.set_probe(probe.clone(), c as u8);
-                engine.add_component(Box::new(AdapterComp {
-                    cube: CubeId(c as u8),
-                    layout,
-                    routes: routes.clone(),
-                    sw,
-                    tx,
-                    edges: vec![None; count],
-                    device: devices[c],
-                    host,
-                    wake: AutoWake::new(),
-                    dep_scratch: Departures::new(),
-                    del_scratch: Deliveries::new(),
-                    probe: probe.clone(),
-                }))
+        let edge_base: Vec<usize> = layouts
+            .iter()
+            .scan(0usize, |acc, l| {
+                let base = *acc;
+                *acc += l.neighbors.len();
+                Some(base)
             })
             .collect();
 
-        // Wire the fabric edges (peer component + peer input port).
-        for c in 0..n {
-            let edges: Vec<(usize, FabricEdge)> = layouts[c]
-                .neighbors
-                .iter()
-                .enumerate()
-                .map(|(slot, &peer_cube)| {
-                    let my_port = layouts[c].fabric_port(slot);
-                    let peer_port = layouts[peer_cube.index()].port_toward(CubeId(c as u8));
-                    (
-                        my_port,
-                        FabricEdge {
-                            peer: adapters[peer_cube.index()],
-                            peer_port,
-                        },
-                    )
-                })
-                .collect();
-            let adapter = engine
-                .component_mut::<AdapterComp>(adapters[c])
-                .expect("adapter registered");
-            for (port, edge) in edges {
-                adapter.edges[port] = Some(edge);
-            }
-        }
-        for c in 0..n {
-            engine
-                .component_mut::<DeviceComp>(devices[c])
-                .expect("device registered")
-                .up = Upstream::Adapter(adapters[c]);
-        }
-        engine
-            .component_mut::<HostComp>(host)
-            .expect("host registered")
-            .down = Some(Downstream::Fabric {
-            adapter: adapters[0],
-            host_port_base: layouts[0].host_port(LinkId(0)),
-        });
-
         FabricSim {
-            engine,
-            host,
-            devices,
-            adapters,
+            plan: BuildPlan {
+                cfg,
+                dev_cfg,
+                host_cfg,
+                specs,
+                routes,
+                layouts,
+                edge_base,
+                req_tokens,
+                n,
+            },
+            probe,
+            domains: 1,
             port_targets,
+            outcome: None,
             started: false,
         }
+    }
+
+    /// Requests the run be partitioned into up to `domains` per-cube
+    /// engine domains advancing in parallel (clamped to the cube count;
+    /// `1` — the default — runs serially). Results are byte-identical
+    /// for every setting. Traced runs, single-cube systems and
+    /// zero-lookahead configurations always fall back to serial.
+    pub fn with_domains(mut self, domains: usize) -> FabricSim {
+        self.domains = domains.max(1);
+        self
     }
 
     /// Runs the GUPS firmware: every port generates random requests for
@@ -1056,23 +1612,7 @@ impl FabricSim {
     ///
     /// Panics if the system was already run.
     pub fn run_gups(&mut self, warmup: Delay, measure: Delay) -> RunReport {
-        assert!(!self.started, "a FabricSim performs a single run");
-        self.started = true;
-        let stop_at = Time::ZERO + warmup + measure;
-        {
-            let host = self
-                .engine
-                .component_mut::<HostComp>(self.host)
-                .expect("host");
-            host.mode = RunMode::GupsUntil(stop_at);
-            host.model.set_all_active(true);
-        }
-        self.engine.schedule(Time::ZERO, self.host, Msg::HostKick);
-        self.engine
-            .schedule(Time::ZERO + warmup, self.host, Msg::HostResetStats);
-        self.engine.schedule(stop_at, self.host, Msg::HostStop);
-        self.engine.run_to_quiescence();
-        self.collect()
+        self.execute(RunKind::Gups { warmup, measure })
     }
 
     /// Runs the multi-port stream firmware: every port replays its trace
@@ -1082,93 +1622,157 @@ impl FabricSim {
     ///
     /// Panics if the system was already run.
     pub fn run_streams(&mut self) -> RunReport {
-        assert!(!self.started, "a FabricSim performs a single run");
-        self.started = true;
-        {
-            let host = self
-                .engine
-                .component_mut::<HostComp>(self.host)
-                .expect("host");
-            host.mode = RunMode::Stream;
-        }
-        self.engine.schedule(Time::ZERO, self.host, Msg::HostKick);
-        self.engine.run_to_quiescence();
-        self.collect()
+        self.execute(RunKind::Streams)
     }
 
-    /// Event-engine counters for this system: events dispatched, timer
-    /// fires and cancellations. With the event-driven core, `dispatched`
-    /// scales with actual traffic instead of with simulated FPGA cycles —
-    /// the regression tests assert it stays an order of magnitude below
-    /// per-cycle ticking on low-load runs.
+    fn execute(&mut self, kind: RunKind) -> RunReport {
+        assert!(!self.started, "a FabricSim performs a single run");
+        self.started = true;
+        let n = self.plan.n;
+        // Packet-lifecycle tracing samples by issue order, which only the
+        // serial schedule preserves; traced runs stay on one engine.
+        let traced = self
+            .probe
+            .hub_config()
+            .is_some_and(|c| c.trace_sample.is_some());
+        let lookahead = self.plan.cfg.lookahead().as_ps();
+        let d_count = if traced || n <= 1 || lookahead == 0 {
+            1
+        } else {
+            self.domains.min(n)
+        };
+        let outcome = if d_count <= 1 {
+            self.run_serial(kind)
+        } else {
+            self.run_parallel(kind, d_count)
+        };
+        let report = outcome.report.clone();
+        self.outcome = Some(outcome);
+        report
+    }
+
+    fn run_serial(&mut self, kind: RunKind) -> RunOutcome {
+        let dom_of = vec![0usize; self.plan.n];
+        let mut parts = build_domain(&self.plan, &self.probe, &dom_of, 0);
+        schedule_initial(&mut parts, kind, self.plan.n);
+        parts.engine.run_to_quiescence();
+        let host = harvest_host(&parts, &self.port_targets);
+        let cubes = harvest_cubes(&parts);
+        let engine = parts.engine.stats();
+        let last = parts.engine.last_dispatched_at();
+        assemble(host, cubes, engine, last, self.plan.n)
+    }
+
+    fn run_parallel(&mut self, kind: RunKind, want: usize) -> RunOutcome {
+        let plan = &self.plan;
+        let probe = &self.probe;
+        let targets = &self.port_targets;
+        let n = plan.n;
+        let dplan = DomainPlan::new(n, want, |c| {
+            plan.layouts[c]
+                .neighbors
+                .iter()
+                .map(|nb| nb.index())
+                .collect()
+        });
+        let d_count = dplan.count;
+        let l = plan.cfg.lookahead().as_ps();
+        let shard_cfg = probe.hub_config();
+
+        // One unbounded channel per directed cross-domain edge, in
+        // ascending (cube, slot) order — the order build_domain creates
+        // the matching outboxes in, so sender k pairs with outbox k.
+        let mut senders: Vec<Vec<Sender<Envelope>>> = (0..d_count).map(|_| Vec::new()).collect();
+        let mut receivers: Vec<Inboxes> = (0..d_count).map(|_| Vec::new()).collect();
+        for c in 0..n {
+            for &peer in &plan.layouts[c].neighbors {
+                let (from, to) = (dplan.of_cube[c], dplan.of_cube[peer.index()]);
+                if from != to {
+                    let (tx, rx) = channel();
+                    senders[from].push(tx);
+                    receivers[to].push((peer.index(), rx));
+                }
+            }
+        }
+        let mut sender_slots: Vec<Option<Vec<Sender<Envelope>>>> =
+            senders.into_iter().map(Some).collect();
+        let mut receiver_slots: Vec<Option<Inboxes>> = receivers.into_iter().map(Some).collect();
+
+        let mins: Vec<AtomicU64> = (0..d_count).map(|_| AtomicU64::new(0)).collect();
+        let barrier = PhaseBarrier::new(d_count);
+
+        let (host, cubes, stats, last, shards) = std::thread::scope(|s| {
+            let handles: Vec<_> = (1..d_count)
+                .map(|d| {
+                    let out = sender_slots[d].take().expect("each domain spawns once");
+                    let inc = receiver_slots[d].take().expect("each domain spawns once");
+                    let dplan = &dplan;
+                    let mins = &mins[..];
+                    let barrier = &barrier;
+                    s.spawn(move || {
+                        run_domain(plan, kind, d, dplan, out, inc, mins, barrier, l, shard_cfg)
+                    })
+                })
+                .collect();
+
+            // Domain 0 (host + cube 0) runs on the calling thread, feeding
+            // the caller's probe directly. The poison guard must precede
+            // the build: a panic before the first rendezvous would
+            // otherwise strand the workers at barrier A forever.
+            let guard = barrier.guard();
+            let mut parts = build_domain(plan, probe, &dplan.of_cube, 0);
+            schedule_initial(&mut parts, kind, n);
+            let out = sender_slots[0].take().expect("domain 0 runs once");
+            let inc = resolve_inlets(
+                receiver_slots[0].take().expect("domain 0 runs once"),
+                &parts,
+            );
+            let _ = run_windows(&mut parts, 0, &dplan, &out, &inc, &mins, &barrier, l);
+            drop(guard);
+
+            let host = harvest_host(&parts, targets);
+            let mut cubes = harvest_cubes(&parts);
+            let mut stats = parts.engine.stats();
+            let mut last = parts.engine.last_dispatched_at();
+            let mut shards = Vec::new();
+            for h in handles {
+                let harvest = h.join().unwrap_or_else(|e| std::panic::resume_unwind(e));
+                cubes.extend(harvest.cubes);
+                stats = merge_stats(stats, harvest.engine);
+                last = last.max(harvest.last);
+                if let Some(hub) = harvest.hub {
+                    shards.push(hub);
+                }
+            }
+            (host, cubes, stats, last, shards)
+        });
+
+        for shard in &shards {
+            probe.absorb_shard(shard);
+        }
+        assemble(host, cubes, stats, last, n)
+    }
+
+    /// Event-engine counters for this system, merged across domains after
+    /// a run: events dispatched, timer fires and cancellations. With the
+    /// event-driven core, `dispatched` scales with actual traffic instead
+    /// of with simulated FPGA cycles — the regression tests assert it
+    /// stays an order of magnitude below per-cycle ticking on low-load
+    /// runs. Every counter is schedule-invariant, so the totals match the
+    /// serial run whatever the domain count.
     pub fn engine_stats(&self) -> EngineStats {
-        self.engine.stats()
+        self.outcome.as_ref().map(|o| o.engine).unwrap_or_default()
     }
 
     /// Peak-occupancy census of one cube's internal buffers after a run;
     /// a calibration/debugging aid.
     #[doc(hidden)]
     pub fn device_peak_census(&self, cube: CubeId) -> Vec<(String, u64)> {
-        self.engine
-            .component::<DeviceComp>(self.devices[cube.index()])
-            .expect("device registered")
-            .device
-            .peak_census()
-    }
-
-    fn collect(&mut self) -> RunReport {
-        let sim_end = self.engine.now();
-        let host = self.engine.component::<HostComp>(self.host).expect("host");
-        let measure_end = host.measure_end.unwrap_or(sim_end);
-        let elapsed = measure_end.saturating_since(host.measure_start);
-        let ports = host
-            .model
-            .ports()
-            .iter()
-            .map(|p| PortReport {
-                port: p.id(),
-                source: p.source_label(),
-                issued: p.issued(),
-                completed: p.completed(),
-                latency: *p.latency(),
-                bytes: *p.bytes(),
-                reads: p.reads_recorded(),
-                writes: p.writes_recorded(),
-                cube: self.port_targets[p.id().index()].fixed_cube(),
-                cube_completions: *p.completed_by_cube(),
-            })
-            .collect();
-        let cubes: Vec<CubeReport> = self
-            .devices
-            .iter()
-            .enumerate()
-            .map(|(c, &id)| {
-                let device = self
-                    .engine
-                    .component::<DeviceComp>(id)
-                    .expect("device registered")
-                    .device
-                    .stats();
-                let transit = self.adapters.get(c).map(|&aid| {
-                    self.engine
-                        .component::<AdapterComp>(aid)
-                        .expect("adapter registered")
-                        .transit_stats()
-                });
-                CubeReport {
-                    cube: CubeId(c as u8),
-                    device,
-                    transit,
-                }
-            })
-            .collect();
-        RunReport {
-            ports,
-            elapsed,
-            device: cubes[0].device.clone(),
-            cubes,
-            sim_end,
-        }
+        self.outcome
+            .as_ref()
+            .expect("census is read after a run")
+            .census[cube.index()]
+        .clone()
     }
 }
 
@@ -1349,5 +1953,105 @@ mod tests {
         assert_eq!(report.total_reads(), blocks);
         assert_eq!(report.total_writes(), blocks);
         assert_eq!(report.ports[0].cube_completions[..2], [blocks, blocks]);
+    }
+
+    #[test]
+    fn domain_schedules_reproduce_serial_runs_byte_for_byte() {
+        let run = |domains: usize| {
+            let cfg = FabricConfig::star(21, 4);
+            let filter = AccessPattern::Vaults { count: 16 }.filter(&cfg.cube.map);
+            let specs: Vec<FabricPortSpec> = (0..4)
+                .map(|c| {
+                    FabricPortSpec::gups(
+                        filter,
+                        hmc_host::GupsOp::Read(PayloadSize::B64),
+                        CubeId(c),
+                    )
+                })
+                .collect();
+            let mut sim = FabricSim::new(cfg, specs).with_domains(domains);
+            let report = sim.run_gups(Delay::from_us(5), Delay::from_us(15));
+            (format!("{report:?}"), sim.engine_stats())
+        };
+        let serial = run(1);
+        assert_eq!(serial, run(2), "2 domains must replay the serial run");
+        assert_eq!(serial, run(4), "4 domains must replay the serial run");
+    }
+
+    #[test]
+    fn offload_runs_identically_under_domains() {
+        use hmc_mapping::{CubePolicy, FabricAddressMap};
+        use hmc_workloads::OffloadSource;
+
+        let run = |domains: usize| {
+            let cfg = FabricConfig::chain(4, 2);
+            let map = cfg.cube.map;
+            let fabric = FabricAddressMap::new(CubePolicy::Blocked, 2, &map);
+            let spec = FabricPortSpec::from_source(
+                move |_| {
+                    Box::new(OffloadSource::between_cubes(
+                        &map,
+                        fabric,
+                        (CubeId(0), VaultId(0)),
+                        (CubeId(1), VaultId(8)),
+                        PayloadSize::B128,
+                        40,
+                        8,
+                    ))
+                },
+                CubeId(0),
+            )
+            .addressed(fabric);
+            let mut sim = FabricSim::new(cfg, vec![spec]).with_domains(domains);
+            let report = sim.run_streams();
+            (format!("{report:?}"), sim.engine_stats())
+        };
+        assert_eq!(run(1), run(2), "dependent offload streams must not skew");
+    }
+
+    #[test]
+    fn single_cube_domains_fall_back_to_serial() {
+        let cfg = FabricConfig::single(
+            hmc_device::DeviceConfig::ac510_hmc(),
+            hmc_host::HostConfig::ac510_default(),
+            3,
+        );
+        let trace = one_read_trace(&cfg, 3);
+        let mut sim =
+            FabricSim::new(cfg, vec![FabricPortSpec::stream(trace, CubeId(0))]).with_domains(4);
+        let report = sim.run_streams();
+        assert_eq!(report.ports[0].completed, 1);
+        assert!(sim.engine_stats().dispatched > 0);
+    }
+
+    #[test]
+    fn shard_hubs_merge_to_the_serial_hub() {
+        use hmc_telemetry::{Hub, HubConfig};
+
+        let run = |domains: usize| {
+            let hub = Hub::shared(HubConfig::default());
+            let probe = Probe::attached(&hub);
+            let cfg = FabricConfig::chain(13, 4);
+            let filter = AccessPattern::Vaults { count: 16 }.filter(&cfg.cube.map);
+            let specs: Vec<FabricPortSpec> = (0..4)
+                .map(|c| {
+                    FabricPortSpec::gups(
+                        filter,
+                        hmc_host::GupsOp::Read(PayloadSize::B64),
+                        CubeId(c),
+                    )
+                })
+                .collect();
+            let mut sim = FabricSim::with_telemetry(cfg, specs, probe).with_domains(domains);
+            sim.run_gups(Delay::from_us(2), Delay::from_us(6));
+            let h = hub.borrow();
+            (
+                h.aggregate_sketch().count(),
+                h.completion_bytes().total(),
+                h.link_flits().keys().copied().collect::<Vec<_>>(),
+                h.source_sketches().len(),
+            )
+        };
+        assert_eq!(run(1), run(4), "shard merge must reproduce the one-hub run");
     }
 }

@@ -73,6 +73,11 @@ pub struct HostModel {
     stage_admit_at: Vec<Time>,
     link_tx: Vec<LinkTx<RequestPacket>>,
     rx_busy: Vec<Time>,
+    /// Cached [`Port::wake_hint`] per port, refreshed at every port
+    /// mutation (issue attempt, response delivery, activation flip). Lets
+    /// [`HostModel::next_wake`] — queried after every message — skip
+    /// re-deriving each port's tag/state condition.
+    port_hints: Vec<Option<Time>>,
     /// Reused event buffer (returned as a view by `tick`/`pump_links`/
     /// `on_response_arrival`/`on_request_tokens`).
     events: HostEvents,
@@ -103,6 +108,7 @@ impl HostModel {
         let stage_admit_at = vec![Time::ZERO; usize::from(cfg.link_count)];
         let arb = RoundRobinArbiter::new(ports.len());
         let rx_busy = vec![Time::ZERO; ports.len()];
+        let port_hints = ports.iter().map(Port::wake_hint).collect();
         HostModel {
             cfg,
             ports,
@@ -112,6 +118,7 @@ impl HostModel {
             stage_admit_at,
             link_tx,
             rx_busy,
+            port_hints,
             events: HostEvents::new(),
             delivery_scratch: Deliveries::new(),
             probe: Probe::off(),
@@ -149,6 +156,10 @@ impl HostModel {
                 if let Some(pkt) = self.ports[i].try_issue(now) {
                     self.fifos[i].push(pkt).expect("checked not full");
                 }
+                // Issue attempts advance the source (and may consume the
+                // last tag), so the cached hint is refreshed here — full
+                // FIFOs skip the attempt and leave the hint untouched.
+                self.port_hints[i] = self.ports[i].wake_hint();
             }
         }
         self.pump_links(now)
@@ -258,7 +269,9 @@ impl HostModel {
     /// Delivers a drained response to its port (call at the
     /// [`HostEvent::ResponseDrained`] timestamp).
     pub fn deliver_response(&mut self, now: Time, pkt: &ResponsePacket) {
-        self.ports[pkt.port.index()].on_response(now, pkt);
+        let slot = pkt.port.index();
+        self.ports[slot].on_response(now, pkt);
+        self.port_hints[slot] = self.ports[slot].wake_hint();
     }
 
     /// Returns request tokens to `link`'s transmitter (the cube drained
@@ -326,12 +339,13 @@ impl HostModel {
         let mut propose = |t: Time| {
             wake = Some(wake.map_or(t, |w| w.min(t)));
         };
-        for (p, fifo) in self.ports.iter().zip(&self.fifos) {
+        for (i, (hint, fifo)) in self.port_hints.iter().zip(&self.fifos).enumerate() {
+            debug_assert_eq!(*hint, self.ports[i].wake_hint(), "stale port wake hint");
             if fifo.is_full() {
                 continue;
             }
-            if let Some(t) = p.next_wake(now) {
-                propose(grid_ceil(t));
+            if let Some(t) = hint {
+                propose(grid_ceil((*t).max(now)));
             }
         }
         for fifo in &self.fifos {
@@ -368,8 +382,9 @@ impl HostModel {
 
     /// Activates or deactivates every GUPS port.
     pub fn set_all_active(&mut self, active: bool) {
-        for p in &mut self.ports {
+        for (p, hint) in self.ports.iter_mut().zip(&mut self.port_hints) {
             p.set_active(active);
+            *hint = p.wake_hint();
         }
     }
 

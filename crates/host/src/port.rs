@@ -221,6 +221,16 @@ impl Port {
     /// conservative: the poll may still answer `Blocked`/`Done`, costing
     /// one no-op tick, never a missed issue.
     pub fn next_wake(&self, now: Time) -> Option<Time> {
+        self.wake_hint().map(|t| t.max(now))
+    }
+
+    /// The time-independent part of [`Port::next_wake`]: `Time::ZERO`
+    /// stands for "pollable right now". It changes only when the port
+    /// mutates (an issue, a response, activation), never with the mere
+    /// passage of time — so the host model caches it per port and
+    /// refreshes it at those mutation points instead of re-deriving every
+    /// port's state on every wake query.
+    pub fn wake_hint(&self) -> Option<Time> {
         if !self.tags.has_free() {
             return None;
         }
@@ -228,8 +238,8 @@ impl Port {
             return None;
         }
         match self.state {
-            SourceState::Poll => Some(now),
-            SourceState::Waiting(t) => Some(t.max(now)),
+            SourceState::Poll => Some(Time::ZERO),
+            SourceState::Waiting(t) => Some(t),
             SourceState::Blocked | SourceState::Done => None,
         }
     }

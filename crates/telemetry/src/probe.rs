@@ -70,6 +70,32 @@ impl Probe {
         }
     }
 
+    /// The configuration of the hub this probe feeds, or `None` when
+    /// detached (always `None` with the `off` feature). A partitioned
+    /// simulation reads this to create per-domain shard hubs with the
+    /// same epoch layout, then merges them back via
+    /// [`Hub::absorb`](crate::Hub::absorb).
+    pub fn hub_config(&self) -> Option<crate::HubConfig> {
+        #[cfg(not(feature = "off"))]
+        {
+            self.hub.as_ref().map(|h| h.borrow().config())
+        }
+        #[cfg(feature = "off")]
+        {
+            None
+        }
+    }
+
+    /// Folds a per-domain shard hub back into the hub this probe feeds.
+    /// The domain scheduler gives each worker domain its own shard (same
+    /// [`HubConfig`](crate::HubConfig) as the primary, read via
+    /// [`Probe::hub_config`]) and merges them all here after the join —
+    /// a no-op on a detached probe and with the `off` feature.
+    #[inline]
+    pub fn absorb_shard(&self, shard: &crate::Hub) {
+        self.with(|h| h.absorb(shard));
+    }
+
     /// Whether events reach a hub.
     #[inline]
     pub fn is_on(&self) -> bool {

@@ -137,6 +137,16 @@ impl Tracer {
         self.slices.len()
     }
 
+    /// Appends another tracer's completed slices (shard merge). Live
+    /// (incomplete) lifecycles and the sampling cursor stay local to each
+    /// shard: a packet's milestones are only coherent within the shard
+    /// that sampled its issue, which is why traced runs are executed on a
+    /// single engine (see the fabric's domain scheduler) — for those this
+    /// is exact, and for untraced shards it is a no-op.
+    pub(crate) fn absorb(&mut self, other: &Tracer) {
+        self.slices.extend(other.slices.iter().cloned());
+    }
+
     /// Renders all completed slices as a Chrome `trace_event` document
     /// (the JSON Object Format: `{"traceEvents": [...]}`). Timestamps are
     /// microseconds of simulated time. Packets still in flight when the
