@@ -37,9 +37,15 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 use hmc_sim::des::Delay;
+use hmc_sim::fabric::SchedStats;
 use hmc_sim::prelude::*;
 use hmc_sim::stats::{json_escape, json_f64};
 use hmc_sim::workloads::{GlobalGupsSource, OffloadSource};
+
+/// What one basket run hands back: the report, the engine counters and
+/// the parallel-scheduler counters (all-zero default for single-engine
+/// cases).
+type CaseOutput = (RunReport, hmc_sim::des::EngineStats, SchedStats);
 
 /// One basket entry: a named, seeded, fixed-size workload.
 struct Case {
@@ -48,7 +54,7 @@ struct Case {
     /// stats. Timed reps pass `Probe::off()` (the one-branch no-op path
     /// the gate measures); the extra untimed percentile run passes an
     /// attached probe.
-    run: fn(Scale2, Probe) -> (RunReport, hmc_sim::des::EngineStats),
+    run: fn(Scale2, Probe) -> CaseOutput,
 }
 
 /// Harness scale: `Smoke` shrinks measurement windows so CI finishes in
@@ -84,7 +90,7 @@ impl Scale2 {
 
 /// The unloaded Figure 6 point: one 16 B read port, one tag, one bank —
 /// the idle-skip stress (few events over many simulated cycles).
-fn fig6_low(scale: Scale2, probe: Probe) -> (RunReport, hmc_sim::des::EngineStats) {
+fn fig6_low(scale: Scale2, probe: Probe) -> CaseOutput {
     let cfg = SystemConfig::ac510(2018);
     let filter = AccessPattern::Banks {
         vault: VaultId(0),
@@ -95,36 +101,39 @@ fn fig6_low(scale: Scale2, probe: Probe) -> (RunReport, hmc_sim::des::EngineStat
     let mut sim = SystemSim::with_telemetry(cfg, specs, probe);
     let (warmup, measure) = scale.gups_windows();
     let report = sim.run_gups(warmup, measure);
-    (report, sim.engine_stats())
+    let stats = sim.engine_stats();
+    (report, stats, SchedStats::default())
 }
 
 /// The saturated Figure 6 point: nine 128 B read ports over all 16
 /// vaults — the bandwidth ceiling, the densest event traffic in the
 /// basket and the point the ≥1.3x events/sec gate is measured on.
-fn fig6_sat(scale: Scale2, probe: Probe) -> (RunReport, hmc_sim::des::EngineStats) {
+fn fig6_sat(scale: Scale2, probe: Probe) -> CaseOutput {
     let cfg = SystemConfig::ac510(2018);
     let filter = AccessPattern::Vaults { count: 16 }.filter(&cfg.device.map);
     let specs = vec![PortSpec::gups(filter, GupsOp::Read(PayloadSize::B128)); 9];
     let mut sim = SystemSim::with_telemetry(cfg, specs, probe);
     let (warmup, measure) = scale.gups_windows();
     let report = sim.run_gups(warmup, measure);
-    (report, sim.engine_stats())
+    let stats = sim.engine_stats();
+    (report, stats, SchedStats::default())
 }
 
 /// A 4-cube chain with four 64 B GUPS ports hammering the far cube:
 /// every request transits three pass-through crossbars each way.
-fn ext_chain4(scale: Scale2, probe: Probe) -> (RunReport, hmc_sim::des::EngineStats) {
+fn ext_chain4(scale: Scale2, probe: Probe) -> CaseOutput {
     let cfg = FabricConfig::chain(2018, 4);
     let filter = AccessPattern::Vaults { count: 16 }.filter(&cfg.cube.map);
     let specs = vec![FabricPortSpec::gups(filter, GupsOp::Read(PayloadSize::B64), CubeId(3)); 4];
     let mut sim = FabricSim::with_telemetry(cfg, specs, probe);
     let (warmup, measure) = scale.gups_windows();
     let report = sim.run_gups(warmup, measure);
-    (report, sim.engine_stats())
+    let stats = sim.engine_stats();
+    (report, stats, SchedStats::default())
 }
 
 /// The pointer-chase probe: 8 dependent-read walkers on one cube.
-fn probe_chase(scale: Scale2, probe: Probe) -> (RunReport, hmc_sim::des::EngineStats) {
+fn probe_chase(scale: Scale2, probe: Probe) -> CaseOutput {
     let cfg = SystemConfig::ac510(2018);
     let map = cfg.device.map;
     let vaults: Vec<VaultId> = (0..16).map(VaultId).collect();
@@ -142,11 +151,12 @@ fn probe_chase(scale: Scale2, probe: Probe) -> (RunReport, hmc_sim::des::EngineS
     .with_tags(8);
     let mut sim = SystemSim::with_telemetry(cfg, vec![spec], probe);
     let report = sim.run_streams();
-    (report, sim.engine_stats())
+    let stats = sim.engine_stats();
+    (report, stats, SchedStats::default())
 }
 
 /// The NOM-style offload stream: read→dependent-write vault copies.
-fn ext_offload(scale: Scale2, probe: Probe) -> (RunReport, hmc_sim::des::EngineStats) {
+fn ext_offload(scale: Scale2, probe: Probe) -> CaseOutput {
     let cfg = SystemConfig::ac510(2018);
     let map = cfg.device.map;
     let pairs = scale.offload_pairs();
@@ -162,7 +172,8 @@ fn ext_offload(scale: Scale2, probe: Probe) -> (RunReport, hmc_sim::des::EngineS
     });
     let mut sim = SystemSim::with_telemetry(cfg, vec![spec], probe);
     let report = sim.run_streams();
-    (report, sim.engine_stats())
+    let stats = sim.engine_stats();
+    (report, stats, SchedStats::default())
 }
 
 /// The saturated 8-cube chain: nine 128 B read ports over an
@@ -173,11 +184,7 @@ fn ext_offload(scale: Scale2, probe: Probe) -> (RunReport, hmc_sim::des::EngineS
 /// over four engine domains, so their signatures must match and the
 /// events/sec ratio is the parallel speedup (≈1 on a single hardware
 /// thread, where the domains time-slice one core).
-fn ext_intercube8(
-    scale: Scale2,
-    probe: Probe,
-    domains: usize,
-) -> (RunReport, hmc_sim::des::EngineStats) {
+fn ext_intercube8(scale: Scale2, probe: Probe, domains: usize) -> CaseOutput {
     let cfg = FabricConfig::ac510(Topology::Chain, 8, 2018);
     let fabric_map = FabricAddressMap::new(CubePolicy::Interleaved, 8, &cfg.cube.map);
     let window = 1u64 << Address::BITS;
@@ -197,14 +204,16 @@ fn ext_intercube8(
     let mut sim = FabricSim::with_telemetry(cfg, vec![spec; 9], probe).with_domains(domains);
     let (warmup, measure) = scale.gups_windows();
     let report = sim.run_gups(warmup, measure);
-    (report, sim.engine_stats())
+    let stats = sim.engine_stats();
+    let sched = sim.sched_stats();
+    (report, stats, sched)
 }
 
-fn ext_intercube8_serial(scale: Scale2, probe: Probe) -> (RunReport, hmc_sim::des::EngineStats) {
+fn ext_intercube8_serial(scale: Scale2, probe: Probe) -> CaseOutput {
     ext_intercube8(scale, probe, 1)
 }
 
-fn ext_intercube8_d4(scale: Scale2, probe: Probe) -> (RunReport, hmc_sim::des::EngineStats) {
+fn ext_intercube8_d4(scale: Scale2, probe: Probe) -> CaseOutput {
     ext_intercube8(scale, probe, 4)
 }
 
@@ -240,12 +249,19 @@ const BASKET: &[Case] = &[
 ];
 
 /// The deterministic signature of one run; must not vary across reps.
+/// The scheduler tallies are included because the adaptive window plan
+/// is a pure function of the workload and domain count — worker grants
+/// may vary with machine load, but never the rounds/windows/events
+/// schedule.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct Signature {
     events: u64,
     wake_fires: u64,
     sim_ns: u64,
     accesses: u64,
+    rounds: u64,
+    windows: u64,
+    window_events: u64,
 }
 
 struct Measured {
@@ -253,6 +269,11 @@ struct Measured {
     sig: Signature,
     wall_best_s: f64,
     reps: u32,
+    /// Worker-pool telemetry from the last rep: threads used and pool
+    /// steal/park counts. Machine-dependent, reported but never gated.
+    workers: u64,
+    pool_steals: u64,
+    pool_parks: u64,
     /// Round-trip `(p50, p99, p999)` ps from one untimed telemetry-on
     /// run. Recorded for trend inspection, never gated: latency is part
     /// of the simulated model, not the harness's wall-clock subject.
@@ -364,9 +385,10 @@ fn main() -> ExitCode {
     for case in BASKET {
         let mut best = f64::INFINITY;
         let mut sig: Option<Signature> = None;
+        let mut last_sched = SchedStats::default();
         for rep in 0..args.reps {
             let start = Instant::now();
-            let (report, stats) = (case.run)(args.scale, Probe::off());
+            let (report, stats, sched) = (case.run)(args.scale, Probe::off());
             let wall = start.elapsed().as_secs_f64();
             best = best.min(wall);
             let this = Signature {
@@ -374,7 +396,11 @@ fn main() -> ExitCode {
                 wake_fires: stats.wake_fires,
                 sim_ns: report.sim_end.as_ps() / 1000,
                 accesses: report.total_accesses(),
+                rounds: sched.rounds,
+                windows: sched.windows,
+                window_events: sched.window_events,
             };
+            last_sched = sched;
             match sig {
                 None => sig = Some(this),
                 Some(prev) if prev != this => {
@@ -402,6 +428,9 @@ fn main() -> ExitCode {
             sig,
             wall_best_s: best,
             reps: args.reps,
+            workers: last_sched.workers,
+            pool_steals: last_sched.pool_steals,
+            pool_parks: last_sched.pool_parks,
             tail_ps,
         });
     }
@@ -423,6 +452,23 @@ fn main() -> ExitCode {
             json_f64(m.wall_best_s, 4),
             json_f64(m.events_per_sec(), 0),
         );
+        if m.sig.rounds > 0 {
+            // Parallel cases only: the deterministic scheduler tallies
+            // (CI gates on these), then the machine-bound pool telemetry.
+            fields.push_str(&format!(
+                ",\"sched_rounds\":{},\"sched_windows\":{},\"sched_window_events\":{},\
+                 \"windows_per_round\":{},\"events_per_window\":{},\
+                 \"workers\":{},\"pool_steals\":{},\"pool_parks\":{}",
+                m.sig.rounds,
+                m.sig.windows,
+                m.sig.window_events,
+                json_f64(m.sig.windows as f64 / m.sig.rounds as f64, 3),
+                json_f64(m.sig.window_events as f64 / m.sig.windows.max(1) as f64, 1),
+                m.workers,
+                m.pool_steals,
+                m.pool_parks,
+            ));
+        }
         if let Some([p50, p99, p999]) = m.tail_ps {
             fields.push_str(&format!(
                 ",\"latency_p50_ns\":{},\"latency_p99_ns\":{},\"latency_p999_ns\":{}",
@@ -442,11 +488,12 @@ fn main() -> ExitCode {
         entries.push(fields);
     }
     let doc = format!(
-        "{{\"schema\":\"hmc-perfgate-v1\",\"mode\":\"{}\",\"experiments\":[{}]}}\n",
+        "{{\"schema\":\"hmc-perfgate-v1\",\"mode\":\"{}\",\"cores\":{},\"experiments\":[{}]}}\n",
         match args.scale {
             Scale2::Smoke => "smoke",
             Scale2::Full => "full",
         },
+        hmc_sim::des::pool::budget_total(),
         entries.join(",")
     );
     match &args.out {

@@ -601,6 +601,18 @@ impl<M> Engine<M> {
             scratch_spills: inline::spill_allocs() - self.spill_baseline,
         }
     }
+
+    /// Excludes `n` scratch-spill allocations from this engine's
+    /// [`EngineStats::scratch_spills`]. The spill counter is thread-local
+    /// and each engine baselines it at construction, which attributes
+    /// spills exactly while an engine has its thread to itself; a caller
+    /// that multiplexes several engines onto one thread must charge each
+    /// section's spills to the engine that ran it and declare them
+    /// foreign to the others via this method, or the per-engine counts
+    /// (and their sum) inflate.
+    pub fn absorb_foreign_spills(&mut self, n: u64) {
+        self.spill_baseline += n;
+    }
 }
 
 /// Object-safe downcasting support for components.

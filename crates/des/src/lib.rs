@@ -63,9 +63,10 @@
 
 mod engine;
 pub mod inline;
+pub mod pool;
 mod time;
 pub mod wake;
-mod wheel;
+pub mod wheel;
 
 pub use engine::{
     AsAnyComponent, Component, ComponentId, Ctx, Engine, EngineStats, WakeToken, KEYED_EVENT_BIT,
@@ -73,3 +74,4 @@ pub use engine::{
 pub use inline::InlineVec;
 pub use time::{Delay, Time};
 pub use wake::{AutoWake, Clocked};
+pub use wheel::EventQueue;

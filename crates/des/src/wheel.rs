@@ -43,9 +43,12 @@ pub const WHEEL_SLOTS: usize = 256;
 
 /// An entry ordered by `(time, seq)`. The queue never inspects the
 /// payload.
-pub(crate) struct Entry<T> {
+pub struct Entry<T> {
+    /// Due instant.
     pub time: Time,
+    /// Insertion order within equal times (the caller's monotone counter).
     pub seq: u64,
+    /// The payload.
     pub item: T,
 }
 
@@ -72,7 +75,12 @@ fn slot_of(time: Time) -> u64 {
 }
 
 /// The two-level priority queue. Pops strictly in `(time, seq)` order.
-pub(crate) struct EventQueue<T> {
+///
+/// Public beyond the engine: any component with an internal calendar of
+/// timed work (e.g. the HMC device's DRAM/queue events) can use it as a
+/// drop-in replacement for a `BinaryHeap` keyed on `(time, seq)` — same
+/// order, constant-time pushes for near-horizon traffic.
+pub struct EventQueue<T> {
     /// Events in the cursor's bucket (and any pushed at or before it) —
     /// always contains the global minimum once [`EventQueue::prepare`]
     /// has run.
@@ -89,7 +97,14 @@ pub(crate) struct EventQueue<T> {
     far: BinaryHeap<Reverse<Entry<T>>>,
 }
 
+impl<T> Default for EventQueue<T> {
+    fn default() -> EventQueue<T> {
+        EventQueue::new()
+    }
+}
+
 impl<T> EventQueue<T> {
+    /// An empty queue with its ring pre-allocated.
     pub fn new() -> EventQueue<T> {
         EventQueue {
             active: BinaryHeap::with_capacity(16),
@@ -108,6 +123,12 @@ impl<T> EventQueue<T> {
         self.active.len() + self.near_len + self.far.len()
     }
 
+    /// `true` when no event is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Queues an entry; `O(1)` inside the near horizon.
     pub fn push(&mut self, entry: Entry<T>) {
         let s = slot_of(entry.time);
         if s <= self.cursor {

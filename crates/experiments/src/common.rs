@@ -212,6 +212,12 @@ where
 /// [`parallel_map`] with an explicit worker count (`0` = all available
 /// cores). Results must not depend on the choice — the determinism
 /// regressions run the same sweep at different widths and diff the output.
+///
+/// Worker cores are debited from the shared [`hmc_des::pool`] budget, so
+/// any `--domains` parallelism *inside* a job sees an exhausted budget
+/// and multiplexes instead of oversubscribing. A worker that drains the
+/// item queue parks its core back into the budget before the sweep
+/// joins, letting a still-running job's domain lease steal it.
 pub fn parallel_map_with_threads<T, R, F>(items: Vec<T>, threads: usize, f: F) -> Vec<R>
 where
     T: Send + Sync,
@@ -223,9 +229,7 @@ where
         return Vec::new();
     }
     let threads = if threads == 0 {
-        std::thread::available_parallelism()
-            .map(|p| p.get())
-            .unwrap_or(4)
+        hmc_des::pool::budget_total()
     } else {
         threads
     }
@@ -233,24 +237,35 @@ where
     if threads <= 1 {
         return items.iter().map(&f).collect();
     }
+    let lease = hmc_des::pool::demand(threads);
     let next = AtomicUsize::new(0);
     let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
     let items = &items;
     let f = &f;
     let next = &next;
     let slots_ref = &slots;
+    let lease_ref = &lease;
     std::thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(move || loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
+            scope.spawn(move || {
+                let mut claimed = 0usize;
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    if claimed > 0 {
+                        hmc_des::pool::note_steal();
+                    }
+                    claimed += 1;
+                    let r = f(&items[i]);
+                    *slots_ref[i].lock().expect("result slot") = Some(r);
                 }
-                let r = f(&items[i]);
-                *slots_ref[i].lock().expect("result slot") = Some(r);
+                lease_ref.park_one();
             });
         }
     });
+    drop(lease);
     slots
         .into_iter()
         .map(|m| m.into_inner().expect("slot lock").expect("job completed"))

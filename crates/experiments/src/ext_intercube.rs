@@ -96,7 +96,9 @@ fn run_point(
     let mut sim = FabricSim::new(cfg, specs).with_domains(ctx.domains);
     let report = sim.run_gups(ctx.gups_warmup(), ctx.gups_measure());
     ctx.stats.record(&sim.engine_stats());
-    let total: u64 = (0..8).map(|c| report.cube_completions(CubeId(c))).sum();
+    let total: u64 = (0..CubeId::MAX_CUBES)
+        .map(|c| report.cube_completions(CubeId(c as u8)))
+        .sum();
     IntercubePoint {
         topology,
         cubes,

@@ -1,0 +1,75 @@
+//! Regression: `--threads 2 --domains 2` on a 2-core budget composes
+//! instead of oversubscribing.
+//!
+//! The sweep layer *demands* its two workers, draining the budget; every
+//! domain lease underneath must then be granted zero extra workers and
+//! multiplex both domains onto its sweep thread. Before the shared pool,
+//! the same invocation spawned 2 × 2 threads onto the 2 cores.
+//!
+//! The budget is process-global and pinned before first use, so this
+//! test lives in its own integration-test binary.
+
+use hmc_experiments::common::parallel_map_with_threads;
+use hmc_sim::des::pool;
+use hmc_sim::prelude::*;
+
+fn run_one(seed: u64, domains: usize) -> (String, u64) {
+    let cfg = FabricConfig::chain(seed, 2);
+    let filter = AccessPattern::Vaults { count: 16 }.filter(&cfg.cube.map);
+    let specs: Vec<FabricPortSpec> = (0..2)
+        .map(|c| FabricPortSpec::gups(filter, GupsOp::Read(PayloadSize::B64), CubeId(c)))
+        .collect();
+    let mut sim = FabricSim::new(cfg, specs).with_domains(domains);
+    let report = sim.run_gups(Delay::from_us(2), Delay::from_us(6));
+    (format!("{report:?}"), sim.sched_stats().workers)
+}
+
+#[test]
+fn sweep_threads_and_domain_workers_share_one_two_core_budget() {
+    assert!(
+        pool::pin_budget_for_tests(2),
+        "budget pinned before any lease"
+    );
+
+    // A 2-wide sweep of 4 jobs, each a 2-domain parallel run.
+    let jobs: Vec<u64> = vec![3, 5, 7, 11];
+    let swept = parallel_map_with_threads(jobs.clone(), 2, |&seed| run_one(seed, 2));
+
+    // The budget is the ceiling: no job may ever see more domain workers
+    // than the machine has cores, sweep threads included. (A job *may*
+    // see 2 if its sibling sweep worker already drained the queue and
+    // parked its core — that is the work-stealing handoff, not a leak.)
+    for (i, (_, workers)) in swept.iter().enumerate() {
+        assert!(
+            (1..=2).contains(workers),
+            "job {i}: {workers} domain workers on a 2-core budget"
+        );
+    }
+    // The first two jobs are claimed while both sweep workers still hold
+    // their cores, so their domain leases must have been granted nothing
+    // and multiplexed both domains onto the one sweep thread.
+    assert_eq!(
+        swept[0].1, 1,
+        "job 0 leased extra workers while the sweep held every core"
+    );
+    assert_eq!(
+        swept[1].1, 1,
+        "job 1 leased extra workers while the sweep held every core"
+    );
+
+    // Budget intact after the sweep: a fresh parallel run can lease an
+    // extra worker again (2 cores, 2 domains → caller + 1 leased).
+    let (_, workers) = run_one(13, 2);
+    assert_eq!(workers, 2, "cores returned to the budget after the sweep");
+
+    // And the multiplexed runs are byte-identical to their serial twins
+    // — the budget shapes scheduling, never results.
+    for (&seed, (report, _)) in jobs.iter().zip(&swept) {
+        let (serial, serial_workers) = run_one(seed, 1);
+        assert_eq!(serial_workers, 0, "serial runs report no sched stats");
+        assert_eq!(&serial, report, "seed {seed}: results depend on budget");
+    }
+
+    // The sweep workers parked their cores on queue drain.
+    assert!(pool::stats().parks >= 2, "sweep workers parked");
+}

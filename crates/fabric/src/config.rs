@@ -185,7 +185,8 @@ pub struct FabricConfig {
 
 impl FabricConfig {
     /// The HMC header's CUB field is 3 bits: at most 8 cubes per fabric.
-    pub const MAX_CUBES: u8 = 8;
+    /// Derived from [`CubeId::MAX_CUBES`], the canonical bound.
+    pub const MAX_CUBES: u8 = CubeId::MAX_CUBES as u8;
 
     /// A single-cube fabric — the paper's AC-510 system.
     pub fn single(cube: DeviceConfig, host: HostConfig, seed: u64) -> FabricConfig {

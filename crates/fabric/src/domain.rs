@@ -112,6 +112,72 @@ pub(crate) fn horizon(d: usize, mins: &[u64], dist_to: &[u32], l: u64) -> u64 {
     bound.saturating_sub(1)
 }
 
+/// Upper bound on lookahead windows granted per rendezvous round. One
+/// round's schedule is projected from a single `mins` snapshot, so each
+/// extra window advances the projection by exactly one lookahead `l`;
+/// past a few dozen the windows outrun any real event density and only
+/// add handshake overhead. 32 keeps a round's schedule comfortably
+/// inside one cache line per domain while cutting barrier rounds by up
+/// to the same factor.
+pub(crate) const MAX_WINDOWS_PER_ROUND: usize = 32;
+
+/// The adaptive multi-window schedule of one rendezvous round: from a
+/// single snapshot of every domain's published earliest-event time,
+/// projects a ladder of per-domain horizons `plan[k][d]` — window `k`
+/// of domain `d` may run to `plan[k][d]` (inclusive) provided it has
+/// received every neighbor's window-`k-1` output first. Every domain
+/// computes the identical schedule from the shared snapshot, so the
+/// round's window count and horizons are deterministic whatever the
+/// thread timing.
+///
+/// Window 0 is exactly the [`horizon`] rule. Later windows build on a
+/// simple invariant: everything domain `f` processes — and therefore
+/// everything it can send — in windows `≥ k` has a timestamp strictly
+/// above its window-`k-1` horizon (earlier events were either already
+/// processed or, by the window-0 argument applied inductively, can
+/// never arrive in `f`'s past). A message from neighbor `f`'s window
+/// `≥ k` thus reaches `d` no earlier than `plan[k-1][f] + l`, so with
+/// windows `< k` delivered,
+///
+/// ```text
+/// plan[k][d] = min over neighbors f of plan[k-1][f] + l    (exclusive,
+///                                                           hence the -1
+///                                                           baked into
+///                                                           horizon and
+///                                                           preserved by
+///                                                           the +l step)
+/// ```
+///
+/// is safe. Non-neighbor domains need no term: their influence must be
+/// relayed by a neighbor, which can only do so in a window the bound
+/// already covers. The ladder is monotone (the `dist` triangle
+/// inequality makes `plan[1] ≥ plan[0]`, and the step preserves order),
+/// and it stops growing once saturated or at [`MAX_WINDOWS_PER_ROUND`].
+pub(crate) fn plan_windows(mins: &[u64], dist: &[Vec<u32>], l: u64) -> Vec<Vec<u64>> {
+    let count = mins.len();
+    let first: Vec<u64> = (0..count).map(|d| horizon(d, mins, &dist[d], l)).collect();
+    let mut plan = vec![first];
+    while plan.len() < MAX_WINDOWS_PER_ROUND {
+        let prev = plan.last().expect("plan starts non-empty");
+        let next: Vec<u64> = (0..count)
+            .map(|d| {
+                (0..count)
+                    .filter(|&f| dist[d][f] == 1)
+                    .map(|f| prev[f].saturating_add(l))
+                    .min()
+                    // A domain with no neighbors (single-domain plans in
+                    // tests) gains nothing from extra windows.
+                    .unwrap_or(prev[d])
+            })
+            .collect();
+        if next == *prev {
+            break;
+        }
+        plan.push(next);
+    }
+    plan
+}
+
 /// Error returned by [`PhaseBarrier::wait`] once the barrier is
 /// poisoned: some participant panicked and every domain must unwind
 /// instead of deadlocking on a rendezvous that can never complete.
@@ -187,6 +253,14 @@ impl PhaseBarrier {
     /// Marks the barrier poisoned and releases every waiter with an error.
     pub fn poison(&self) {
         self.poisoned.store(true, Ordering::Release);
+    }
+
+    /// `true` once any participant poisoned the barrier. The window
+    /// handshake loops (which wait on per-domain progress counters, not
+    /// on the barrier itself) poll this so a dead neighbor can't strand
+    /// them spinning.
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned.load(Ordering::Acquire)
     }
 
     /// A drop guard that poisons the barrier iff its thread is unwinding.
@@ -409,6 +483,153 @@ mod tests {
                 }
             }
             assert_eq!(log, serial, "interleaving {trial} diverged from serial");
+        }
+    }
+
+    #[test]
+    fn window_ladder_starts_at_the_horizon_and_steps_by_lookahead() {
+        let l = 55u64;
+        let dplan = DomainPlan::new(8, 4, chain_neighbors(8));
+        let mins = vec![100u64, 130, 90, 200];
+        let plan = plan_windows(&mins, &dplan.dist, l);
+        let first: Vec<u64> = (0..4)
+            .map(|d| horizon(d, &mins, &dplan.dist[d], l))
+            .collect();
+        assert_eq!(plan[0], first, "window 0 is the PR 7 horizon rule");
+        for k in 1..plan.len() {
+            for d in 0..4 {
+                assert!(plan[k][d] >= plan[k - 1][d], "ladder is monotone");
+                let step = (0..4)
+                    .filter(|&f| dplan.dist[d][f] == 1)
+                    .map(|f| plan[k - 1][f].saturating_add(l))
+                    .min()
+                    .unwrap();
+                assert_eq!(plan[k][d], step, "each rung is the neighbor bound");
+            }
+        }
+        // Live traffic keeps the ladder growing to the cap; a drained
+        // fabric saturates it immediately.
+        assert_eq!(plan.len(), MAX_WINDOWS_PER_ROUND);
+        let drained = plan_windows(&[u64::MAX; 4], &dplan.dist, l);
+        assert!(drained.len() <= 2, "saturated ladders stop early");
+    }
+
+    /// The multi-window extension of the interleaving test above: each
+    /// round runs the whole `plan_windows` ladder, delivering window
+    /// `k-1`'s cross-domain spawns before window `k` runs (the handshake
+    /// the real scheduler implements with per-domain counters), with a
+    /// fresh random domain order inside every window. Per-domain
+    /// delivery order must still match the serial oracle exactly, and
+    /// the ladder must genuinely grant multiple windows per rendezvous —
+    /// otherwise this test degenerates into the single-window one.
+    #[test]
+    fn adaptive_multi_window_grants_match_serial_delivery_order() {
+        const L: u64 = 55;
+        let dplan = DomainPlan::new(8, 4, chain_neighbors(8));
+        let d_count = dplan.count;
+
+        fn mix(mut x: u64) -> u64 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        }
+        let spawn = |d: usize, t: u64, id: u64, budget: u32| -> Option<(usize, u64, u64)> {
+            if budget == 0 {
+                return None;
+            }
+            let h = mix(id ^ t.rotate_left(32));
+            let dst = match h % 4 {
+                0 => d.saturating_sub(1),
+                1 => (d + 1).min(d_count - 1),
+                _ => d,
+            };
+            let at = if dst == d {
+                t + 1 + (h >> 8) % 7
+            } else {
+                t + L + (h >> 8) % 97
+            };
+            Some((dst, at, mix(h)))
+        };
+        let seeds: Vec<(usize, u64, u64, u32)> = (0..d_count)
+            .flat_map(|d| (0..3u64).map(move |k| (d, 10 + 13 * k, mix(0xC0DE + k + d as u64), 24)))
+            .collect();
+
+        let serial: Vec<Vec<(u64, u64)>> = {
+            let mut queue: std::collections::BTreeSet<(u64, usize, u64, u32)> =
+                seeds.iter().map(|&(d, t, id, b)| (t, d, id, b)).collect();
+            let mut log = vec![Vec::new(); d_count];
+            while let Some(&(t, d, id, b)) = queue.iter().next() {
+                queue.remove(&(t, d, id, b));
+                log[d].push((t, id));
+                if let Some((dst, at, cid)) = spawn(d, t, id, b) {
+                    queue.insert((at, dst, cid, b - 1));
+                }
+            }
+            log
+        };
+        assert!(serial.iter().map(Vec::len).sum::<usize>() > 200);
+
+        for trial in 0..25u64 {
+            let mut rng = mix(0xFACE ^ trial);
+            let mut queues: Vec<std::collections::BTreeSet<(u64, u64, u32)>> =
+                vec![Default::default(); d_count];
+            for &(d, t, id, b) in &seeds {
+                queues[d].insert((t, id, b));
+            }
+            let mut log = vec![Vec::new(); d_count];
+            let (mut rounds, mut windows) = (0u64, 0u64);
+            loop {
+                let mins: Vec<u64> = queues
+                    .iter()
+                    .map(|q| q.iter().next().map_or(u64::MAX, |&(t, _, _)| t))
+                    .collect();
+                if mins.iter().all(|&m| m == u64::MAX) {
+                    break;
+                }
+                let ladder = plan_windows(&mins, &dplan.dist, L);
+                rounds += 1;
+                windows += ladder.len() as u64;
+                // `sent[dst]`: cross spawns of the window being run,
+                // delivered only before the *next* window — exactly what
+                // the per-domain done-counter handshake guarantees.
+                let mut sent: Vec<Vec<(u64, u64, u32)>> = vec![Vec::new(); d_count];
+                for horizons in &ladder {
+                    for (q, mb) in queues.iter_mut().zip(&mut sent) {
+                        q.extend(mb.drain(..));
+                    }
+                    let mut order: Vec<usize> = (0..d_count).collect();
+                    for i in (1..d_count).rev() {
+                        rng = mix(rng);
+                        order.swap(i, (rng as usize) % (i + 1));
+                    }
+                    for &d in &order {
+                        let h = horizons[d];
+                        while let Some(&(t, id, b)) = queues[d].iter().next() {
+                            if t > h {
+                                break;
+                            }
+                            queues[d].remove(&(t, id, b));
+                            log[d].push((t, id));
+                            if let Some((dst, at, cid)) = spawn(d, t, id, b) {
+                                if dst == d {
+                                    queues[d].insert((at, cid, b - 1));
+                                } else {
+                                    sent[dst].push((at, cid, b - 1));
+                                }
+                            }
+                        }
+                    }
+                }
+                for (q, mb) in queues.iter_mut().zip(&mut sent) {
+                    q.extend(mb.drain(..));
+                }
+            }
+            assert_eq!(log, serial, "interleaving {trial} diverged from serial");
+            assert!(
+                windows >= 3 * rounds,
+                "the ladder granted only {windows} windows over {rounds} rounds"
+            );
         }
     }
 

@@ -52,4 +52,4 @@ pub use config::{CubeId, FabricConfig, HopTuning, Topology};
 pub use hmc_mapping::{CubePolicy, CubeTargeting, FabricAddressMap, SplitError};
 pub use report::{CubeReport, PortReport, RunReport, TransitStats};
 pub use route::RouteTable;
-pub use sim::{FabricPortSpec, FabricSim, GUPS_TAGS, STREAM_TAGS};
+pub use sim::{FabricPortSpec, FabricSim, SchedStats, GUPS_TAGS, STREAM_TAGS};

@@ -36,10 +36,10 @@ pub struct PortReport {
     /// request — read [`PortReport::cube_completions`] for those.
     pub cube: Option<CubeId>,
     /// Completions recorded in the measurement window per destination
-    /// cube (all eight CUB values) — the per-cube attribution of a split
-    /// stream. For a fixed-targeting port only the targeted cube's slot
-    /// is nonzero.
-    pub cube_completions: [u64; 8],
+    /// cube (every addressable CUB value) — the per-cube attribution of a
+    /// split stream. For a fixed-targeting port only the targeted cube's
+    /// slot is nonzero.
+    pub cube_completions: [u64; CubeId::MAX_CUBES],
 }
 
 /// Counters of one cube's pass-through stage (absent on a single-cube
@@ -163,8 +163,8 @@ impl RunReport {
     /// Number of cubes that completed at least one recorded request — how
     /// widely a run's traffic actually spread across the fabric.
     pub fn cubes_hit(&self) -> usize {
-        (0..8)
-            .filter(|&c| self.cube_completions(CubeId(c)) > 0)
+        (0..CubeId::MAX_CUBES)
+            .filter(|&c| self.cube_completions(CubeId(c as u8)) > 0)
             .count()
     }
 
@@ -281,7 +281,7 @@ mod tests {
             latency.record_ps(ns * 1_000);
             meter.add_bytes(bytes_per_access);
         }
-        let mut cube_completions = [0u64; 8];
+        let mut cube_completions = [0u64; CubeId::MAX_CUBES];
         cube_completions[0] = latencies_ns.len() as u64;
         RunReport {
             ports: vec![PortReport {

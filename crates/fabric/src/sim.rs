@@ -35,6 +35,7 @@ use std::rc::Rc;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 
+use hmc_des::pool;
 use hmc_des::{
     AutoWake, Component, ComponentId, Ctx, Delay, Engine, EngineStats, Time, WakeToken,
     KEYED_EVENT_BIT,
@@ -49,7 +50,7 @@ use hmc_telemetry::{Hub, HubConfig, LinkDir, Probe, Stage};
 use hmc_workloads::{source_factory, GupsSource, SourceFactory, TraceReplay, TrafficSource};
 
 use crate::config::{CubeId, FabricConfig};
-use crate::domain::{horizon, BarrierPoisoned, DomainPlan, PhaseBarrier};
+use crate::domain::{plan_windows, BarrierPoisoned, DomainPlan, PhaseBarrier};
 use crate::report::{CubeReport, PortReport, RunReport, TransitStats};
 use crate::route::RouteTable;
 
@@ -1193,6 +1194,65 @@ fn schedule_initial(parts: &mut DomainParts, kind: RunKind, n: usize) {
     }
 }
 
+/// Parallel-scheduler and worker-pool counters for one run, surfaced
+/// next to [`EngineStats`] (and in perfgate output) but kept out of the
+/// run report: serial runs report zeros, so folding these into the
+/// report would break the byte-identity of `repro --json` across
+/// `--domains` settings.
+///
+/// `rounds`, `windows` and `window_events` are fully deterministic for a
+/// given workload and domain count — every window schedule is computed
+/// from a published snapshot, never from thread timing — and CI gates
+/// them. `workers`, `pool_steals` and `pool_parks` depend on what the
+/// shared core budget had free and are telemetry only.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SchedStats {
+    /// Barrier rendezvous rounds the domain scheduler ran (excluding the
+    /// final all-quiescent round that ends the run).
+    pub rounds: u64,
+    /// Total lookahead windows granted across those rounds; one round
+    /// grants every domain the same ladder of 1..=32 windows.
+    pub windows: u64,
+    /// Events dispatched inside parallel windows, summed over domains
+    /// (equals the merged [`EngineStats::dispatched`] minus any events a
+    /// domain dispatched outside the window loop — in practice, all of
+    /// them).
+    pub window_events: u64,
+    /// Threads the run actually used: 1 (the caller) plus whatever the
+    /// shared core budget granted; domains beyond this were multiplexed.
+    pub workers: u64,
+    /// Work items sweep workers stole from the shared pile while this
+    /// run was active (process-wide delta; zero unless a sweep runs
+    /// concurrently).
+    pub pool_steals: u64,
+    /// Workers that parked their core back into the shared budget while
+    /// this run was active (its own domain workers included).
+    pub pool_parks: u64,
+}
+
+impl SchedStats {
+    /// Mean lookahead windows granted per rendezvous round — the
+    /// adaptive scheduler's whole advantage over one-window-per-round;
+    /// `1.0` would mean the ladder never beat the PR 7 baseline.
+    pub fn windows_per_round(&self) -> f64 {
+        if self.rounds == 0 {
+            0.0
+        } else {
+            self.windows as f64 / self.rounds as f64
+        }
+    }
+
+    /// Mean events dispatched per granted window (batch size of one
+    /// `run_until`).
+    pub fn events_per_window(&self) -> f64 {
+        if self.windows == 0 {
+            0.0
+        } else {
+            self.window_events as f64 / self.windows as f64
+        }
+    }
+}
+
 /// Post-run state of one cube, extracted inside its owning thread.
 struct CubeHarvest {
     device: DeviceStats,
@@ -1207,19 +1267,23 @@ struct HostHarvest {
     measure_end: Option<Time>,
 }
 
-/// Everything a worker domain sends back to the caller after its engine
-/// quiesces. `Send`, unlike the engine itself.
-struct DomainHarvest {
+/// Everything a worker thread sends back to the caller after every
+/// domain it multiplexed quiesces. `Send`, unlike the engines.
+struct GroupHarvest {
     cubes: Vec<(usize, CubeHarvest)>,
     engine: EngineStats,
     last: Time,
-    hub: Option<Hub>,
+    hubs: Vec<Hub>,
+    window_events: u64,
+    /// Present only for the group that owns domain 0.
+    host: Option<HostHarvest>,
 }
 
 /// The merged result of a run, whatever the domain count.
 struct RunOutcome {
     report: RunReport,
     engine: EngineStats,
+    sched: SchedStats,
     /// Peak-occupancy census per cube, for `device_peak_census`.
     census: Vec<Vec<(String, u64)>>,
 }
@@ -1300,6 +1364,7 @@ fn assemble(
     host: HostHarvest,
     mut cubes: Vec<(usize, CubeHarvest)>,
     engine: EngineStats,
+    sched: SchedStats,
     last: Time,
     n: usize,
 ) -> RunOutcome {
@@ -1327,6 +1392,7 @@ fn assemble(
     RunOutcome {
         report,
         engine,
+        sched,
         census,
     }
 }
@@ -1345,45 +1411,39 @@ fn resolve_inlets(inc: Inboxes, parts: &DomainParts) -> Vec<(ComponentId, Receiv
         .collect()
 }
 
-/// The conservative window loop one domain runs until global quiescence.
-///
-/// Each round: publish this engine's earliest pending event time, meet at
-/// barrier A, read everyone's bound, stop if all engines are empty (no
-/// envelope can be in flight at that point — every send was drained into
-/// its channel before the previous barrier B and injected right after
-/// it), advance to the horizon, flush outboxes into their channels, meet
-/// at barrier B, inject what the neighbors sent. Barrier B orders every
-/// send before every receive, so `try_recv` drains completely.
-#[allow(clippy::too_many_arguments)]
-fn run_windows(
-    parts: &mut DomainParts,
+/// One engine domain as scheduled by a worker thread: its built parts,
+/// its channel endpoints, and the running tally of events its windows
+/// dispatched. A thread owns one *or several* of these — when the shared
+/// core budget grants fewer workers than domains, each thread simulates
+/// a contiguous block of domains itself, advancing them in lockstep
+/// through the same window levels a dedicated thread would.
+struct DomainRun {
     d: usize,
-    dplan: &DomainPlan,
-    out: &[Sender<Envelope>],
-    inc: &[(ComponentId, Receiver<Envelope>)],
-    mins: &[AtomicU64],
-    barrier: &PhaseBarrier,
-    l: u64,
-) -> Result<(), BarrierPoisoned> {
-    debug_assert_eq!(parts.outboxes.len(), out.len(), "one channel per outbox");
-    let count = dplan.count;
-    let mut snapshot = vec![0u64; count];
-    loop {
-        let next = parts
-            .engine
-            .next_event_time()
-            .map_or(u64::MAX, |t| t.as_ps());
-        mins[d].store(next, Ordering::Release);
-        barrier.wait()?;
-        for (slot, m) in snapshot.iter_mut().enumerate() {
-            *m = mins[slot].load(Ordering::Acquire);
+    parts: DomainParts,
+    out: Vec<Sender<Envelope>>,
+    inc: Vec<(ComponentId, Receiver<Envelope>)>,
+    window_events: u64,
+}
+
+impl DomainRun {
+    /// Injects everything the inbound channels currently hold. The keyed
+    /// ordering makes injection timing irrelevant to results, so a drain
+    /// may even pick up envelopes from a neighbor running a later window
+    /// — they simply schedule early.
+    fn drain_inboxes(&mut self) {
+        for (target, rx) in &self.inc {
+            while let Ok(env) = rx.try_recv() {
+                self.parts
+                    .engine
+                    .schedule_keyed(env.at, *target, env.key, env.msg);
+            }
         }
-        if snapshot.iter().all(|&m| m == u64::MAX) {
-            return Ok(());
-        }
-        let h = horizon(d, &snapshot, &dplan.dist[d], l);
-        parts.engine.run_until(Time::from_ps(h));
-        for (outbox, tx) in parts.outboxes.iter().zip(out) {
+    }
+
+    /// Moves this window's outbox contents onto the cross-domain
+    /// channels.
+    fn flush_outboxes(&mut self) -> Result<(), BarrierPoisoned> {
+        for (outbox, tx) in self.parts.outboxes.iter().zip(&self.out) {
             for env in outbox.borrow_mut().drain(..) {
                 if tx.send(env).is_err() {
                     // The receiving domain died; unwind like a poison.
@@ -1391,65 +1451,280 @@ fn run_windows(
                 }
             }
         }
+        Ok(())
+    }
+}
+
+/// Deterministic scheduler counters one thread accumulates; every thread
+/// computes identical `rounds`/`windows` (the schedule is a pure
+/// function of each round's shared snapshot), so the caller keeps only
+/// its own.
+#[derive(Default)]
+struct SchedTally {
+    rounds: u64,
+    windows: u64,
+}
+
+/// Blocks until every domain adjacent to `d` has published completion of
+/// window level `level` (its `done` counter passing `level` means levels
+/// `0..level` are flushed). Point-to-point: a domain waits only on its
+/// neighbors, never on the whole fabric — the reason multi-window rounds
+/// beat per-window barriers. Spins with periodic yields, polling the
+/// barrier's poison flag so a panicked neighbor can't strand the wait.
+fn wait_level(
+    d: usize,
+    dplan: &DomainPlan,
+    done: &[AtomicU64],
+    level: u64,
+    barrier: &PhaseBarrier,
+) -> Result<(), BarrierPoisoned> {
+    for (f, &dist) in dplan.dist[d].iter().enumerate() {
+        if dist != 1 {
+            continue;
+        }
+        let mut spins = 0u32;
+        while done[f].load(Ordering::Acquire) < level {
+            if barrier.is_poisoned() {
+                return Err(BarrierPoisoned);
+            }
+            spins = spins.wrapping_add(1);
+            if spins.is_multiple_of(1024) {
+                std::thread::yield_now();
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+    }
+    Ok(())
+}
+
+/// The adaptive conservative scheduler: advances a thread's domains
+/// through multi-window rounds until global quiescence.
+///
+/// Each round: publish every owned engine's earliest pending event time,
+/// meet at barrier A, read everyone's bound, stop if all engines are
+/// empty (no envelope can be in flight then — every send was flushed
+/// before the previous barrier B and injected right after it). Otherwise
+/// project the whole round's window ladder from the snapshot
+/// ([`plan_windows`]) and run it: window `k` of a domain first waits for
+/// its neighbors to finish window `k-1` (per-domain `done` counters —
+/// the only synchronization inside a round), drains their envelopes,
+/// runs to its ladder horizon, flushes its outboxes and publishes its
+/// own level. Barrier B then orders every send of the round before the
+/// final drain, and the next round begins. `runs` must be sorted by
+/// domain id: a thread's own earlier domains satisfy the level wait by
+/// construction, so multiplexed groups can never self-deadlock.
+fn run_group(
+    runs: &mut [DomainRun],
+    dplan: &DomainPlan,
+    mins: &[AtomicU64],
+    done: &[AtomicU64],
+    barrier: &PhaseBarrier,
+    l: u64,
+    tally: &mut SchedTally,
+) -> Result<(), BarrierPoisoned> {
+    let count = dplan.count;
+    let mut snapshot = vec![0u64; count];
+    let mut base = 0u64;
+    loop {
+        for r in runs.iter_mut() {
+            let next = r
+                .parts
+                .engine
+                .next_event_time()
+                .map_or(u64::MAX, |t| t.as_ps());
+            mins[r.d].store(next, Ordering::Release);
+        }
         barrier.wait()?;
-        for (target, rx) in inc {
-            while let Ok(env) = rx.try_recv() {
-                parts
-                    .engine
-                    .schedule_keyed(env.at, *target, env.key, env.msg);
+        for (slot, m) in snapshot.iter_mut().enumerate() {
+            *m = mins[slot].load(Ordering::Acquire);
+        }
+        if snapshot.iter().all(|&m| m == u64::MAX) {
+            return Ok(());
+        }
+        let ladder = plan_windows(&snapshot, &dplan.dist, l);
+        tally.rounds += 1;
+        tally.windows += ladder.len() as u64;
+        for (k, horizons) in ladder.iter().enumerate() {
+            let level = base + k as u64;
+            for idx in 0..runs.len() {
+                let spills = SpillSection::open();
+                let r = &mut runs[idx];
+                if k > 0 {
+                    wait_level(r.d, dplan, done, level, barrier)?;
+                    r.drain_inboxes();
+                }
+                let before = r.parts.engine.stats().dispatched;
+                r.parts.engine.run_until(Time::from_ps(horizons[r.d]));
+                r.window_events += r.parts.engine.stats().dispatched - before;
+                r.flush_outboxes()?;
+                done[r.d].store(level + 1, Ordering::Release);
+                spills.close(runs, idx);
+            }
+        }
+        base += ladder.len() as u64;
+        barrier.wait()?;
+        for idx in 0..runs.len() {
+            let spills = SpillSection::open();
+            runs[idx].drain_inboxes();
+            spills.close(runs, idx);
+        }
+    }
+}
+
+/// Attributes the scratch spills of one per-engine code section to that
+/// engine alone. [`EngineStats::scratch_spills`] derives from a
+/// thread-local counter, which is exact while each engine owns its
+/// thread; when one thread multiplexes several domains, every section
+/// run on behalf of engine `idx` must declare its spill delta *foreign*
+/// to the sibling engines, or their counts (and the run's merged total)
+/// drift from the serial run's.
+struct SpillSection {
+    before: u64,
+}
+
+impl SpillSection {
+    fn open() -> SpillSection {
+        SpillSection {
+            before: hmc_des::inline::spill_allocs(),
+        }
+    }
+
+    /// Charges the section's spills to `runs[idx]` by absorbing them
+    /// into every *other* run's baseline.
+    fn close(self, runs: &mut [DomainRun], idx: usize) {
+        let delta = hmc_des::inline::spill_allocs() - self.before;
+        if delta == 0 {
+            return;
+        }
+        for (j, other) in runs.iter_mut().enumerate() {
+            if j != idx {
+                other.parts.engine.absorb_foreign_spills(delta);
             }
         }
     }
 }
 
-/// One worker domain's whole life: build the engine (with a telemetry
-/// shard hub mirroring the caller's hub config), run the window loop,
-/// harvest. Runs on its own thread; the poison guard is installed before
-/// the build so a panic anywhere releases the other domains.
-#[allow(clippy::too_many_arguments)]
-fn run_domain(
+/// Builds one domain into a [`DomainRun`]: engine and components, initial
+/// events, channel endpoints resolved onto the owned adapters.
+fn make_run(
     plan: &BuildPlan,
     kind: RunKind,
-    d: usize,
+    probe: &Probe,
     dplan: &DomainPlan,
+    d: usize,
     out: Vec<Sender<Envelope>>,
     inc: Inboxes,
+) -> DomainRun {
+    let mut parts = build_domain(plan, probe, &dplan.of_cube, d);
+    schedule_initial(&mut parts, kind, plan.n);
+    let inc = resolve_inlets(inc, &parts);
+    debug_assert_eq!(parts.outboxes.len(), out.len(), "one channel per outbox");
+    DomainRun {
+        d,
+        parts,
+        out,
+        inc,
+        window_events: 0,
+    }
+}
+
+/// One worker thread's whole life: build every domain of its group (each
+/// with a telemetry shard hub mirroring the caller's hub config, except
+/// domain 0 which — when `main_probe` is given — feeds the caller's hub
+/// directly), run the group scheduler, harvest. The poison guard is
+/// installed before the builds so a panic anywhere releases the other
+/// threads; a poisoned run still harvests what it has — the caller's
+/// join of the panicked thread re-raises. The caller runs its own group
+/// through this same function on the calling thread.
+#[allow(clippy::too_many_arguments)]
+fn run_group_thread(
+    plan: &BuildPlan,
+    kind: RunKind,
+    seats: Vec<(usize, Vec<Sender<Envelope>>, Inboxes)>,
+    dplan: &DomainPlan,
     mins: &[AtomicU64],
+    done: &[AtomicU64],
     barrier: &PhaseBarrier,
     l: u64,
     shard_cfg: Option<HubConfig>,
-) -> DomainHarvest {
+    main_probe: Option<&Probe>,
+    targets: Option<&[CubeTargeting]>,
+) -> (GroupHarvest, SchedTally) {
     let _guard = barrier.guard();
-    let (shard, probe) = match shard_cfg {
-        Some(cfg) => {
-            let hub = Hub::shared(cfg);
-            let probe = Probe::attached(&hub);
-            (Some(hub), probe)
-        }
-        None => (None, Probe::off()),
-    };
-    let mut parts = build_domain(plan, &probe, &dplan.of_cube, d);
-    schedule_initial(&mut parts, kind, plan.n);
-    let inc = resolve_inlets(inc, &parts);
-    // A poisoned barrier means another domain panicked; harvest what we
-    // have — the caller's join of the panicked thread re-raises.
-    let _ = run_windows(&mut parts, d, dplan, &out, &inc, mins, barrier, l);
-    let cubes = harvest_cubes(&parts);
-    let engine = parts.engine.stats();
-    let last = parts.engine.last_dispatched_at();
-    drop(parts);
-    drop(probe);
-    let hub = shard.map(|rc| {
-        Rc::try_unwrap(rc)
-            .map(RefCell::into_inner)
-            .unwrap_or_else(|rc| rc.borrow().clone())
-    });
-    DomainHarvest {
-        cubes,
-        engine,
-        last,
-        hub,
+    let shards: Vec<(Option<Rc<RefCell<Hub>>>, Probe)> = seats
+        .iter()
+        .map(|&(d, _, _)| {
+            if d == 0 {
+                if let Some(p) = main_probe {
+                    return (None, p.clone());
+                }
+            }
+            match shard_cfg {
+                Some(cfg) => {
+                    let hub = Hub::shared(cfg);
+                    let probe = Probe::attached(&hub);
+                    (Some(hub), probe)
+                }
+                None => (None, Probe::off()),
+            }
+        })
+        .collect();
+    let mut runs: Vec<DomainRun> = Vec::new();
+    for ((d, out, inc), (_, probe)) in seats.into_iter().zip(&shards) {
+        let spills = SpillSection::open();
+        runs.push(make_run(plan, kind, probe, dplan, d, out, inc));
+        // Construction spills belong to the engine just built; the
+        // already-built siblings baselined earlier and must not see them.
+        let idx = runs.len() - 1;
+        spills.close(&mut runs, idx);
     }
+    let mut tally = SchedTally::default();
+    let _ = run_group(&mut runs, dplan, mins, done, barrier, l, &mut tally);
+
+    // Engine counters are snapshotted before any other harvesting so a
+    // scratch spill during a sibling's harvest can't leak into them.
+    let engine_stats: Vec<EngineStats> = runs.iter().map(|r| r.parts.engine.stats()).collect();
+    let mut cubes = Vec::new();
+    let mut engine = EngineStats::default();
+    let mut last = Time::ZERO;
+    let mut window_events = 0u64;
+    let mut host = None;
+    for (r, stats) in runs.iter().zip(engine_stats) {
+        cubes.extend(harvest_cubes(&r.parts));
+        engine = merge_stats(engine, stats);
+        last = last.max(r.parts.engine.last_dispatched_at());
+        window_events += r.window_events;
+        if r.parts.host.is_some() {
+            host = Some(harvest_host(
+                &r.parts,
+                targets.expect("the host's group passes port targets"),
+            ));
+        }
+    }
+    drop(runs);
+    let hubs = shards
+        .into_iter()
+        .filter_map(|(hub, probe)| {
+            drop(probe);
+            hub.map(|rc| {
+                Rc::try_unwrap(rc)
+                    .map(RefCell::into_inner)
+                    .unwrap_or_else(|rc| rc.borrow().clone())
+            })
+        })
+        .collect();
+    (
+        GroupHarvest {
+            cubes,
+            engine,
+            last,
+            hubs,
+            window_events,
+            host,
+        },
+        tally,
+    )
 }
 
 /// A complete simulated measurement system: FPGA host plus a network of
@@ -1660,7 +1935,14 @@ impl FabricSim {
         let cubes = harvest_cubes(&parts);
         let engine = parts.engine.stats();
         let last = parts.engine.last_dispatched_at();
-        assemble(host, cubes, engine, last, self.plan.n)
+        assemble(
+            host,
+            cubes,
+            engine,
+            SchedStats::default(),
+            last,
+            self.plan.n,
+        )
     }
 
     fn run_parallel(&mut self, kind: RunKind, want: usize) -> RunOutcome {
@@ -1697,60 +1979,101 @@ impl FabricSim {
         let mut sender_slots: Vec<Option<Vec<Sender<Envelope>>>> =
             senders.into_iter().map(Some).collect();
         let mut receiver_slots: Vec<Option<Inboxes>> = receivers.into_iter().map(Some).collect();
+        let mut seat = |d: usize| {
+            (
+                d,
+                sender_slots[d].take().expect("each domain seats once"),
+                receiver_slots[d].take().expect("each domain seats once"),
+            )
+        };
+
+        // Worker threads come from the shared core budget: one leased
+        // core per domain, the caller's own seat included (the caller
+        // always runs even when the budget grants nothing). Whatever the
+        // lease falls short by is absorbed by multiplexing — each thread
+        // owns a contiguous block of domains and steps them through the
+        // same window levels a dedicated thread would — so a sweep that
+        // drained the budget (an explicit `--threads N`) composes with
+        // `--domains` instead of stacking threads on top of it.
+        let pool_before = pool::stats();
+        let lease = pool::lease(d_count);
+        let workers = lease.granted().max(1);
+        let groups: Vec<Vec<usize>> = (0..workers)
+            .map(|w| (w * d_count / workers..(w + 1) * d_count / workers).collect())
+            .collect();
 
         let mins: Vec<AtomicU64> = (0..d_count).map(|_| AtomicU64::new(0)).collect();
-        let barrier = PhaseBarrier::new(d_count);
+        let done: Vec<AtomicU64> = (0..d_count).map(|_| AtomicU64::new(0)).collect();
+        let barrier = PhaseBarrier::new(workers);
 
-        let (host, cubes, stats, last, shards) = std::thread::scope(|s| {
-            let handles: Vec<_> = (1..d_count)
-                .map(|d| {
-                    let out = sender_slots[d].take().expect("each domain spawns once");
-                    let inc = receiver_slots[d].take().expect("each domain spawns once");
+        let (harvest, tally) = std::thread::scope(|s| {
+            let handles: Vec<_> = groups[1..]
+                .iter()
+                .map(|group| {
+                    let seats: Vec<_> = group.iter().map(|&d| seat(d)).collect();
                     let dplan = &dplan;
                     let mins = &mins[..];
+                    let done = &done[..];
                     let barrier = &barrier;
+                    let lease = &lease;
                     s.spawn(move || {
-                        run_domain(plan, kind, d, dplan, out, inc, mins, barrier, l, shard_cfg)
+                        let out = run_group_thread(
+                            plan, kind, seats, dplan, mins, done, barrier, l, shard_cfg, None, None,
+                        );
+                        // Hand the core back before the join: a sweep
+                        // sibling (or a later run's domain lease) can
+                        // claim it while the caller is still merging.
+                        lease.park_one();
+                        out
                     })
                 })
                 .collect();
 
-            // Domain 0 (host + cube 0) runs on the calling thread, feeding
-            // the caller's probe directly. The poison guard must precede
-            // the build: a panic before the first rendezvous would
-            // otherwise strand the workers at barrier A forever.
-            let guard = barrier.guard();
-            let mut parts = build_domain(plan, probe, &dplan.of_cube, 0);
-            schedule_initial(&mut parts, kind, n);
-            let out = sender_slots[0].take().expect("domain 0 runs once");
-            let inc = resolve_inlets(
-                receiver_slots[0].take().expect("domain 0 runs once"),
-                &parts,
+            // The caller runs its own group — always containing domain 0,
+            // which hosts the host and feeds the caller's probe directly.
+            // run_group_thread installs the poison guard before building,
+            // so a panic before the first rendezvous can't strand the
+            // workers at barrier A.
+            let seats: Vec<_> = groups[0].iter().map(|&d| seat(d)).collect();
+            let (mut harvest, tally) = run_group_thread(
+                plan,
+                kind,
+                seats,
+                &dplan,
+                &mins,
+                &done,
+                &barrier,
+                l,
+                shard_cfg,
+                Some(probe),
+                Some(targets),
             );
-            let _ = run_windows(&mut parts, 0, &dplan, &out, &inc, &mins, &barrier, l);
-            drop(guard);
-
-            let host = harvest_host(&parts, targets);
-            let mut cubes = harvest_cubes(&parts);
-            let mut stats = parts.engine.stats();
-            let mut last = parts.engine.last_dispatched_at();
-            let mut shards = Vec::new();
             for h in handles {
-                let harvest = h.join().unwrap_or_else(|e| std::panic::resume_unwind(e));
-                cubes.extend(harvest.cubes);
-                stats = merge_stats(stats, harvest.engine);
-                last = last.max(harvest.last);
-                if let Some(hub) = harvest.hub {
-                    shards.push(hub);
-                }
+                let (g, _) = h.join().unwrap_or_else(|e| std::panic::resume_unwind(e));
+                harvest.cubes.extend(g.cubes);
+                harvest.engine = merge_stats(harvest.engine, g.engine);
+                harvest.last = harvest.last.max(g.last);
+                harvest.window_events += g.window_events;
+                harvest.hubs.extend(g.hubs);
             }
-            (host, cubes, stats, last, shards)
+            (harvest, tally)
         });
+        drop(lease);
 
-        for shard in &shards {
+        for shard in &harvest.hubs {
             probe.absorb_shard(shard);
         }
-        assemble(host, cubes, stats, last, n)
+        let pool_after = pool::stats();
+        let sched = SchedStats {
+            rounds: tally.rounds,
+            windows: tally.windows,
+            window_events: harvest.window_events,
+            workers: workers as u64,
+            pool_steals: pool_after.steals - pool_before.steals,
+            pool_parks: pool_after.parks - pool_before.parks,
+        };
+        let host = harvest.host.expect("domain 0 harvested the host");
+        assemble(host, harvest.cubes, harvest.engine, sched, harvest.last, n)
     }
 
     /// Event-engine counters for this system, merged across domains after
@@ -1762,6 +2085,14 @@ impl FabricSim {
     /// serial run whatever the domain count.
     pub fn engine_stats(&self) -> EngineStats {
         self.outcome.as_ref().map(|o| o.engine).unwrap_or_default()
+    }
+
+    /// Scheduler and worker-pool counters from the last run. Serial runs
+    /// (`domains <= 1`) report the all-zero default; parallel runs report
+    /// the deterministic round/window tallies plus worker telemetry. See
+    /// [`SchedStats`] for which fields are schedule-invariant.
+    pub fn sched_stats(&self) -> SchedStats {
+        self.outcome.as_ref().map(|o| o.sched).unwrap_or_default()
     }
 
     /// Peak-occupancy census of one cube's internal buffers after a run;

@@ -125,7 +125,7 @@ pub struct Port {
     writes_recorded: u64,
     /// Completions recorded in the measurement window, per destination
     /// cube — the per-cube attribution of a split (addressed) stream.
-    completed_by_cube: [u64; 8],
+    completed_by_cube: [u64; CubeId::MAX_CUBES],
     probe: Probe,
 }
 
@@ -173,7 +173,7 @@ impl Port {
             bytes: BandwidthMeter::new(),
             reads_recorded: 0,
             writes_recorded: 0,
-            completed_by_cube: [0; 8],
+            completed_by_cube: [0; CubeId::MAX_CUBES],
             probe: Probe::off(),
         }
     }
@@ -417,11 +417,11 @@ impl Port {
     }
 
     /// Completions recorded in the measurement window, by destination
-    /// cube (indexed by [`CubeId::index`]; all eight CUB values). For a
-    /// fixed-targeting port only one slot is ever nonzero; for an
+    /// cube (indexed by [`CubeId::index`]; every addressable CUB value).
+    /// For a fixed-targeting port only one slot is ever nonzero; for an
     /// addressed port this is the per-cube attribution of the split
     /// stream.
-    pub fn completed_by_cube(&self) -> &[u64; 8] {
+    pub fn completed_by_cube(&self) -> &[u64; CubeId::MAX_CUBES] {
         &self.completed_by_cube
     }
 
@@ -431,7 +431,7 @@ impl Port {
         self.bytes.reset();
         self.reads_recorded = 0;
         self.writes_recorded = 0;
-        self.completed_by_cube = [0; 8];
+        self.completed_by_cube = [0; CubeId::MAX_CUBES];
     }
 
     /// Stops recording (end of the measurement window); responses still

@@ -195,6 +195,13 @@ impl CubeId {
     /// The host-attached root cube.
     pub const HOST: CubeId = CubeId(0);
 
+    /// Width of the request header's CUB field in bits.
+    pub const CUB_BITS: u32 = 3;
+
+    /// How many cubes the CUB field can address — the upper bound every
+    /// per-cube array in the workspace is sized from.
+    pub const MAX_CUBES: usize = 1 << Self::CUB_BITS;
+
     /// The dense index of this cube.
     #[inline]
     pub fn index(self) -> usize {
