@@ -36,6 +36,9 @@ struct Args {
     trace_sample: u64,
     /// Validate a JSON file (e.g. an exported trace) and exit.
     validate_json: Option<PathBuf>,
+    /// Wall-clock watchdog: if the run outlives this many seconds, trip
+    /// the scheduler watchdog and exit 3 with a progress diagnostic.
+    deadline: Option<u64>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -51,6 +54,7 @@ fn parse_args() -> Result<Args, String> {
         trace_out: None,
         trace_sample: 64,
         validate_json: None,
+        deadline: None,
     };
     let mut scale_flag: Option<&'static str> = None;
     let mut set_scale = |args: &mut Args, flag: &'static str, scale| -> Result<(), String> {
@@ -99,6 +103,13 @@ fn parse_args() -> Result<Args, String> {
                     return Err("--trace-sample must be >= 1".to_owned());
                 }
             }
+            "--deadline" => {
+                let v = it.next().ok_or("--deadline needs a value in seconds")?;
+                args.deadline = Some(v.parse().map_err(|e| format!("bad deadline: {e}"))?);
+                if args.deadline == Some(0) {
+                    return Err("--deadline must be >= 1 second".to_owned());
+                }
+            }
             "--validate-json" => {
                 let v = it.next().ok_or("--validate-json needs a path")?;
                 args.validate_json = Some(PathBuf::from(v));
@@ -116,7 +127,7 @@ fn parse_args() -> Result<Args, String> {
 fn usage() {
     eprintln!(
         "usage: repro [--full] [--json] [--seed N] [--threads N] [--domains N] [--out DIR] \
-         [--trace-out PATH [--trace-sample N]] <experiment...|all|--list>"
+         [--deadline SECS] [--trace-out PATH [--trace-sample N]] <experiment...|all|--list>"
     );
     eprintln!("       repro --validate-json PATH");
     eprintln!("experiments: {}", EXPERIMENTS.join(" "));
@@ -132,6 +143,10 @@ fn usage() {
          (default 64)"
     );
     eprintln!("--validate-json PATH: check that PATH holds one well-formed JSON value and exit");
+    eprintln!(
+        "--deadline SECS: wall-clock watchdog; a run that outlives it is tripped \
+         (domain barriers poisoned) and exits 3 with a progress diagnostic"
+    );
 }
 
 fn sanitize(title: &str) -> String {
@@ -227,6 +242,26 @@ fn main() -> ExitCode {
         }
     }
     names.dedup();
+    // Fail fast on an unwritable trace path: better a one-line error now
+    // than after minutes of sweeps.
+    if let Some(path) = &args.trace_out {
+        if let Err(e) = std::fs::File::create(path) {
+            eprintln!("error: cannot create trace file {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+    // The watchdog guard lives for the rest of main; the drop on a normal
+    // exit disarms it.
+    let _watchdog = args.deadline.map(|secs| {
+        hmc_sim::fabric::watchdog::Deadline::arm(std::time::Duration::from_secs(secs), move || {
+            let (rounds, windows) = hmc_sim::fabric::watchdog::progress();
+            eprintln!(
+                "error: --deadline {secs}s exceeded; watchdog tripped after \
+                 {rounds} scheduler rounds / {windows} lookahead windows"
+            );
+            std::process::exit(3);
+        })
+    });
     let ctx = ExpContext {
         scale: args.scale,
         seed: args.seed,

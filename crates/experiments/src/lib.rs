@@ -21,6 +21,7 @@
 pub mod common;
 pub mod ext;
 pub mod ext_fabric;
+pub mod ext_faults;
 pub mod ext_intercube;
 pub mod ext_mixed;
 pub mod ext_offload;
@@ -65,6 +66,7 @@ pub const EXPERIMENTS: &[&str] = &[
     "ext-intercube",
     "ext-mixed",
     "ext-timeline",
+    "ext-faults",
 ];
 
 /// Resolves aliases (`fig10`, `fig11`, `fig12` share one sweep;
@@ -246,6 +248,14 @@ pub fn run_by_name(name: &str, ctx: &ExpContext) -> Option<Outcome> {
             tables: vec![(
                 "Ext-intercube: blocked vs interleaved cube maps (CUB from the address)".to_owned(),
                 ext_intercube::table(&ext_intercube::run(ctx)),
+            )],
+        },
+        "ext-faults" => Outcome {
+            name: "ext-faults",
+            tables: vec![(
+                "Ext-faults: BER sweep and degraded links on a saturated interleaved ring"
+                    .to_owned(),
+                ext_faults::table(&ext_faults::run(ctx)),
             )],
         },
         "ext-mixed" => Outcome {

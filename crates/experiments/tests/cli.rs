@@ -92,4 +92,53 @@ fn trace_and_validate_flags_are_checked() {
     let out = repro(&["--list"]);
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.lines().any(|l| l == "ext-timeline"));
+    assert!(stdout.lines().any(|l| l == "ext-faults"));
+}
+
+#[test]
+fn unwritable_trace_path_fails_fast_with_one_line_error() {
+    // The path check runs before any experiment: a bad path must fail in
+    // milliseconds, not after the sweep.
+    let start = std::time::Instant::now();
+    let out = repro(&["--trace-out", "/no/such/dir/trace.json", "fig6"]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("error: cannot create trace file"), "{err}");
+    assert_eq!(err.lines().count(), 1, "one-line error, got: {err}");
+    assert!(!err.contains("panicked"), "{err}");
+    assert!(
+        start.elapsed() < std::time::Duration::from_secs(10),
+        "path validation must not wait for the experiment"
+    );
+}
+
+#[test]
+fn deadline_flag_is_validated() {
+    for args in [
+        &["--deadline", "0", "table1"][..],
+        &["--deadline", "soon", "table1"][..],
+        &["--deadline"][..],
+    ] {
+        let out = repro(args);
+        assert_eq!(out.status.code(), Some(2), "args: {args:?}");
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(err.contains("error:"), "args {args:?}: {err}");
+        assert!(!err.contains("panicked"), "args {args:?}: {err}");
+    }
+}
+
+#[test]
+fn exceeded_deadline_trips_the_watchdog_and_exits_3() {
+    // `all` at quick scale runs for well over a second; a 1 s deadline
+    // must cut it short with the progress diagnostic. --domains 2 puts
+    // real phase barriers in flight for the watchdog to poison.
+    let out = repro(&["--deadline", "1", "--domains", "2", "--json", "all"]);
+    assert_eq!(out.status.code(), Some(3), "watchdog exit code");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        err.contains("--deadline 1s exceeded; watchdog tripped after"),
+        "{err}"
+    );
+    assert!(err.contains("scheduler rounds"), "{err}");
+    assert!(err.contains("lookahead windows"), "{err}");
 }

@@ -47,9 +47,11 @@ mod domain;
 mod report;
 mod route;
 mod sim;
+pub mod watchdog;
 
 pub use config::{CubeId, FabricConfig, HopTuning, Topology};
+pub use hmc_faults::{FaultPlan, LinkFaultSpec, LinkKey};
 pub use hmc_mapping::{CubePolicy, CubeTargeting, FabricAddressMap, SplitError};
-pub use report::{CubeReport, PortReport, RunReport, TransitStats};
+pub use report::{CubeReport, LinkFaultTotals, PortReport, RunReport, TransitStats};
 pub use route::RouteTable;
 pub use sim::{FabricPortSpec, FabricSim, SchedStats, GUPS_TAGS, STREAM_TAGS};

@@ -268,6 +268,42 @@ impl RunReport {
             .map(|t| t.forwarded)
             .sum()
     }
+
+    /// Sums the retry-protocol counters over every transit-stage link in
+    /// the fabric. All-zero on a fault-free run — the injection path is
+    /// observably free when no [`crate::FaultPlan`] is armed.
+    pub fn link_fault_totals(&self) -> LinkFaultTotals {
+        let mut out = LinkFaultTotals::default();
+        for stats in self
+            .cubes
+            .iter()
+            .filter_map(|c| c.transit.as_ref())
+            .flat_map(|t| t.link_stats.iter())
+        {
+            out.crc_errors += stats.crc_errors;
+            out.down_drops += stats.down_drops;
+            out.retries += stats.retries;
+            out.retransmitted_flits += stats.retransmitted_flits;
+            out.degraded_links += u64::from(stats.degraded);
+        }
+        out
+    }
+}
+
+/// Fabric-wide sums of the per-link retry-protocol counters
+/// ([`RunReport::link_fault_totals`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LinkFaultTotals {
+    /// Transmissions the receiver rejected on CRC.
+    pub crc_errors: u64,
+    /// Transmissions cut by a link-down window.
+    pub down_drops: u64,
+    /// Retransmissions from retry buffers (`crc_errors + down_drops`).
+    pub retries: u64,
+    /// Flits of failed attempts that were re-serialized.
+    pub retransmitted_flits: u64,
+    /// Links latched at half width by the end of the run.
+    pub degraded_links: u64,
 }
 
 #[cfg(test)]

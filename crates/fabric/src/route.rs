@@ -88,6 +88,89 @@ impl RouteTable {
         RouteTable { n, next }
     }
 
+    /// Builds a shortest-path table for `topology` over `n` cubes that
+    /// avoids the given permanently dead cube-to-cube links (unordered
+    /// pairs — a dead link is dead in both directions).
+    ///
+    /// On a ring the surviving links still connect every cube, so traffic
+    /// reroutes the long way around. On a chain or star any dead link
+    /// disconnects the fabric, and the build fails loudly instead of
+    /// silently dropping the stranded cubes' traffic.
+    ///
+    /// The table is built by per-source BFS with ascending-id neighbor
+    /// order, so it is deterministic; with no dead edges callers should
+    /// keep [`RouteTable::for_topology`], whose ring tie-break is part of
+    /// the calibrated baseline.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description naming the offending edge or the first
+    /// unreachable cube pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or above [`crate::FabricConfig::MAX_CUBES`].
+    pub fn avoiding(topology: Topology, n: u8, dead: &[(u8, u8)]) -> Result<RouteTable, String> {
+        assert!(n >= 1, "a fabric needs at least one cube");
+        assert!(
+            n <= crate::FabricConfig::MAX_CUBES,
+            "the 3-bit CUB field addresses at most 8 cubes"
+        );
+        for &(a, b) in dead {
+            if a >= n || b >= n {
+                return Err(format!("dead edge {a}-{b} names a cube outside the fabric"));
+            }
+            if !topology.neighbors(n, CubeId(a)).contains(&CubeId(b)) {
+                return Err(format!(
+                    "dead edge {a}-{b} is not a {} fabric link",
+                    topology.label()
+                ));
+            }
+        }
+        let is_dead = |a: u8, b: u8| dead.iter().any(|&(x, y)| (x, y) == (a.min(b), a.max(b)));
+        let nn = usize::from(n);
+        let mut next = vec![0u8; nn * nn];
+        for src in 0..n {
+            // BFS over the surviving links; first visit (in ascending id
+            // order) fixes each cube's parent, hence the route.
+            let mut parent = vec![u8::MAX; nn];
+            parent[usize::from(src)] = src;
+            let mut frontier = vec![src];
+            while !frontier.is_empty() {
+                let mut grown = Vec::new();
+                for &a in &frontier {
+                    for nb in topology.neighbors(n, CubeId(a)) {
+                        let b = nb.0;
+                        if parent[usize::from(b)] == u8::MAX && !is_dead(a, b) {
+                            parent[usize::from(b)] = a;
+                            grown.push(b);
+                        }
+                    }
+                }
+                frontier = grown;
+            }
+            for dst in 0..n {
+                next[usize::from(src) * nn + usize::from(dst)] = if src == dst {
+                    src
+                } else {
+                    if parent[usize::from(dst)] == u8::MAX {
+                        return Err(format!(
+                            "dead link(s) disconnect the {} fabric: \
+                             cube {dst} is unreachable from cube {src}",
+                            topology.label()
+                        ));
+                    }
+                    let mut at = dst;
+                    while parent[usize::from(at)] != src {
+                        at = parent[usize::from(at)];
+                    }
+                    at
+                };
+            }
+        }
+        Ok(RouteTable { n, next })
+    }
+
     /// Number of cubes covered by the table.
     #[inline]
     pub fn cube_count(&self) -> u8 {
@@ -227,6 +310,44 @@ mod tests {
         assert_eq!(r.next_hop(CubeId(0), CubeId(1)), CubeId(1));
         assert_eq!(r.hops(CubeId(1), CubeId(0)), 1);
         r.validate(Topology::Ring).unwrap();
+    }
+
+    #[test]
+    fn ring_routes_around_a_dead_edge() {
+        let r = RouteTable::avoiding(Topology::Ring, 4, &[(0, 1)]).unwrap();
+        r.validate(Topology::Ring).unwrap();
+        // 0->1 must now go the long way: 0-3-2-1.
+        assert_eq!(
+            r.path(CubeId(0), CubeId(1)),
+            vec![CubeId(0), CubeId(3), CubeId(2), CubeId(1)]
+        );
+        assert_eq!(r.hops(CubeId(1), CubeId(0)), 3);
+        // Routes not touching the dead edge stay shortest.
+        assert_eq!(r.hops(CubeId(2), CubeId(3)), 1);
+    }
+
+    #[test]
+    fn no_dead_edges_matches_plain_bfs_reachability() {
+        let r = RouteTable::avoiding(Topology::Chain, 5, &[]).unwrap();
+        r.validate(Topology::Chain).unwrap();
+        assert_eq!(r.hops(CubeId(0), CubeId(4)), 4);
+    }
+
+    #[test]
+    fn chain_dead_edge_is_a_loud_error() {
+        let err = RouteTable::avoiding(Topology::Chain, 4, &[(1, 2)]).unwrap_err();
+        assert!(err.contains("unreachable"), "{err}");
+        assert!(err.contains("chain"), "{err}");
+        let err = RouteTable::avoiding(Topology::Star, 4, &[(0, 3)]).unwrap_err();
+        assert!(err.contains("cube 3"), "{err}");
+    }
+
+    #[test]
+    fn dead_edge_must_name_a_real_link() {
+        let err = RouteTable::avoiding(Topology::Chain, 4, &[(0, 3)]).unwrap_err();
+        assert!(err.contains("not a chain fabric link"), "{err}");
+        let err = RouteTable::avoiding(Topology::Ring, 4, &[(1, 7)]).unwrap_err();
+        assert!(err.contains("outside the fabric"), "{err}");
     }
 
     #[test]

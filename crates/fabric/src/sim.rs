@@ -34,6 +34,7 @@ use std::cell::RefCell;
 use std::rc::Rc;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::Arc;
 
 use hmc_des::pool;
 use hmc_des::{
@@ -41,8 +42,9 @@ use hmc_des::{
     KEYED_EVENT_BIT,
 };
 use hmc_device::{DeviceConfig, DeviceOutput, DeviceStats, HmcDevice};
+use hmc_faults::{FaultPlan, LinkKey};
 use hmc_host::{HostConfig, HostEvent, HostEvents, HostModel, Port};
-use hmc_link::{Deliveries, LinkConfig, LinkTx, LinkWidth};
+use hmc_link::{Deliveries, LinkConfig, LinkTx, LinkWidth, RetryTuning};
 use hmc_mapping::CubeTargeting;
 use hmc_noc::{Departures, SwitchConfig, SwitchCore, SwitchEntry};
 use hmc_packet::{LinkId, PortId, RequestPacket, ResponsePacket};
@@ -920,6 +922,9 @@ struct BuildPlan {
     /// crossbar ports).
     req_tokens: u32,
     n: usize,
+    /// Deterministic link-fault injection, if any ([`FabricSim::with_faults`]).
+    /// `None` keeps every link on the zero-cost fault-free path.
+    faults: Option<Arc<FaultPlan>>,
 }
 
 /// One engine domain, built and run on a single thread: its engine, the
@@ -934,6 +939,16 @@ struct DomainParts {
     /// The cubes this domain owns, ascending.
     cubes: Vec<usize>,
     outboxes: Vec<Outbox>,
+}
+
+/// Arms one link transmitter with the build plan's fault injection, if
+/// the plan singles this link out. No plan, or a plan without a spec for
+/// this key, leaves the transmitter on its zero-cost fault-free path.
+fn arm_faults(plan: &BuildPlan, link: &mut LinkTx<TransitMsg>, key: LinkKey, cfg: &LinkConfig) {
+    let Some(fp) = &plan.faults else { return };
+    let Some(inj) = fp.injector(key) else { return };
+    link.set_faults(inj, RetryTuning::derive(cfg).with_degrade_after(fp.degrade));
+    link.set_trace_identity(|m: &TransitMsg| m.identity());
 }
 
 /// Builds domain `dom` of the partition `dom_of`: the host (domain 0
@@ -1036,26 +1051,31 @@ fn build_domain(plan: &BuildPlan, probe: &Probe, dom_of: &[usize], dom: usize) -
                         *credit = plan.req_tokens;
                         tx.push(None);
                     }
-                    PortClass::Fabric(_) => {
+                    PortClass::Fabric(slot) => {
                         *credit = plan.cfg.hop.egress_capacity_flits;
-                        let mut link = LinkTx::new(&LinkConfig {
+                        let link_cfg = LinkConfig {
                             input_buffer_flits: plan.cfg.hop.input_capacity_flits,
                             ..plan.cfg.hop.link
-                        });
+                        };
+                        let mut link = LinkTx::new(&link_cfg);
                         link.set_probe(probe.clone(), c as u8, p as u8, LinkDir::Transit);
+                        let peer = layout.neighbors[slot];
+                        arm_faults(plan, &mut link, LinkKey::edge(c as u8, peer.0), &link_cfg);
                         tx.push(Some(link));
                     }
-                    PortClass::Host(_) => {
+                    PortClass::Host(l) => {
                         *credit = plan.cfg.hop.egress_capacity_flits;
                         // Toward the host: the cube's own external link
                         // model, tokens guarding the host RX buffer — as
                         // the device's serializer does on a single-cube
                         // system.
-                        let mut link = LinkTx::new(&LinkConfig {
+                        let link_cfg = LinkConfig {
                             min_packet_time: Delay::ZERO,
                             ..plan.cfg.cube.link
-                        });
+                        };
+                        let mut link = LinkTx::new(&link_cfg);
                         link.set_probe(probe.clone(), c as u8, p as u8, LinkDir::Response);
+                        arm_faults(plan, &mut link, LinkKey::host(l as u8), &link_cfg);
                         tx.push(Some(link));
                     }
                 }
@@ -1545,6 +1565,12 @@ fn run_group(
         let ladder = plan_windows(&snapshot, &dplan.dist, l);
         tally.rounds += 1;
         tally.windows += ladder.len() as u64;
+        if runs.iter().any(|r| r.d == 0) {
+            // Lead group only, so the process-wide watchdog progress
+            // counters count rounds once, not once per worker.
+            crate::watchdog::note_round();
+            crate::watchdog::note_windows(ladder.len() as u64);
+        }
         for (k, horizons) in ladder.iter().enumerate() {
             let level = base + k as u64;
             for idx in 0..runs.len() {
@@ -1860,6 +1886,7 @@ impl FabricSim {
                 edge_base,
                 req_tokens,
                 n,
+                faults: None,
             },
             probe,
             domains: 1,
@@ -1877,6 +1904,45 @@ impl FabricSim {
     pub fn with_domains(mut self, domains: usize) -> FabricSim {
         self.domains = domains.max(1);
         self
+    }
+
+    /// Arms deterministic link-fault injection ([`FaultPlan`]) on the
+    /// fabric. Every armed link transmitter runs the HMC retry protocol:
+    /// CRC-failed transmissions are retried from a bounded retry buffer
+    /// (each failure paying the wasted wire time plus the
+    /// ErrorAbort/StartRetry turnaround), transient down windows stall
+    /// the wire, and — past the plan's degrade threshold — lanes fall to
+    /// half width. Because the injector draws per `(link, flit-sequence)`
+    /// and failures only push the eager wire schedule *later*, faulty
+    /// runs stay byte-identical across every `--domains`/`--threads`
+    /// setting, exactly like fault-free ones.
+    ///
+    /// Dead edges (`dead=A-B`) reroute the fabric around the failed link
+    /// where the topology allows it (a ring sends traffic the long way);
+    /// where it does not (chain, star), this returns a loud error naming
+    /// the unreachable cube. A plan with no dead edges leaves the
+    /// calibrated routing untouched.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err` if the plan is internally invalid ([`FaultPlan`]
+    /// validation), names a dead edge outside the fabric, or the dead
+    /// edges disconnect it.
+    pub fn with_faults(mut self, faults: FaultPlan) -> Result<FabricSim, String> {
+        faults.validate()?;
+        if !faults.dead_edges.is_empty() {
+            // Reroute around the dead links. Only then: `avoiding`'s BFS
+            // picks different (equally minimal) ring tie-breaks than the
+            // calibrated clockwise table, and a no-dead-edge plan must
+            // not perturb the fault-free schedule.
+            self.plan.routes = RouteTable::avoiding(
+                self.plan.cfg.topology,
+                self.plan.cfg.cube_count,
+                &faults.dead_edges,
+            )?;
+        }
+        self.plan.faults = Some(Arc::new(faults));
+        Ok(self)
     }
 
     /// Runs the GUPS firmware: every port generates random requests for
@@ -2004,7 +2070,8 @@ impl FabricSim {
 
         let mins: Vec<AtomicU64> = (0..d_count).map(|_| AtomicU64::new(0)).collect();
         let done: Vec<AtomicU64> = (0..d_count).map(|_| AtomicU64::new(0)).collect();
-        let barrier = PhaseBarrier::new(workers);
+        let barrier = Arc::new(PhaseBarrier::new(workers));
+        crate::watchdog::register_barrier(&barrier);
 
         let (harvest, tally) = std::thread::scope(|s| {
             let handles: Vec<_> = groups[1..]
@@ -2110,6 +2177,7 @@ impl FabricSim {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::LinkFaultTotals;
     use hmc_mapping::{AccessPattern, VaultId};
     use hmc_packet::PayloadSize;
     use hmc_workloads::random_reads_in_banks;
@@ -2384,5 +2452,90 @@ mod tests {
             )
         };
         assert_eq!(run(1), run(4), "shard merge must reproduce the one-hub run");
+    }
+
+    fn faulty_gups_report(plan: Option<FaultPlan>, domains: usize) -> RunReport {
+        let cfg = FabricConfig::ring(21, 4);
+        let filter = AccessPattern::Vaults { count: 16 }.filter(&cfg.cube.map);
+        let specs: Vec<FabricPortSpec> = (0..4)
+            .map(|c| {
+                FabricPortSpec::gups(filter, hmc_host::GupsOp::Read(PayloadSize::B128), CubeId(c))
+            })
+            .collect();
+        let mut sim = FabricSim::new(cfg, specs).with_domains(domains);
+        if let Some(plan) = plan {
+            sim = sim.with_faults(plan).expect("valid fault plan");
+        }
+        sim.run_gups(Delay::from_us(2), Delay::from_us(8))
+    }
+
+    #[test]
+    fn empty_fault_plan_changes_nothing() {
+        let clean = faulty_gups_report(None, 1);
+        let armed = faulty_gups_report(Some(FaultPlan::new(99)), 1);
+        assert_eq!(
+            format!("{clean:?}"),
+            format!("{armed:?}"),
+            "a no-op plan must leave the run byte-identical"
+        );
+        assert_eq!(clean.link_fault_totals(), LinkFaultTotals::default());
+    }
+
+    #[test]
+    fn faulty_runs_complete_and_count_retries() {
+        let plan =
+            FaultPlan::new(7).with_all_links(hmc_faults::LinkFaultSpec::ber(1e-5).with_burst(2));
+        let report = faulty_gups_report(Some(plan), 1);
+        let totals = report.link_fault_totals();
+        assert!(totals.crc_errors > 0, "a 1e-5 BER must corrupt something");
+        assert_eq!(totals.retries, totals.crc_errors + totals.down_drops);
+        assert!(totals.retransmitted_flits >= totals.retries);
+        // Graceful: every issued request still completes.
+        for p in &report.ports {
+            assert_eq!(p.completed, p.issued, "port {} lost requests", p.port.0);
+        }
+    }
+
+    #[test]
+    fn faulty_runs_are_domain_invariant() {
+        let plan = || {
+            FaultPlan::new(7)
+                .with_all_links(hmc_faults::LinkFaultSpec::ber(2e-5))
+                .degrade_after(40)
+        };
+        let serial = format!("{:?}", faulty_gups_report(Some(plan()), 1));
+        for domains in [2, 4] {
+            let par = format!("{:?}", faulty_gups_report(Some(plan()), domains));
+            assert_eq!(serial, par, "--domains {domains} skewed a faulty run");
+        }
+    }
+
+    #[test]
+    fn ring_reroutes_around_a_dead_edge_and_completes() {
+        let cfg = FabricConfig::ring(33, 4);
+        let trace = random_reads_in_banks(&cfg.cube.map, VaultId(1), 4, PayloadSize::B32, 40, 3);
+        let sim = FabricSim::new(cfg, vec![FabricPortSpec::stream(trace, CubeId(1))]);
+        let mut sim = sim
+            .with_faults(FaultPlan::new(0).with_dead_edge(0, 1))
+            .expect("ring survives one dead edge");
+        let report = sim.run_streams();
+        assert_eq!(report.ports[0].completed, 40);
+        // The direct 0-1 hop is dead: traffic reaches cube 1 the long way
+        // (0 → 3 → 2 → 1), so cubes 3 and 2 forward it.
+        for c in [3usize, 2] {
+            let t = report.cubes[c].transit.as_ref().unwrap();
+            assert!(t.forwarded > 0, "cube {c} should carry rerouted traffic");
+        }
+    }
+
+    #[test]
+    fn chain_dead_edge_is_a_loud_build_error() {
+        let cfg = FabricConfig::chain(1, 3);
+        let trace = one_read_trace(&cfg, 1);
+        let err = FabricSim::new(cfg, vec![FabricPortSpec::stream(trace, CubeId(0))])
+            .with_faults(FaultPlan::new(0).with_dead_edge(1, 2))
+            .err()
+            .expect("a severed chain must not build");
+        assert!(err.contains("unreachable"), "unhelpful error: {err}");
     }
 }

@@ -3,15 +3,22 @@
 use std::collections::VecDeque;
 
 use hmc_des::{Clocked, Delay, InlineVec, Time};
+use hmc_faults::LinkFaults;
 use hmc_noc::Credits;
-use hmc_telemetry::{LinkDir, Probe};
+use hmc_telemetry::{LinkDir, Probe, Stage};
 
 use crate::config::LinkConfig;
+use crate::retry::{FaultLane, RetryTuning};
 
 /// The delivery scratch buffer [`LinkTx::service_into`] fills: four inline
 /// slots cover the common drain; longer bursts spill once into the
 /// caller's reused buffer.
 pub type Deliveries<P> = InlineVec<LinkDelivery<P>, 4>;
+
+/// Payload identity extractor registered with
+/// [`LinkTx::set_trace_identity`]: maps a payload to the `(port, tag)`
+/// pair stamped on `Retry` lifecycle-trace marks.
+pub type TraceIdFn<P> = fn(&P) -> (u16, u16);
 
 /// A packet delivered at the far end of the link.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -26,17 +33,36 @@ pub struct LinkDelivery<P> {
 }
 
 /// Counters describing one link direction.
+///
+/// The retry counters (`crc_errors`, `down_drops`, `retries`,
+/// `retransmitted_flits`, `degraded`) stay exactly zero/false unless
+/// fault injection is wired in ([`LinkTx::set_faults`]), so fault-free
+/// runs report byte-identical stats.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct LinkStats {
-    /// Packets fully serialized onto the wire.
+    /// Packets fully serialized onto the wire (delivered transmissions;
+    /// failed attempts count under `retries` instead).
     pub packets_sent: u64,
-    /// Flits fully serialized onto the wire.
+    /// Flits fully serialized onto the wire (delivered transmissions).
     pub flits_sent: u64,
     /// Service attempts that found a head-of-queue packet but no tokens —
     /// a direct measure of receiver-buffer backpressure.
     pub token_stalls: u64,
     /// Peak occupancy of the sender-side queue, in flits.
     pub peak_queue_flits: u32,
+    /// Transmissions the receiver rejected on CRC (injected bit errors).
+    pub crc_errors: u64,
+    /// Transmissions cut by a link-down window.
+    pub down_drops: u64,
+    /// Retransmissions from the retry buffer — one per failed attempt,
+    /// so always `crc_errors + down_drops`.
+    pub retries: u64,
+    /// Flits of failed attempts that had to be re-serialized: exact
+    /// accounting of every dropped flit.
+    pub retransmitted_flits: u64,
+    /// Lanes are running at half width (permanent lane failure, or the
+    /// degrade threshold was crossed).
+    pub degraded: bool,
 }
 
 /// The transmit side of one link direction.
@@ -73,6 +99,13 @@ pub struct LinkTx<P> {
     probe: Probe,
     /// `(cube, link, direction)` identity stamped on emitted telemetry.
     site: (u8, u8, LinkDir),
+    /// Fault-injection + retry-protocol state; `None` (the default) is
+    /// the fault-free fast path, bit-identical to a build without the
+    /// faults subsystem.
+    faults: Option<Box<FaultLane>>,
+    /// Extracts the `(port, tag)` identity telemetry traces by, for the
+    /// `Retry` lifecycle stage. `None` skips the stage marks.
+    trace_id: Option<TraceIdFn<P>>,
 }
 
 impl<P> LinkTx<P> {
@@ -93,7 +126,31 @@ impl<P> LinkTx<P> {
             stats: LinkStats::default(),
             probe: Probe::off(),
             site: (0, 0, LinkDir::Request),
+            faults: None,
+            trace_id: None,
         }
+    }
+
+    /// Arms fault injection and the retry protocol on this direction:
+    /// `inj` decides which transmissions fail, `tuning` prices the
+    /// retry-buffer retention, ack and turnaround. A permanent lane
+    /// failure in the injector starts the link at half width.
+    pub fn set_faults(&mut self, inj: LinkFaults, tuning: RetryTuning) {
+        let lane = FaultLane::new(inj, tuning);
+        self.stats.degraded = lane.degraded;
+        self.faults = Some(Box::new(lane));
+    }
+
+    /// Registers the payload identity extractor used to stamp `Retry`
+    /// lifecycle-trace marks on retransmitted packets.
+    pub fn set_trace_identity(&mut self, f: TraceIdFn<P>) {
+        self.trace_id = Some(f);
+    }
+
+    /// Packets currently retained in the retry buffer (transmitted but
+    /// not yet acked by the return retry pointer). Zero without faults.
+    pub fn retained_packets(&self) -> usize {
+        self.faults.as_ref().map_or(0, |l| l.retained.len())
     }
 
     /// Attaches a telemetry probe; committed packets emit one
@@ -179,23 +236,75 @@ impl<P> LinkTx<P> {
     /// Serializes as many queued packets as tokens and wire availability
     /// allow at `now`, appending each delivery (stamped with its arrival
     /// time at the far end) to `out` in wire order.
+    ///
+    /// With faults armed ([`LinkTx::set_faults`]) each packet may take
+    /// several transmission attempts: failed attempts occupy real wire
+    /// time plus the retry turnaround, the bounded retry buffer stalls
+    /// the wire when full of unacked packets, and down windows park the
+    /// wire entirely. Failures only push the schedule *later* than the
+    /// fault-free schedule, and tokens are spent once per packet no
+    /// matter how many attempts it takes — so the delivered stream is
+    /// exactly the fault-free stream, merely delayed.
     pub fn service_into(&mut self, now: Time, out: &mut Deliveries<P>) {
         // The wire is busy until `busy_until`; serialization is strictly
         // serial, so later packets start where earlier ones ended.
         let mut cursor = self.busy_until.max(now);
         while let Some(&(flits, _)) = self.queue.front() {
-            if self.busy_until > now {
-                // A packet is mid-flight on the wire; further starts are
-                // still allowed to queue up behind it within this call,
-                // but only if tokens exist.
-            }
             if !self.tokens.try_take(flits) {
                 self.stats.token_stalls += 1;
                 break;
             }
             let (flits, payload) = self.queue.pop_front().expect("front exists");
             self.queue_flits -= flits;
-            let end = cursor + self.cfg.packet_time(flits);
+            let end = match self.faults.as_deref_mut() {
+                None => cursor + self.cfg.packet_time(flits),
+                Some(lane) => {
+                    let identity = self.trace_id.map(|f| f(&payload));
+                    cursor = lane.admit(cursor, flits);
+                    let (cube, link, dir) = self.site;
+                    let end = loop {
+                        // The wire transmits nothing inside a down window.
+                        cursor = lane.inj.wire_up_at(cursor);
+                        let end = cursor + lane.attempt_time(&self.cfg, flits);
+                        if let Some(resume) = lane.inj.down_cut(cursor, end) {
+                            // The window's opening edge cut the packet:
+                            // it is lost and retransmitted after the
+                            // outage.
+                            self.stats.down_drops += 1;
+                            self.stats.retries += 1;
+                            self.stats.retransmitted_flits += u64::from(flits);
+                            self.probe.link_retry(cube, link, dir, flits, resume);
+                            cursor = resume;
+                            continue;
+                        }
+                        if lane.inj.corrupt_packet(flits) {
+                            // CRC failure at the receiver: ErrorAbort +
+                            // StartRetry (IRTRY) exchange, then
+                            // retransmission from the retry buffer.
+                            self.stats.crc_errors += 1;
+                            self.stats.retries += 1;
+                            self.stats.retransmitted_flits += u64::from(flits);
+                            self.probe.link_retry(cube, link, dir, flits, end);
+                            if let Some((port, tag)) = identity {
+                                self.probe.trace_mark(port, tag, Stage::Retry, end);
+                            }
+                            if let Some(threshold) = lane.tuning.degrade_after {
+                                if !lane.degraded && self.stats.crc_errors >= threshold {
+                                    // Error rate over threshold: drop to
+                                    // half width for the rest of the run.
+                                    lane.degraded = true;
+                                    self.stats.degraded = true;
+                                }
+                            }
+                            cursor = end + lane.tuning.turnaround;
+                            continue;
+                        }
+                        break end;
+                    };
+                    lane.retain(end, flits);
+                    end
+                }
+            };
             cursor = end;
             self.stats.packets_sent += 1;
             self.stats.flits_sent += u64::from(flits);
@@ -345,5 +454,174 @@ mod tests {
     fn zero_flit_packet_rejected() {
         let mut tx: LinkTx<u32> = LinkTx::new(&cfg());
         tx.enqueue(0, 0);
+    }
+
+    mod faults {
+        use super::*;
+        use hmc_faults::{LinkFaultSpec, LinkKey};
+
+        fn deep_cfg() -> LinkConfig {
+            LinkConfig {
+                input_buffer_flits: 4096,
+                ..cfg()
+            }
+        }
+
+        /// A transmitter armed with `spec` and a deep token pool.
+        fn armed(spec: LinkFaultSpec, degrade: Option<u64>) -> LinkTx<u32> {
+            let link_cfg = deep_cfg();
+            let mut tx: LinkTx<u32> = LinkTx::new(&link_cfg);
+            let inj = LinkFaults::new(11, LinkKey::edge(0, 1), spec);
+            tx.set_faults(
+                inj,
+                RetryTuning::derive(&link_cfg).with_degrade_after(degrade),
+            );
+            tx
+        }
+
+        #[test]
+        fn noop_injector_leaves_schedule_and_stats_identical() {
+            let mut clean: LinkTx<u32> = LinkTx::new(&deep_cfg());
+            let mut faulty = armed(LinkFaultSpec::ber(0.0), None);
+            for i in 0..50 {
+                clean.enqueue(i, 1 + (i % 9));
+                faulty.enqueue(i, 1 + (i % 9));
+            }
+            let a = clean.service(Time::ZERO);
+            let b = faulty.service(Time::ZERO);
+            assert_eq!(a.len(), b.len());
+            for (x, y) in a.iter().zip(b.iter()) {
+                assert_eq!(x, y, "a never-firing injector must be time-invisible");
+            }
+            let s = faulty.stats();
+            assert_eq!((s.crc_errors, s.retries, s.retransmitted_flits), (0, 0, 0));
+            assert_eq!(clean.stats(), faulty.stats());
+        }
+
+        #[test]
+        fn retries_delay_but_never_drop_duplicate_or_reorder() {
+            let mut clean: LinkTx<u32> = LinkTx::new(&deep_cfg());
+            let mut faulty = armed(LinkFaultSpec::ber(0.2).with_burst(3), None);
+            for i in 0..200 {
+                clean.enqueue(i, 1 + (i % 9));
+                faulty.enqueue(i, 1 + (i % 9));
+            }
+            let a = clean.service(Time::ZERO);
+            let b = faulty.service(Time::ZERO);
+            let ids = |d: &Deliveries<u32>| d.iter().map(|x| x.payload).collect::<Vec<_>>();
+            assert_eq!(ids(&a), ids(&b), "delivered stream equals the oracle's");
+            let s = faulty.stats();
+            assert!(s.crc_errors > 0, "BER 0.2 over ~1000 flits must fire");
+            assert_eq!(s.retries, s.crc_errors + s.down_drops);
+            for (x, y) in a.iter().zip(b.iter()) {
+                assert!(y.at >= x.at, "failures only push deliveries later");
+            }
+            assert_eq!(s.packets_sent, 200, "every packet still delivered once");
+        }
+
+        #[test]
+        fn each_failed_attempt_costs_wire_time_and_turnaround() {
+            // Corrupt exactly the first attempt: with BER ~1 every flit
+            // draw fires, so use a one-shot spec via burst accounting
+            // instead — a 0-ber injector can't fire, so drive the cost
+            // check arithmetically with a high-rate injector.
+            let link_cfg = deep_cfg();
+            let mut faulty = armed(LinkFaultSpec::ber(0.4), None);
+            faulty.enqueue(7, 9);
+            let out = faulty.service(Time::ZERO);
+            assert_eq!(out.len(), 1);
+            let s = faulty.stats();
+            let tuning = RetryTuning::derive(&link_cfg);
+            let per_attempt = link_cfg.packet_time(9);
+            let expected_end = Time::ZERO
+                + per_attempt * u32::try_from(s.retries + 1).unwrap()
+                + tuning.turnaround * u32::try_from(s.retries).unwrap();
+            assert_eq!(
+                out[0].at,
+                expected_end + link_cfg.serdes_latency,
+                "attempts = retries + 1, each failure adds one turnaround"
+            );
+        }
+
+        #[test]
+        fn down_window_parks_the_wire_and_cuts_midflight_packets() {
+            let link_cfg = deep_cfg();
+            let pkt = link_cfg.packet_time(9);
+            // Window opens mid-first-packet and lasts 1 us.
+            let open = Time::ZERO + Delay::from_ps(pkt.as_ps() / 2);
+            let close = open + Delay::from_us(1);
+            let spec = LinkFaultSpec::default().with_down(open, close);
+            let mut faulty = armed(spec, None);
+            faulty.enqueue(1, 9);
+            let out = faulty.service(Time::ZERO);
+            assert_eq!(out.len(), 1);
+            let s = faulty.stats();
+            assert_eq!(s.down_drops, 1, "opening edge cut the transmission");
+            assert_eq!(s.retransmitted_flits, 9);
+            assert_eq!(out[0].at, close + pkt + link_cfg.serdes_latency);
+        }
+
+        #[test]
+        fn degrade_threshold_halves_width_permanently() {
+            let link_cfg = deep_cfg();
+            let mut faulty = armed(LinkFaultSpec::ber(0.05), Some(1));
+            for i in 0..300 {
+                faulty.enqueue(i, 9);
+            }
+            let out = faulty.service(Time::ZERO);
+            let s = faulty.stats();
+            assert!(s.degraded, "threshold 1 must trip under BER 0.05");
+            assert_eq!(out.len(), 300);
+            // After degradation a first-try success follows its
+            // predecessor by exactly the doubled serialization time, and
+            // no delivery can follow faster; retried packets add retry
+            // time on top. The minimum gap over the tail is therefore
+            // the degraded wire time.
+            let times: Vec<Time> = out.iter().map(|d| d.at).collect();
+            let min_gap = times[200..]
+                .windows(2)
+                .map(|w| w[1] - w[0])
+                .min()
+                .expect("tail has pairs");
+            assert_eq!(min_gap, link_cfg.packet_time(9) * 2u32);
+        }
+
+        #[test]
+        fn permanent_lane_failure_starts_at_half_width() {
+            let link_cfg = deep_cfg();
+            let mut faulty = armed(LinkFaultSpec::default().with_half_width(), None);
+            faulty.enqueue(0, 9);
+            let out = faulty.service(Time::ZERO);
+            assert!(faulty.stats().degraded);
+            assert_eq!(
+                out[0].at,
+                Time::ZERO + link_cfg.packet_time(9) * 2u32 + link_cfg.serdes_latency
+            );
+        }
+
+        #[test]
+        fn full_retry_buffer_stalls_the_wire_for_the_ack() {
+            // A retry buffer of exactly one max packet: the second
+            // packet must wait for the first packet's ack.
+            let link_cfg = deep_cfg();
+            let mut tx: LinkTx<u32> = LinkTx::new(&link_cfg);
+            let inj = LinkFaults::new(3, LinkKey::edge(0, 1), LinkFaultSpec::ber(0.0));
+            let mut tuning = RetryTuning::derive(&link_cfg);
+            tuning.buffer_flits = 9;
+            tx.set_faults(inj, tuning);
+            tx.enqueue(0, 9);
+            tx.enqueue(1, 9);
+            let out = tx.service(Time::ZERO);
+            assert_eq!(out.len(), 2);
+            assert_eq!(tx.retained_packets(), 1, "first slot freed by its ack");
+            let pkt = link_cfg.packet_time(9);
+            let first_end = Time::ZERO + pkt;
+            assert_eq!(out[0].at, first_end + link_cfg.serdes_latency);
+            assert_eq!(
+                out[1].at,
+                first_end + tuning.ack_delay + pkt + link_cfg.serdes_latency,
+                "second transmission starts at the first packet's ack"
+            );
+        }
     }
 }

@@ -29,6 +29,8 @@
 
 mod config;
 mod core;
+mod retry;
 
 pub use crate::core::{Deliveries, LinkDelivery, LinkStats, LinkTx};
 pub use config::{LinkConfig, LinkWidth};
+pub use retry::RetryTuning;

@@ -32,5 +32,8 @@ mod size;
 
 pub use address::{Address, AddressOverflow, CubeId, GlobalAddress, LinkId, PortId, Tag};
 pub use flit::{bandwidth_efficiency, flits_to_bytes, FLIT_BYTES, OVERHEAD_FLITS};
-pub use packet::{FlowType, RequestKind, RequestPacket, ResponsePacket};
+pub use packet::{
+    FlowType, LinkSeq, RequestKind, RequestPacket, ResponsePacket, CRC_BITS, RETRY_POINTER_BITS,
+    SEQ_BITS,
+};
 pub use size::{InvalidPayloadSize, PayloadSize};

@@ -205,6 +205,46 @@ impl FlowType {
     }
 }
 
+/// Bits of the per-packet CRC carried in every tail (HMC 2.1). The
+/// simulator never computes the checksum — fault injection decides which
+/// transmissions fail it — but the field width anchors the link-retry
+/// protocol the transmit model implements.
+pub const CRC_BITS: u32 = 32;
+
+/// Bits of the tail's link sequence number (SEQ); see [`LinkSeq`].
+pub const SEQ_BITS: u32 = 3;
+
+/// Bits of the forward/return retry pointers (FRP/RRP) that index the
+/// transmitter's retry buffer.
+pub const RETRY_POINTER_BITS: u32 = 8;
+
+/// The link-layer sequence number stamped on every transmitted packet.
+///
+/// SEQ is a [`SEQ_BITS`]-bit wrapping counter per link direction; the
+/// receiver uses it to detect the gap a CRC-dropped packet leaves and to
+/// discard duplicates during retransmission, which is what makes the
+/// retry protocol loss-, duplication- and reorder-free.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Hash)]
+pub struct LinkSeq(pub u8);
+
+impl LinkSeq {
+    /// SEQ wraps modulo this.
+    pub const MODULUS: u8 = 1 << SEQ_BITS;
+
+    /// The sequence number following `self`.
+    #[inline]
+    #[must_use]
+    pub fn next(self) -> LinkSeq {
+        LinkSeq((self.0 + 1) % LinkSeq::MODULUS)
+    }
+
+    /// `true` if `other` is the packet expected right after `self`.
+    #[inline]
+    pub fn precedes(self, other: LinkSeq) -> bool {
+        self.next() == other
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -280,6 +320,19 @@ mod tests {
         assert_eq!(FlowType::TokenReturn.flits(), 1);
         assert_eq!(FlowType::RetryPointerReturn.flits(), 1);
         assert_eq!(FlowType::InitRetry.flits(), 1);
+    }
+
+    #[test]
+    fn link_seq_wraps_modulo_eight() {
+        let mut s = LinkSeq::default();
+        for _ in 0..LinkSeq::MODULUS {
+            let n = s.next();
+            assert!(s.precedes(n));
+            assert!(n.0 < LinkSeq::MODULUS);
+            s = n;
+        }
+        assert_eq!(s, LinkSeq::default(), "full cycle returns to start");
+        assert_eq!(LinkSeq::MODULUS, 8, "SEQ is a 3-bit field");
     }
 
     #[test]

@@ -112,6 +112,9 @@ pub struct Hub {
     vault_services: BTreeMap<(u8, u8), EpochSeries>,
     /// Flits committed per (cube, link, direction).
     link_flits: BTreeMap<(u8, u8, LinkDir), EpochSeries>,
+    /// Retransmitted flits (failed-then-retried transmissions) per
+    /// (cube, link, direction); empty unless faults are injected.
+    link_retries: BTreeMap<(u8, u8, LinkDir), EpochSeries>,
     /// Switch grants (flits) per cube.
     switch_flits: BTreeMap<u8, EpochSeries>,
     /// Completed-request round-trip bytes per epoch (bandwidth timeline).
@@ -135,6 +138,7 @@ impl Hub {
             enqueues: BTreeMap::new(),
             vault_services: BTreeMap::new(),
             link_flits: BTreeMap::new(),
+            link_retries: BTreeMap::new(),
             switch_flits: BTreeMap::new(),
             completion_bytes: EpochSeries::default(),
             completion_count: EpochSeries::default(),
@@ -165,6 +169,7 @@ impl Hub {
         self.enqueues.clear();
         self.vault_services.clear();
         self.link_flits.clear();
+        self.link_retries.clear();
         self.switch_flits.clear();
         self.completion_bytes = EpochSeries::default();
         self.completion_count = EpochSeries::default();
@@ -194,6 +199,9 @@ impl Hub {
         }
         for (k, s) in &other.link_flits {
             self.link_flits.entry(*k).or_default().absorb(s);
+        }
+        for (k, s) in &other.link_retries {
+            self.link_retries.entry(*k).or_default().absorb(s);
         }
         for (k, s) in &other.switch_flits {
             self.switch_flits.entry(*k).or_default().absorb(s);
@@ -236,6 +244,21 @@ impl Hub {
     ) {
         let e = self.epoch_of(now);
         self.link_flits
+            .entry((cube, link, dir))
+            .or_default()
+            .add(e, u64::from(flits));
+    }
+
+    pub(crate) fn on_link_retry(
+        &mut self,
+        cube: u8,
+        link: u8,
+        dir: LinkDir,
+        flits: u32,
+        now: Time,
+    ) {
+        let e = self.epoch_of(now);
+        self.link_retries
             .entry((cube, link, dir))
             .or_default()
             .add(e, u64::from(flits));
@@ -332,6 +355,18 @@ impl Hub {
     /// Flits committed per (cube, link, direction).
     pub fn link_flits(&self) -> &BTreeMap<(u8, u8, LinkDir), EpochSeries> {
         &self.link_flits
+    }
+
+    /// Retransmitted flits per (cube, link, direction); empty unless
+    /// faults are injected.
+    pub fn link_retries(&self) -> &BTreeMap<(u8, u8, LinkDir), EpochSeries> {
+        &self.link_retries
+    }
+
+    /// Retransmitted flits across all links — the fabric-wide retry
+    /// traffic timeline's total.
+    pub fn total_link_retries(&self) -> u64 {
+        self.link_retries.values().map(EpochSeries::total).sum()
     }
 
     /// Switch grant flits per cube.
@@ -488,6 +523,29 @@ mod tests {
         assert_eq!(total.enqueues(), shard.enqueues());
         assert_eq!(total.switch_flits(), shard.switch_flits());
         assert_eq!(total.config(), cfg);
+    }
+
+    #[test]
+    fn link_retries_bucket_and_absorb() {
+        let cfg = HubConfig {
+            epoch: Delay::from_us(1),
+            trace_sample: None,
+        };
+        let mut a = Hub::new(cfg);
+        a.on_link_retry(0, 1, LinkDir::Transit, 9, Time::from_ns(100));
+        let mut b = Hub::new(cfg);
+        b.on_link_retry(0, 1, LinkDir::Transit, 4, Time::from_us(2));
+        b.on_link_retry(2, 0, LinkDir::Response, 1, Time::from_ns(5));
+        let mut ab = Hub::new(cfg);
+        ab.absorb(&a);
+        ab.absorb(&b);
+        assert_eq!(
+            ab.link_retries()[&(0, 1, LinkDir::Transit)].counts(),
+            &[9, 0, 4]
+        );
+        assert_eq!(ab.total_link_retries(), 14);
+        ab.reset_window(Time::from_us(5));
+        assert_eq!(ab.total_link_retries(), 0);
     }
 
     #[test]

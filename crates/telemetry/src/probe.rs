@@ -139,6 +139,13 @@ impl Probe {
         self.with(|h| h.on_link_flits(cube, link, dir, flits, now));
     }
 
+    /// A link transmission of `flits` flits failed CRC (or was cut by an
+    /// outage) and will be retransmitted from the retry buffer.
+    #[inline]
+    pub fn link_retry(&self, cube: u8, link: u8, dir: LinkDir, flits: u32, now: Time) {
+        self.with(|h| h.on_link_retry(cube, link, dir, flits, now));
+    }
+
     /// A switch granted a packet of `flits` flits in `cube`.
     #[inline]
     pub fn switch_forward(&self, cube: u8, flits: u32, now: Time) {

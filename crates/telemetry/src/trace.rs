@@ -25,11 +25,14 @@ pub enum Stage {
     ResponseLink,
     /// Crossed an inter-cube adapter (multi-cube fabrics only).
     Transit,
+    /// A link transmission failed CRC and was retransmitted from the
+    /// retry buffer (fault injection only).
+    Retry,
 }
 
 impl Stage {
     /// All stages in track order.
-    pub const ALL: [Stage; 7] = [
+    pub const ALL: [Stage; 8] = [
         Stage::Issue,
         Stage::HostLink,
         Stage::DeviceIngress,
@@ -37,6 +40,7 @@ impl Stage {
         Stage::ResponseReady,
         Stage::ResponseLink,
         Stage::Transit,
+        Stage::Retry,
     ];
 
     /// Human-readable track name.
@@ -49,6 +53,7 @@ impl Stage {
             Stage::ResponseReady => "response ready",
             Stage::ResponseLink => "response link",
             Stage::Transit => "inter-cube transit",
+            Stage::Retry => "link retry",
         }
     }
 
