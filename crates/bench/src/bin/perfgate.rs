@@ -55,6 +55,11 @@ struct Case {
     /// the gate measures); the extra untimed percentile run passes an
     /// attached probe.
     run: fn(Scale2, Probe) -> CaseOutput,
+    /// Engine domains the case runs with (1 = serial). Multi-domain
+    /// entries exist to measure parallel speedup; on a 1-core box they
+    /// time-slice one core and the ratio is meaningless, so the gate
+    /// warns loudly instead of letting the number mislead.
+    domains: usize,
 }
 
 /// Harness scale: `Smoke` shrinks measurement windows so CI finishes in
@@ -217,34 +222,90 @@ fn ext_intercube8_d4(scale: Scale2, probe: Probe) -> CaseOutput {
     ext_intercube8(scale, probe, 4)
 }
 
+/// The 64-cube mesh at the widened CUB field's ceiling: four 128 B read
+/// ports over an interleaved global window spanning all 64 cubes of an
+/// 8×8 mesh. The largest fabric the gate tracks — 64 engines' worth of
+/// crossbars and dimension-ordered transit — and the scale-out point for
+/// the domain scheduler (the `-d8` variant runs one domain per mesh
+/// row).
+fn ext_scale64(scale: Scale2, probe: Probe, domains: usize) -> CaseOutput {
+    let cfg = FabricConfig::ac510(Topology::Mesh2D, 64, 2018);
+    let fabric_map = FabricAddressMap::new(CubePolicy::Interleaved, 64, &cfg.cube.map);
+    let window = 1u64 << Address::BITS;
+    let spec = FabricPortSpec::from_source(
+        move |seed| {
+            Box::new(GlobalGupsSource::new(
+                GupsOp::Read(PayloadSize::B128),
+                window,
+                &fabric_map,
+                seed,
+            ))
+        },
+        CubeId::HOST,
+    )
+    .with_tags(hmc_sim::GUPS_TAGS)
+    .addressed(fabric_map);
+    let mut sim = FabricSim::with_telemetry(cfg, vec![spec; 4], probe).with_domains(domains);
+    let (warmup, measure) = scale.gups_windows();
+    let report = sim.run_gups(warmup, measure);
+    let stats = sim.engine_stats();
+    let sched = sim.sched_stats();
+    (report, stats, sched)
+}
+
+fn ext_scale64_serial(scale: Scale2, probe: Probe) -> CaseOutput {
+    ext_scale64(scale, probe, 1)
+}
+
+fn ext_scale64_d8(scale: Scale2, probe: Probe) -> CaseOutput {
+    ext_scale64(scale, probe, 8)
+}
+
 const BASKET: &[Case] = &[
     Case {
         name: "fig6-low",
         run: fig6_low,
+        domains: 1,
     },
     Case {
         name: "fig6-sat",
         run: fig6_sat,
+        domains: 1,
     },
     Case {
         name: "ext-chain-4",
         run: ext_chain4,
+        domains: 1,
     },
     Case {
         name: "probe-chase",
         run: probe_chase,
+        domains: 1,
     },
     Case {
         name: "ext-offload",
         run: ext_offload,
+        domains: 1,
     },
     Case {
         name: "ext-intercube-8-sat",
         run: ext_intercube8_serial,
+        domains: 1,
     },
     Case {
         name: "ext-intercube-8-sat-d4",
         run: ext_intercube8_d4,
+        domains: 4,
+    },
+    Case {
+        name: "ext-scale-64-mesh",
+        run: ext_scale64_serial,
+        domains: 1,
+    },
+    Case {
+        name: "ext-scale-64-mesh-d8",
+        run: ext_scale64_d8,
+        domains: 8,
     },
 ];
 
@@ -278,6 +339,9 @@ struct Measured {
     /// run. Recorded for trend inspection, never gated: latency is part
     /// of the simulated model, not the harness's wall-clock subject.
     tail_ps: Option<[u64; 3]>,
+    /// Set when a multi-domain case ran on a 1-core budget: its wall
+    /// time measures core time-slicing, not parallel speedup.
+    cores_warning: Option<String>,
 }
 
 impl Measured {
@@ -423,6 +487,16 @@ fn main() -> ExitCode {
         let hub = Hub::shared(HubConfig::default());
         let _ = (case.run)(args.scale, Probe::attached(&hub));
         let tail_ps = hub.borrow().aggregate_tail_ps();
+        let cores_warning =
+            (case.domains > 1 && hmc_sim::des::pool::budget_total() == 1).then(|| {
+                format!(
+                    "{} domains time-sliced one core: wall time is not a parallel speedup",
+                    case.domains
+                )
+            });
+        if let Some(w) = &cores_warning {
+            eprintln!("WARNING [{}]: {w}", case.name);
+        }
         results.push(Measured {
             name: case.name,
             sig,
@@ -432,6 +506,7 @@ fn main() -> ExitCode {
             pool_steals: last_sched.pool_steals,
             pool_parks: last_sched.pool_parks,
             tail_ps,
+            cores_warning,
         });
     }
 
@@ -476,6 +551,9 @@ fn main() -> ExitCode {
                 json_f64(p99 as f64 / 1000.0, 3),
                 json_f64(p999 as f64 / 1000.0, 3),
             ));
+        }
+        if let Some(w) = &m.cores_warning {
+            fields.push_str(&format!(",\"cores_warning\":\"{}\"", json_escape(w)));
         }
         if let Some((_, base)) = baseline.iter().find(|(n, _)| n == m.name) {
             fields.push_str(&format!(

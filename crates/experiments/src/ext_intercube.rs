@@ -96,9 +96,7 @@ fn run_point(
     let mut sim = FabricSim::new(cfg, specs).with_domains(ctx.domains);
     let report = sim.run_gups(ctx.gups_warmup(), ctx.gups_measure());
     ctx.stats.record(&sim.engine_stats());
-    let total: u64 = (0..CubeId::MAX_CUBES)
-        .map(|c| report.cube_completions(CubeId(c as u8)))
-        .sum();
+    let total: u64 = CubeId::all(cubes).map(|c| report.cube_completions(c)).sum();
     IntercubePoint {
         topology,
         cubes,

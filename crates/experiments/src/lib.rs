@@ -25,6 +25,7 @@ pub mod ext_faults;
 pub mod ext_intercube;
 pub mod ext_mixed;
 pub mod ext_offload;
+pub mod ext_scale;
 pub mod ext_timeline;
 pub mod fig10_12;
 pub mod fig13;
@@ -67,6 +68,7 @@ pub const EXPERIMENTS: &[&str] = &[
     "ext-mixed",
     "ext-timeline",
     "ext-faults",
+    "ext-scale",
 ];
 
 /// Resolves aliases (`fig10`, `fig11`, `fig12` share one sweep;
@@ -256,6 +258,14 @@ pub fn run_by_name(name: &str, ctx: &ExpContext) -> Option<Outcome> {
                 "Ext-faults: BER sweep and degraded links on a saturated interleaved ring"
                     .to_owned(),
                 ext_faults::table(&ext_faults::run(ctx)),
+            )],
+        },
+        "ext-scale" => Outcome {
+            name: "ext-scale",
+            tables: vec![(
+                "Ext-scale: 8..64-cube chain/ring/mesh under interleaved GUPS (6-bit CUB)"
+                    .to_owned(),
+                ext_scale::table(&ext_scale::run(ctx)),
             )],
         },
         "ext-mixed" => Outcome {

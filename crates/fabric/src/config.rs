@@ -10,17 +10,22 @@ use hmc_packet::RequestKind;
 
 use crate::route::RouteTable;
 
-/// Identifies one cube of a memory network (the HMC header's 3-bit CUB
-/// field). Defined in [`hmc_packet`] — it is a header field the host
-/// stamps on every request — and re-exported here for fabric users.
+/// Identifies one cube of a memory network (the HMC header's CUB field,
+/// widened here to 6 bits — see `DESIGN_CUB64.md`). Defined in
+/// [`hmc_packet`] — it is a header field the host stamps on every
+/// request — and re-exported here for fabric users.
 pub use hmc_packet::CubeId;
 
 /// How the cubes of a fabric are wired together with their off-chip links.
 ///
-/// Cube 0 is always the host-attached cube. The topologies mirror the
-/// configurations HMC chaining supports in practice: a daisy chain (what
-/// the paper's companion study measures), a star with the root as hub, and
-/// a ring closing the chain for path redundancy.
+/// Cube 0 is always the host-attached cube. Chain, star and ring mirror
+/// the configurations HMC chaining supports in practice: a daisy chain
+/// (what the paper's companion study measures), a star with the root as
+/// hub, and a ring closing the chain for path redundancy. The 2-D mesh
+/// and torus extend past shipped silicon: with the CUB field widened to
+/// 6 bits a 64-cube chain has a 63-hop worst case, while an 8×8 mesh
+/// caps the diameter at 14 — the constant-degree grids the scale-out
+/// study needs (see `DESIGN_CUB64.md`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Topology {
     /// `0 – 1 – 2 – … – n−1`, each cube linked to its neighbors.
@@ -29,6 +34,15 @@ pub enum Topology {
     Star,
     /// The chain with an extra `n−1 – 0` link; shortest direction wins.
     Ring,
+    /// A `w × h` grid (row-major cube ids, `w` from
+    /// [`Topology::grid_dims`]): cube `c` sits at `(c % w, c / w)` and
+    /// links to its up/down/left/right neighbors. Dimension-ordered
+    /// (X-then-Y) routing.
+    Mesh2D,
+    /// The mesh with wrap-around links in both dimensions: every cube
+    /// has degree 4 and each dimension routes like a ring (shortest
+    /// direction, clockwise on ties).
+    Torus2D,
 }
 
 impl Topology {
@@ -38,7 +52,22 @@ impl Topology {
             Topology::Chain => "chain",
             Topology::Star => "star",
             Topology::Ring => "ring",
+            Topology::Mesh2D => "mesh",
+            Topology::Torus2D => "torus",
         }
+    }
+
+    /// The `(width, height)` of the grid an `n`-cube mesh or torus is
+    /// laid out on: the most-square factorization with `width <= height`
+    /// (64 → 8×8, 32 → 4×8, 8 → 2×4). A prime `n` degenerates to a
+    /// `1 × n` column — a chain (mesh) or ring (torus).
+    pub fn grid_dims(n: u8) -> (u8, u8) {
+        assert!(n >= 1, "a grid needs at least one cube");
+        let w = (1..=n)
+            .filter(|&w| n.is_multiple_of(w) && u16::from(w) * u16::from(w) <= u16::from(n))
+            .max()
+            .expect("1 always divides n");
+        (w, n / w)
     }
 
     /// The fabric neighbors of `cube` in an `n`-cube instance, ascending.
@@ -67,13 +96,44 @@ impl Topology {
                 }
             }
             Topology::Ring => {
-                let mut v = vec![(c + n - 1) % n, (c + 1) % n];
-                v.sort_unstable();
-                v.dedup();
+                vec![(c + n - 1) % n, (c + 1) % n]
+            }
+            Topology::Mesh2D | Topology::Torus2D => {
+                let (w, h) = Topology::grid_dims(n);
+                let wrap = self == Topology::Torus2D;
+                let (x, y) = (c % w, c / w);
+                let mut v = Vec::with_capacity(4);
+                if w > 1 {
+                    if x > 0 {
+                        v.push(y * w + (x - 1));
+                    } else if wrap {
+                        v.push(y * w + (w - 1));
+                    }
+                    if x + 1 < w {
+                        v.push(y * w + (x + 1));
+                    } else if wrap {
+                        v.push(y * w);
+                    }
+                }
+                if h > 1 {
+                    if y > 0 {
+                        v.push((y - 1) * w + x);
+                    } else if wrap {
+                        v.push((h - 1) * w + x);
+                    }
+                    if y + 1 < h {
+                        v.push((y + 1) * w + x);
+                    } else if wrap {
+                        v.push(x);
+                    }
+                }
                 v
             }
         };
         out.sort_unstable();
+        // Wrap-around in a 2-wide dimension reaches the same neighbor
+        // twice (ring of two, torus column of two).
+        out.dedup();
         out.into_iter().map(CubeId).collect()
     }
 }
@@ -184,8 +244,9 @@ pub struct FabricConfig {
 }
 
 impl FabricConfig {
-    /// The HMC header's CUB field is 3 bits: at most 8 cubes per fabric.
-    /// Derived from [`CubeId::MAX_CUBES`], the canonical bound.
+    /// The widened 6-bit CUB field addresses at most 64 cubes per fabric
+    /// (see `DESIGN_CUB64.md`). Derived from [`CubeId::MAX_CUBES`], the
+    /// canonical bound.
     pub const MAX_CUBES: u8 = CubeId::MAX_CUBES as u8;
 
     /// A single-cube fabric — the paper's AC-510 system.
@@ -230,6 +291,16 @@ impl FabricConfig {
         FabricConfig::ac510(Topology::Ring, cube_count, seed)
     }
 
+    /// An `n`-cube 2-D mesh (grid shape from [`Topology::grid_dims`]).
+    pub fn mesh(seed: u64, cube_count: u8) -> FabricConfig {
+        FabricConfig::ac510(Topology::Mesh2D, cube_count, seed)
+    }
+
+    /// An `n`-cube 2-D torus.
+    pub fn torus(seed: u64, cube_count: u8) -> FabricConfig {
+        FabricConfig::ac510(Topology::Torus2D, cube_count, seed)
+    }
+
     /// The source-routing table for this fabric.
     pub fn routes(&self) -> RouteTable {
         RouteTable::for_topology(self.topology, self.cube_count)
@@ -260,10 +331,30 @@ impl FabricConfig {
             return Err("a fabric needs at least one cube".to_owned());
         }
         if self.cube_count > FabricConfig::MAX_CUBES {
-            return Err("the 3-bit CUB field addresses at most 8 cubes".to_owned());
+            return Err("the 6-bit CUB field addresses at most 64 cubes".to_owned());
         }
         if usize::from(self.host.link_count) != self.cube.link_count() {
             return Err("host and cube must agree on link count".to_owned());
+        }
+        // The crossbar's egress dirty mask is one u64: every cube's port
+        // count (device links + fabric links + host links on cube 0) must
+        // fit. Only high-degree hubs can violate this — a star past ~60
+        // cubes; the constant-degree grids never do.
+        for c in CubeId::all(self.cube_count) {
+            let ports = self.cube.link_count()
+                + self.topology.neighbors(self.cube_count, c).len()
+                + if c == CubeId::HOST {
+                    usize::from(self.host.link_count)
+                } else {
+                    0
+                };
+            if ports > 64 {
+                return Err(format!(
+                    "{c}'s crossbar needs {ports} ports, above the 64-port \
+                     ceiling — use a constant-degree topology (mesh/torus) \
+                     for fabrics this large"
+                ));
+            }
         }
         self.routes().validate(self.topology)?;
         Ok(())
@@ -298,12 +389,31 @@ mod tests {
 
     #[test]
     fn defaults_validate_across_topologies() {
-        for t in [Topology::Chain, Topology::Star, Topology::Ring] {
+        for t in [
+            Topology::Chain,
+            Topology::Star,
+            Topology::Ring,
+            Topology::Mesh2D,
+            Topology::Torus2D,
+        ] {
             for n in 1..=8 {
                 FabricConfig::ac510(t, n, 0).validate().unwrap_or_else(|e| {
                     panic!("{} of {n}: {e}", t.label());
                 });
             }
+        }
+        // The widened CUB field: every non-hub topology validates at 64.
+        for t in [
+            Topology::Chain,
+            Topology::Ring,
+            Topology::Mesh2D,
+            Topology::Torus2D,
+        ] {
+            FabricConfig::ac510(t, 64, 0)
+                .validate()
+                .unwrap_or_else(|e| {
+                    panic!("{} of 64: {e}", t.label());
+                });
         }
     }
 
@@ -313,7 +423,7 @@ mod tests {
         cfg.cube_count = 0;
         assert!(cfg.validate().is_err());
         let mut cfg = FabricConfig::chain(0, 2);
-        cfg.cube_count = 9;
+        cfg.cube_count = 65;
         assert!(cfg.validate().is_err());
         let mut cfg = FabricConfig::chain(0, 2);
         cfg.hop.input_capacity_flits = 2;
@@ -321,6 +431,22 @@ mod tests {
         let mut cfg = FabricConfig::chain(0, 2);
         cfg.host.link_count = 1;
         assert!(cfg.validate().is_err());
+        // A 64-cube star hub would need 63 fabric ports plus its device
+        // and host links — past the 64-port crossbar ceiling.
+        let err = FabricConfig::star(0, 64).validate().unwrap_err();
+        assert!(err.contains("crossbar"), "{err}");
+        FabricConfig::star(0, 32).validate().unwrap();
+    }
+
+    #[test]
+    fn grid_dims_pick_the_most_square_factorization() {
+        assert_eq!(Topology::grid_dims(64), (8, 8));
+        assert_eq!(Topology::grid_dims(32), (4, 8));
+        assert_eq!(Topology::grid_dims(16), (4, 4));
+        assert_eq!(Topology::grid_dims(8), (2, 4));
+        assert_eq!(Topology::grid_dims(12), (3, 4));
+        assert_eq!(Topology::grid_dims(7), (1, 7), "prime degenerates");
+        assert_eq!(Topology::grid_dims(1), (1, 1));
     }
 
     #[test]
@@ -341,6 +467,25 @@ mod tests {
             vec![CubeId(1), CubeId(4)]
         );
         assert_eq!(Topology::Ring.neighbors(2, CubeId(0)), vec![CubeId(1)]);
+        // 2×4 mesh of 8: cube 2 sits at (0, 1) — left column, row 1.
+        assert_eq!(
+            Topology::Mesh2D.neighbors(8, CubeId(2)),
+            vec![CubeId(0), CubeId(3), CubeId(4)]
+        );
+        // Torus wraps both dimensions; the 2-wide x dimension dedups.
+        assert_eq!(
+            Topology::Torus2D.neighbors(8, CubeId(2)),
+            vec![CubeId(0), CubeId(3), CubeId(4)]
+        );
+        // 8×8 torus: interior degree 4 with wraps for the corner.
+        assert_eq!(
+            Topology::Torus2D.neighbors(64, CubeId(0)),
+            vec![CubeId(1), CubeId(7), CubeId(8), CubeId(56)]
+        );
+        assert_eq!(
+            Topology::Mesh2D.neighbors(64, CubeId(0)),
+            vec![CubeId(1), CubeId(8)]
+        );
     }
 
     #[test]

@@ -41,7 +41,7 @@ impl DomainPlan {
     pub fn new(n: usize, domains: usize, neighbors: impl Fn(usize) -> Vec<usize>) -> DomainPlan {
         let count = domains.clamp(1, n.max(1));
         let of_cube: Vec<usize> = (0..n).map(|c| c * count / n).collect();
-        // Domain-level adjacency, then all-pairs BFS (at most 8 domains).
+        // Domain-level adjacency, then all-pairs BFS (at most 64 domains).
         let mut adj = vec![vec![false; count]; count];
         for c in 0..n {
             for nb in neighbors(c) {
@@ -319,6 +319,40 @@ mod tests {
         let plan = DomainPlan::new(8, 4, chain_neighbors(8));
         assert_eq!(plan.dist[0], vec![0, 1, 2, 3]);
         assert_eq!(plan.dist[3], vec![3, 2, 1, 0]);
+    }
+
+    #[test]
+    fn sixty_four_cube_mesh_partitions_into_row_domains() {
+        // 8×8 mesh adjacency; 8 domains land one grid row per domain.
+        let mesh = |c: usize| {
+            let (x, y) = (c % 8, c / 8);
+            let mut v = Vec::new();
+            if x > 0 {
+                v.push(c - 1);
+            }
+            if x < 7 {
+                v.push(c + 1);
+            }
+            if y > 0 {
+                v.push(c - 8);
+            }
+            if y < 7 {
+                v.push(c + 8);
+            }
+            v
+        };
+        let plan = DomainPlan::new(64, 8, mesh);
+        assert_eq!(plan.count, 8);
+        for (c, &d) in plan.of_cube.iter().enumerate() {
+            assert_eq!(d, c / 8, "row-major blocks put each row in one domain");
+        }
+        // Adjacent rows are adjacent domains: the distance matrix is the
+        // row distance.
+        for a in 0..8 {
+            for b in 0..8 {
+                assert_eq!(plan.dist[a][b], a.abs_diff(b) as u32);
+            }
+        }
     }
 
     #[test]

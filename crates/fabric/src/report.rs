@@ -36,10 +36,12 @@ pub struct PortReport {
     /// request — read [`PortReport::cube_completions`] for those.
     pub cube: Option<CubeId>,
     /// Completions recorded in the measurement window per destination
-    /// cube (every addressable CUB value) — the per-cube attribution of a
-    /// split stream. For a fixed-targeting port only the targeted cube's
-    /// slot is nonzero.
-    pub cube_completions: [u64; CubeId::MAX_CUBES],
+    /// cube — the per-cube attribution of a split stream. Compact,
+    /// fabric-sized storage: indexed by [`CubeId::index`], grown only as
+    /// far as the highest cube this port completed against (so 64-wide
+    /// fabrics don't bloat every port); absent entries mean zero. For a
+    /// fixed-targeting port only the targeted cube's slot is nonzero.
+    pub cube_completions: Vec<u64>,
 }
 
 /// Counters of one cube's pass-through stage (absent on a single-cube
@@ -156,15 +158,21 @@ impl RunReport {
     pub fn cube_completions(&self, cube: CubeId) -> u64 {
         self.ports
             .iter()
-            .map(|p| p.cube_completions[cube.index()])
+            .map(|p| p.cube_completions.get(cube.index()).copied().unwrap_or(0))
             .sum()
     }
 
     /// Number of cubes that completed at least one recorded request — how
     /// widely a run's traffic actually spread across the fabric.
     pub fn cubes_hit(&self) -> usize {
-        (0..CubeId::MAX_CUBES)
-            .filter(|&c| self.cube_completions(CubeId(c as u8)) > 0)
+        let span = self
+            .ports
+            .iter()
+            .map(|p| p.cube_completions.len())
+            .max()
+            .unwrap_or(0);
+        CubeId::all(span as u8)
+            .filter(|&c| self.cube_completions(c) > 0)
             .count()
     }
 
@@ -317,8 +325,7 @@ mod tests {
             latency.record_ps(ns * 1_000);
             meter.add_bytes(bytes_per_access);
         }
-        let mut cube_completions = [0u64; CubeId::MAX_CUBES];
-        cube_completions[0] = latencies_ns.len() as u64;
+        let cube_completions = vec![latencies_ns.len() as u64];
         RunReport {
             ports: vec![PortReport {
                 port: PortId(0),

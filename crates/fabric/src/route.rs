@@ -1,7 +1,8 @@
 //! Source-routing tables for multi-cube fabrics.
 //!
 //! HMC chaining is *source-routed*: the host stamps each request with a
-//! 3-bit CUB field and every cube's link layer forwards packets whose CUB
+//! CUB field (6 bits here — see `DESIGN_CUB64.md`) and every cube's link
+//! layer forwards packets whose CUB
 //! does not match its own id toward the destination. The [`RouteTable`]
 //! here is the static next-hop function the cubes consult; it is built
 //! once per topology and guaranteed total, loop-free and deterministic
@@ -39,7 +40,9 @@ impl RouteTable {
     ///
     /// Tie-breaking is fixed: on a ring with an even cube count, the two
     /// directions to the antipodal cube are equally long and the
-    /// clockwise (ascending-id) direction is chosen.
+    /// clockwise (ascending-id) direction is chosen. Mesh and torus use
+    /// dimension-ordered routing (X fully, then Y), each torus dimension
+    /// breaking its antipodal tie clockwise like the ring.
     ///
     /// # Panics
     ///
@@ -48,7 +51,7 @@ impl RouteTable {
         assert!(n >= 1, "a fabric needs at least one cube");
         assert!(
             n <= crate::FabricConfig::MAX_CUBES,
-            "the 3-bit CUB field addresses at most 8 cubes"
+            "the 6-bit CUB field addresses at most 64 cubes"
         );
         let nn = usize::from(n);
         let mut next = vec![0u8; nn * nn];
@@ -72,13 +75,17 @@ impl RouteTable {
                                 0
                             }
                         }
-                        Topology::Ring => {
-                            let cw = (i16::from(dst) - i16::from(src)).rem_euclid(i16::from(n));
-                            let ccw = i16::from(n) - cw;
-                            if cw <= ccw {
-                                (src + 1) % n
+                        Topology::Ring => ring_step(src, dst, n),
+                        Topology::Mesh2D | Topology::Torus2D => {
+                            let (w, _) = Topology::grid_dims(n);
+                            let wrap = topology == Topology::Torus2D;
+                            let (sx, sy) = (src % w, src / w);
+                            let (dx, dy) = (dst % w, dst / w);
+                            // Dimension-ordered: correct X first, then Y.
+                            if sx != dx {
+                                sy * w + dim_step(sx, dx, w, wrap)
                             } else {
-                                (src + n - 1) % n
+                                dim_step(sy, dy, n / w, wrap) * w + sx
                             }
                         }
                     }
@@ -92,10 +99,10 @@ impl RouteTable {
     /// avoids the given permanently dead cube-to-cube links (unordered
     /// pairs — a dead link is dead in both directions).
     ///
-    /// On a ring the surviving links still connect every cube, so traffic
-    /// reroutes the long way around. On a chain or star any dead link
-    /// disconnects the fabric, and the build fails loudly instead of
-    /// silently dropping the stranded cubes' traffic.
+    /// On a ring, mesh or torus the surviving links usually still connect
+    /// every cube, so traffic reroutes around the dead edge. On a chain
+    /// or star any dead link disconnects the fabric, and the build fails
+    /// loudly instead of silently dropping the stranded cubes' traffic.
     ///
     /// The table is built by per-source BFS with ascending-id neighbor
     /// order, so it is deterministic; with no dead edges callers should
@@ -114,7 +121,7 @@ impl RouteTable {
         assert!(n >= 1, "a fabric needs at least one cube");
         assert!(
             n <= crate::FabricConfig::MAX_CUBES,
-            "the 3-bit CUB field addresses at most 8 cubes"
+            "the 6-bit CUB field addresses at most 64 cubes"
         );
         for &(a, b) in dead {
             if a >= n || b >= n {
@@ -249,6 +256,31 @@ impl RouteTable {
     }
 }
 
+/// One ring step from `src` toward `dst` on an `n`-ring: shortest
+/// direction, clockwise (ascending ids) on the antipodal tie.
+fn ring_step(src: u8, dst: u8, n: u8) -> u8 {
+    let cw = (i16::from(dst) - i16::from(src)).rem_euclid(i16::from(n));
+    let ccw = i16::from(n) - cw;
+    if cw <= ccw {
+        (src + 1) % n
+    } else {
+        (src + n - 1) % n
+    }
+}
+
+/// One step from coordinate `a` toward `b` along a grid dimension of
+/// extent `dim`: straight-line on a mesh, ring-style (shortest direction,
+/// clockwise tie-break) when the dimension wraps.
+fn dim_step(a: u8, b: u8, dim: u8, wrap: bool) -> u8 {
+    if wrap {
+        ring_step(a, b, dim)
+    } else if b > a {
+        a + 1
+    } else {
+        a - 1
+    }
+}
+
 impl fmt::Display for RouteTable {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "route table over {} cubes (next hops):", self.n)?;
@@ -359,8 +391,53 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "at most 8 cubes")]
+    fn mesh_routes_are_dimension_ordered() {
+        // 8×8 mesh: 0 -> 63 corrects X fully (0..7) then climbs Y.
+        let r = RouteTable::for_topology(Topology::Mesh2D, 64);
+        r.validate(Topology::Mesh2D).unwrap();
+        assert_eq!(r.next_hop(CubeId(0), CubeId(63)), CubeId(1));
+        assert_eq!(r.next_hop(CubeId(7), CubeId(63)), CubeId(15));
+        assert_eq!(r.hops(CubeId(0), CubeId(63)), 14, "mesh diameter");
+        // Manhattan distance everywhere: 0 at (0,0), 26 at (2,3).
+        assert_eq!(r.hops(CubeId(0), CubeId(26)), 5);
+    }
+
+    #[test]
+    fn torus_routes_wrap_and_tie_break_clockwise() {
+        let r = RouteTable::for_topology(Topology::Torus2D, 64);
+        r.validate(Topology::Torus2D).unwrap();
+        // (0,0) -> (7,0): one wrap step left beats seven right.
+        assert_eq!(r.next_hop(CubeId(0), CubeId(7)), CubeId(7));
+        // Antipodal in X (distance 4 both ways): clockwise.
+        assert_eq!(r.next_hop(CubeId(0), CubeId(4)), CubeId(1));
+        // Full antipodal corner: 4 + 4 hops.
+        assert_eq!(r.hops(CubeId(0), CubeId(36)), 8, "torus diameter");
+    }
+
+    #[test]
+    fn mesh_routes_around_a_dead_edge() {
+        // 2×4 mesh of 8: kill the 0-1 edge; 0 -> 1 detours via column 0.
+        let r = RouteTable::avoiding(Topology::Mesh2D, 8, &[(0, 1)]).unwrap();
+        r.validate(Topology::Mesh2D).unwrap();
+        assert_eq!(
+            r.path(CubeId(0), CubeId(1)),
+            vec![CubeId(0), CubeId(2), CubeId(3), CubeId(1)]
+        );
+    }
+
+    #[test]
+    fn prime_cube_counts_degenerate_to_a_column() {
+        let mesh = RouteTable::for_topology(Topology::Mesh2D, 7);
+        mesh.validate(Topology::Mesh2D).unwrap();
+        assert_eq!(mesh.hops(CubeId(0), CubeId(6)), 6, "1×7 chain");
+        let torus = RouteTable::for_topology(Topology::Torus2D, 7);
+        torus.validate(Topology::Torus2D).unwrap();
+        assert_eq!(torus.hops(CubeId(0), CubeId(6)), 1, "1×7 ring wraps");
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 64 cubes")]
     fn cub_field_limit_enforced() {
-        let _ = RouteTable::for_topology(Topology::Chain, 9);
+        let _ = RouteTable::for_topology(Topology::Chain, 65);
     }
 }

@@ -641,8 +641,10 @@ struct AdapterComp {
     /// egress enqueue or a token return that un-starved the head. Clean
     /// serializers are provably idle — `LinkTx` commits everything its
     /// tokens allow in one call and has no time-driven wakeups — so the
-    /// pump skips them entirely.
-    tx_dirty: u32,
+    /// pump skips them entirely. One u64 bounds a crossbar to 64 ports
+    /// ([`FabricConfig::validate`] enforces it — only star hubs past ~60
+    /// cubes can exceed the ceiling).
+    tx_dirty: u64,
     /// Armed at the crossbar's next output-free instant; disarmed while
     /// every queued head waits on credits (the credit return notifies).
     wake: AutoWake,
@@ -1033,7 +1035,7 @@ fn build_domain(plan: &BuildPlan, probe: &Probe, dom_of: &[usize], dom: usize) -
         .map(|(i, &c)| {
             let layout = plan.layouts[c].clone();
             let count = layout.count();
-            debug_assert!(count <= 32, "tx dirty mask covers 32 crossbar ports");
+            debug_assert!(count <= 64, "tx dirty mask covers 64 crossbar ports");
             let sw_cfg = SwitchConfig {
                 inputs: count,
                 outputs: count,
@@ -1357,7 +1359,7 @@ fn harvest_host(parts: &DomainParts, targets: &[CubeTargeting]) -> HostHarvest {
             reads: p.reads_recorded(),
             writes: p.writes_recorded(),
             cube: targets[p.id().index()].fixed_cube(),
-            cube_completions: *p.completed_by_cube(),
+            cube_completions: p.completed_by_cube().to_vec(),
         })
         .collect();
     HostHarvest {
@@ -1859,11 +1861,11 @@ impl FabricSim {
         let routes = cfg.routes();
         let dev_links = dev_cfg.link_count();
         let host_links = usize::from(cfg.host.link_count);
-        let layouts: Vec<AdapterLayout> = (0..n)
+        let layouts: Vec<AdapterLayout> = CubeId::all(cfg.cube_count)
             .map(|c| AdapterLayout {
                 dev_links,
-                neighbors: cfg.topology.neighbors(cfg.cube_count, CubeId(c as u8)),
-                host_links: if c == 0 { host_links } else { 0 },
+                neighbors: cfg.topology.neighbors(cfg.cube_count, c),
+                host_links: if c == CubeId::HOST { host_links } else { 0 },
             })
             .collect();
         let edge_base: Vec<usize> = layouts

@@ -8,15 +8,16 @@ fn topologies() -> impl Strategy<Value = Topology> {
     prop_oneof![
         Just(Topology::Chain),
         Just(Topology::Star),
-        Just(Topology::Ring)
+        Just(Topology::Ring),
+        Just(Topology::Mesh2D),
+        Just(Topology::Torus2D)
     ]
 }
-
 proptest! {
     /// Totality: every (src, dst) pair has a route that terminates at the
     /// destination within n−1 hops.
     #[test]
-    fn routes_are_total(topology in topologies(), n in 1u8..9) {
+    fn routes_are_total(topology in topologies(), n in 1u8..65) {
         let table = RouteTable::for_topology(topology, n);
         for src in 0..n {
             for dst in 0..n {
@@ -36,7 +37,7 @@ proptest! {
     /// table, i.e. no route revisits a cube and every hop follows a
     /// physical fabric link.
     #[test]
-    fn routes_are_loop_free_and_adjacent(topology in topologies(), n in 1u8..9) {
+    fn routes_are_loop_free_and_adjacent(topology in topologies(), n in 1u8..65) {
         let table = RouteTable::for_topology(topology, n);
         prop_assert!(table.validate(topology).is_ok());
     }
@@ -46,7 +47,7 @@ proptest! {
     /// topology and cube count — two fabrics with different seeds route
     /// identically).
     #[test]
-    fn routes_are_deterministic(topology in topologies(), n in 1u8..9, seed_a in any::<u64>(), seed_b in any::<u64>()) {
+    fn routes_are_deterministic(topology in topologies(), n in 1u8..65, seed_a in any::<u64>(), seed_b in any::<u64>()) {
         let x = RouteTable::for_topology(topology, n);
         let y = RouteTable::for_topology(topology, n);
         prop_assert_eq!(&x, &y);
@@ -61,7 +62,7 @@ proptest! {
     /// the hop count from b to a in every supported topology (responses
     /// pay exactly what requests paid).
     #[test]
-    fn hop_counts_are_symmetric(topology in topologies(), n in 1u8..9) {
+    fn hop_counts_are_symmetric(topology in topologies(), n in 1u8..65) {
         let table = RouteTable::for_topology(topology, n);
         for a in 0..n {
             for b in 0..n {
@@ -77,11 +78,12 @@ proptest! {
     /// directions to the antipodal cube are equally long, the *clockwise*
     /// (ascending-id, modulo n) direction is chosen — the promise
     /// `RouteTable::for_topology` documents. Locked for every even ring
-    /// the CUB field allows (n ∈ {2, 4, 6, 8}) and every source cube:
-    /// the first hop out of `src` toward `src + n/2` is `(src + 1) % n`,
-    /// and so is every subsequent hop (the whole route runs clockwise).
+    /// the 6-bit CUB field allows (n ∈ {2, 4, …, 64}) and every source
+    /// cube: the first hop out of `src` toward `src + n/2` is
+    /// `(src + 1) % n`, and so is every subsequent hop (the whole route
+    /// runs clockwise).
     #[test]
-    fn even_ring_antipodal_ties_break_clockwise(half in 1u8..5) {
+    fn even_ring_antipodal_ties_break_clockwise(half in 1u8..33) {
         let n = half * 2;
         let table = RouteTable::for_topology(Topology::Ring, n);
         for src in 0..n {
@@ -104,28 +106,78 @@ proptest! {
     }
 
     /// Every hop strictly shrinks the remaining distance (the routes are
-    /// shortest-path greedy, so they cannot stall or detour).
+    /// shortest-path greedy, so they cannot stall or detour). The
+    /// distance matrix is precomputed so the 64-cube cases stay cheap.
     #[test]
-    fn hops_strictly_approach_the_destination(topology in topologies(), n in 2u8..9) {
+    fn hops_strictly_approach_the_destination(topology in topologies(), n in 2u8..65) {
         let table = RouteTable::for_topology(topology, n);
+        let nn = usize::from(n);
+        let mut dist = vec![vec![0u32; nn]; nn];
+        for a in 0..n {
+            for b in 0..n {
+                dist[usize::from(a)][usize::from(b)] = table.hops(CubeId(a), CubeId(b));
+            }
+        }
         for src in 0..n {
             for dst in 0..n {
                 if src == dst {
                     continue;
                 }
                 let mut at = CubeId(src);
-                let mut remaining = table.hops(at, CubeId(dst));
                 while at != CubeId(dst) {
                     let next = table.next_hop(at, CubeId(dst));
-                    let next_remaining = table.hops(next, CubeId(dst));
                     prop_assert!(
-                        next_remaining < remaining,
+                        dist[next.index()][usize::from(dst)] < dist[at.index()][usize::from(dst)],
                         "{}: hop {}->{} does not approach {}",
                         topology.label(), at, next, dst
                     );
                     at = next;
-                    remaining = next_remaining;
                 }
+            }
+        }
+    }
+
+    /// Mesh routes pay exactly the Manhattan distance of the grid, and
+    /// torus routes exactly the sum of per-dimension ring distances —
+    /// dimension-ordered routing is shortest-path on both grids.
+    #[test]
+    fn grid_hop_counts_match_the_geometry(torus in any::<bool>(), n in 1u8..65) {
+        let topology = if torus { Topology::Torus2D } else { Topology::Mesh2D };
+        let (w, h) = Topology::grid_dims(n);
+        let table = RouteTable::for_topology(topology, n);
+        let ring_dist = |a: u8, b: u8, dim: u8| -> u32 {
+            let line = u32::from(a.abs_diff(b));
+            if torus { line.min(u32::from(dim) - line) } else { line }
+        };
+        for a in 0..n {
+            for b in 0..n {
+                let expected =
+                    ring_dist(a % w, b % w, w) + ring_dist(a / w, b / w, h);
+                prop_assert_eq!(
+                    table.hops(CubeId(a), CubeId(b)),
+                    expected,
+                    "{}: {}->{} (grid {}x{})", topology.label(), a, b, w, h
+                );
+            }
+        }
+    }
+
+    /// The torus inherits the ring's clockwise antipodal tie-break in
+    /// each even-extent dimension: from any cube, the first hop toward
+    /// the X-antipodal destination moves clockwise in X.
+    #[test]
+    fn torus_antipodal_ties_break_clockwise(n in 1u8..65) {
+        let (w, _) = Topology::grid_dims(n);
+        if w % 2 == 0 {
+            let table = RouteTable::for_topology(Topology::Torus2D, n);
+            for src in 0..n {
+                let (x, y) = (src % w, src / w);
+                let dst = CubeId(y * w + (x + w / 2) % w);
+                prop_assert_eq!(
+                    table.next_hop(CubeId(src), dst),
+                    CubeId(y * w + (x + 1) % w),
+                    "{}-torus (w={}): X-antipodal tie from {} must go clockwise", n, w, src
+                );
             }
         }
     }

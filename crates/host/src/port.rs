@@ -125,7 +125,9 @@ pub struct Port {
     writes_recorded: u64,
     /// Completions recorded in the measurement window, per destination
     /// cube — the per-cube attribution of a split (addressed) stream.
-    completed_by_cube: [u64; CubeId::MAX_CUBES],
+    /// Grown lazily to the highest completed cube, so ports of small
+    /// fabrics stay small even though CUB addresses 64 cubes.
+    completed_by_cube: Vec<u64>,
     probe: Probe,
 }
 
@@ -173,7 +175,7 @@ impl Port {
             bytes: BandwidthMeter::new(),
             reads_recorded: 0,
             writes_recorded: 0,
-            completed_by_cube: [0; CubeId::MAX_CUBES],
+            completed_by_cube: Vec::new(),
             probe: Probe::off(),
         }
     }
@@ -338,6 +340,9 @@ impl Port {
             } else {
                 self.writes_recorded += 1;
             }
+            if self.completed_by_cube.len() <= cube.index() {
+                self.completed_by_cube.resize(cube.index() + 1, 0);
+            }
             self.completed_by_cube[cube.index()] += 1;
             self.probe.completion(
                 u16::from(self.id.0),
@@ -417,11 +422,12 @@ impl Port {
     }
 
     /// Completions recorded in the measurement window, by destination
-    /// cube (indexed by [`CubeId::index`]; every addressable CUB value).
-    /// For a fixed-targeting port only one slot is ever nonzero; for an
-    /// addressed port this is the per-cube attribution of the split
-    /// stream.
-    pub fn completed_by_cube(&self) -> &[u64; CubeId::MAX_CUBES] {
+    /// cube (indexed by [`CubeId::index`]). The slice only reaches the
+    /// highest cube this port completed against — entries past its end
+    /// are zero. For a fixed-targeting port only one slot is ever
+    /// nonzero; for an addressed port this is the per-cube attribution
+    /// of the split stream.
+    pub fn completed_by_cube(&self) -> &[u64] {
         &self.completed_by_cube
     }
 
@@ -431,7 +437,7 @@ impl Port {
         self.bytes.reset();
         self.reads_recorded = 0;
         self.writes_recorded = 0;
-        self.completed_by_cube = [0; CubeId::MAX_CUBES];
+        self.completed_by_cube.clear();
     }
 
     /// Stops recording (end of the measurement window); responses still

@@ -2,15 +2,20 @@
 //! address.
 //!
 //! A single HMC request header addresses 34 bits (16 GB) inside one cube;
-//! a memory network of up to eight cubes spans a larger *global* space,
-//! and real chained deployments place the cube-select bits inside the
+//! a memory network of up to 64 cubes (the widened 6-bit CUB field —
+//! see `DESIGN_CUB64.md`) spans a larger *global* space, and real
+//! chained deployments place the cube-select bits inside the
 //! physical address so one request stream can exercise every cube
 //! (Hadidi et al., "Demystifying the Characteristics of 3D-Stacked
 //! Memories", ISPASS 2017). [`FabricAddressMap`] is that bit-field
 //! contract: it splits a [`GlobalAddress`] into `(CubeId, Address)` under
 //! one of two policies and rejects out-of-range values loudly — the
 //! checked boundary that replaces the silent 34-bit wrap of
-//! [`Address::new`].
+//! [`Address::new`]. The one deliberate exception: under the
+//! *interleaved* policy on a non-power-of-two cube count, cube-field
+//! values above the count are *redrawn* (folded modulo the count)
+//! instead of rejected, so uniform workloads can use the whole
+//! power-of-two window.
 
 use core::fmt;
 
@@ -51,7 +56,8 @@ impl fmt::Display for CubePolicy {
 /// map into the fabric.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SplitError {
-    /// The derived cube field names a cube the fabric does not have.
+    /// The derived cube field names a cube the fabric does not have
+    /// (blocked policy only — the interleaved policy redraws instead).
     CubeOutOfRange {
         /// The offending address.
         addr: GlobalAddress,
@@ -104,9 +110,13 @@ impl std::error::Error for SplitError {}
 /// bits), which is exactly the old static single-cube behavior.
 ///
 /// `split ∘ join` is the identity for every in-range pair, and `split`
-/// *rejects* every address that names a missing cube or sets bits above
-/// the global capacity — the loud replacement for [`Address::new`]'s
-/// silent wrap.
+/// *rejects* every address that sets bits above the global capacity —
+/// the loud replacement for [`Address::new`]'s silent wrap. A cube-field
+/// value naming a missing cube is rejected under the blocked policy; the
+/// interleaved policy *redraws* it (folds it modulo the cube count) so a
+/// non-power-of-two fabric still serves the whole power-of-two window —
+/// the fold deterministically double-weights the lowest cubes, which the
+/// per-cube completion report makes visible.
 ///
 /// # Examples
 ///
@@ -143,10 +153,14 @@ impl FabricAddressMap {
     ///
     /// # Panics
     ///
-    /// Panics if `cubes` is zero or above 8 (the CUB field is 3 bits).
+    /// Panics if `cubes` is zero or above 64 (the widened CUB field is
+    /// 6 bits — see `DESIGN_CUB64.md`).
     pub fn new(policy: CubePolicy, cubes: u8, map: &AddressMap) -> FabricAddressMap {
         assert!(cubes >= 1, "a fabric needs at least one cube");
-        assert!(cubes <= 8, "the 3-bit CUB field addresses at most 8 cubes");
+        assert!(
+            usize::from(cubes) <= CubeId::MAX_CUBES,
+            "the 6-bit CUB field addresses at most 64 cubes"
+        );
         let cube_shift = match policy {
             CubePolicy::Blocked => Address::BITS,
             CubePolicy::Interleaved => map.block_size().offset_bits(),
@@ -208,11 +222,13 @@ impl FabricAddressMap {
     /// `true` if *every* address of a power-of-two window of
     /// `window_bytes` splits successfully under this map — i.e. the
     /// window stays within the global capacity and every cube-field value
-    /// it can produce names a real cube. Generators that draw uniformly
+    /// it can produce maps to a real cube. Generators that draw uniformly
     /// from a window must check this at construction: a window that fails
     /// it makes some draws hit [`FabricAddressMap::split`]'s errors
-    /// mid-run (e.g. a window spanning the full cube field on a
-    /// non-power-of-two cube count).
+    /// mid-run. Under the interleaved policy every in-capacity window
+    /// splits — out-of-range cube-field values are redrawn, not
+    /// rejected — so only the blocked policy can fail on a sparse cube
+    /// field (non-power-of-two cube count).
     pub fn splits_whole_window(&self, window_bytes: u64) -> bool {
         assert!(
             window_bytes.is_power_of_two(),
@@ -222,11 +238,18 @@ impl FabricAddressMap {
         if self.global_bits() < 64 && top >> self.global_bits() != 0 {
             return false;
         }
-        // For a power-of-two window, `top` has every in-window bit set,
-        // so this is the largest cube-field value a draw can produce.
-        let b = self.cube_bits();
-        let field_top = (top >> self.cube_shift.min(63)) & ((1u64 << b) - 1);
-        field_top < u64::from(self.cubes)
+        match self.policy {
+            // The redraw fold maps every cube-field value in range.
+            CubePolicy::Interleaved => true,
+            CubePolicy::Blocked => {
+                // For a power-of-two window, `top` has every in-window bit
+                // set, so this is the largest cube-field value a draw can
+                // produce.
+                let b = self.cube_bits();
+                let field_top = (top >> self.cube_shift.min(63)) & ((1u64 << b) - 1);
+                field_top < u64::from(self.cubes)
+            }
+        }
     }
 
     /// Splits a global address into its destination cube and in-cube
@@ -234,9 +257,12 @@ impl FabricAddressMap {
     ///
     /// # Errors
     ///
-    /// Returns a [`SplitError`] if the address names a cube the fabric
-    /// does not have, or sets bits above the global capacity. Both cases
-    /// are exactly the values [`Address::new`] used to wrap silently.
+    /// Returns a [`SplitError`] if the address sets bits above the global
+    /// capacity, or (blocked policy only) names a cube the fabric does
+    /// not have. Both cases are exactly the values [`Address::new`] used
+    /// to wrap silently. Under the interleaved policy an out-of-range
+    /// cube field is *redrawn* — folded modulo the cube count — so
+    /// non-power-of-two fabrics serve the whole power-of-two window.
     pub fn split(&self, addr: GlobalAddress) -> Result<(CubeId, Address), SplitError> {
         let raw = addr.raw();
         let b = self.cube_bits();
@@ -246,17 +272,24 @@ impl FabricAddressMap {
                 bits: self.global_bits(),
             });
         }
-        let cube = if b == 0 {
+        let mut cube = if b == 0 {
             0
         } else {
             ((raw >> self.cube_shift) & ((1u64 << b) - 1)) as u8
         };
         if cube >= self.cubes {
-            return Err(SplitError::CubeOutOfRange {
-                addr,
-                cube,
-                cubes: self.cubes,
-            });
+            match self.policy {
+                // Deterministic fold: values `cubes..2^b` redraw onto the
+                // low cubes (skewing them — visible in per-cube reports).
+                CubePolicy::Interleaved => cube %= self.cubes,
+                CubePolicy::Blocked => {
+                    return Err(SplitError::CubeOutOfRange {
+                        addr,
+                        cube,
+                        cubes: self.cubes,
+                    });
+                }
+            }
         }
         let low = raw & ((1u64 << self.cube_shift) - 1);
         let high = raw >> (self.cube_shift + b);
@@ -380,7 +413,7 @@ mod tests {
     #[test]
     fn split_join_roundtrip_under_both_policies() {
         for policy in [CubePolicy::Blocked, CubePolicy::Interleaved] {
-            for cubes in [1u8, 2, 3, 5, 8] {
+            for cubes in [1u8, 2, 3, 5, 8, 16, 33, 64] {
                 let m = FabricAddressMap::new(policy, cubes, &map());
                 for cube in 0..cubes {
                     for local in [0u64, 0x7F, 0x1234_5678, Address::MASK] {
@@ -421,19 +454,51 @@ mod tests {
             Err(SplitError::AboveCapacity { bits: 37, .. })
         ));
 
-        // Interleaved: a cube-field value of 5..7 is out of range too.
+        let msg = blocked.split(bad).unwrap_err().to_string();
+        assert!(msg.contains("cube6"), "{msg}");
+    }
+
+    /// The non-power-of-two follow-up: on a 5-cube *interleaved* map,
+    /// cube-field values 5..7 redraw (fold modulo 5) instead of
+    /// rejecting, so the whole 37-bit window is servable.
+    #[test]
+    fn five_cube_interleaved_redraws_instead_of_rejecting() {
         let il = FabricAddressMap::new(CubePolicy::Interleaved, 5, &map());
-        let bad_il = GlobalAddress::new(6 << 7);
+        assert_eq!(il.cube_bits(), 3);
+        // 128 B blocks: cube bits at [7..10). Field values 5, 6, 7 fold
+        // onto cubes 0, 1, 2; the local address is unchanged by the fold.
+        for (field, folded) in [(5u64, 0u8), (6, 1), (7, 2)] {
+            let g = GlobalAddress::new(field << 7 | 0x40);
+            let (c, local) = il.split(g).unwrap();
+            assert_eq!(c, CubeId(folded), "field {field}");
+            assert_eq!(local.raw(), 0x40);
+        }
+        // In-range fields are untouched, so split ∘ join stays the
+        // identity.
+        for cube in 0..5u8 {
+            let a = Address::new(0x1234_5680);
+            assert_eq!(
+                il.split(il.join(CubeId(cube), a)).unwrap(),
+                (CubeId(cube), a)
+            );
+        }
+        // The full window now splits; capacity violations stay loud.
+        assert!(il.splits_whole_window(1 << 37));
         assert!(matches!(
-            il.split(bad_il),
+            il.split(GlobalAddress::new(1 << 40)),
+            Err(SplitError::AboveCapacity { bits: 37, .. })
+        ));
+        // Blocked keeps the reject: a linear walk crossing into a
+        // missing cube's block is a workload bug, not a redraw.
+        let blocked = FabricAddressMap::new(CubePolicy::Blocked, 5, &map());
+        assert!(matches!(
+            blocked.split(GlobalAddress::new(5u64 << 34)),
             Err(SplitError::CubeOutOfRange {
-                cube: 6,
+                cube: 5,
                 cubes: 5,
                 ..
             })
         ));
-        let msg = il.split(bad_il).unwrap_err().to_string();
-        assert!(msg.contains("cube6"), "{msg}");
     }
 
     #[test]
@@ -498,15 +563,18 @@ mod tests {
         assert!(m.splits_whole_window(1 << 34));
         assert!(m.splits_whole_window(1 << 36));
         assert!(!m.splits_whole_window(1 << 37));
-        // 5 cubes: a window reaching the cube field draws values 5..7,
-        // which name missing cubes — mid-run split errors, rejected up
-        // front instead.
+        // Blocked, 5 cubes: a window reaching the cube field draws
+        // values 5..7, which name missing cubes — mid-run split errors,
+        // rejected up front instead.
         let five = FabricAddressMap::new(CubePolicy::Blocked, 5, &map());
         assert!(five.splits_whole_window(1 << 34), "below the cube field");
         assert!(!five.splits_whole_window(1 << 37), "sparse cube field");
+        // Interleaved, 5 cubes: out-of-range fields redraw, so any
+        // in-capacity window splits.
         let il5 = FabricAddressMap::new(CubePolicy::Interleaved, 5, &map());
         assert!(il5.splits_whole_window(1 << 7), "one block, cube 0 only");
-        assert!(!il5.splits_whole_window(1 << 34));
+        assert!(il5.splits_whole_window(1 << 34), "redraw covers the field");
+        assert!(!il5.splits_whole_window(1 << 38), "capacity still gates");
         // Power-of-two counts are dense: the full window always splits.
         for cubes in [1u8, 2, 4, 8] {
             for policy in [CubePolicy::Blocked, CubePolicy::Interleaved] {
@@ -527,8 +595,8 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "at most 8")]
+    #[should_panic(expected = "at most 64")]
     fn cube_count_is_capped_by_the_cub_field() {
-        let _ = FabricAddressMap::new(CubePolicy::Blocked, 9, &map());
+        let _ = FabricAddressMap::new(CubePolicy::Blocked, 65, &map());
     }
 }

@@ -1,8 +1,11 @@
 //! Property tests for the address map: bijectivity, interleaving structure
-//! and mask/anti-mask pattern confinement.
+//! and mask/anti-mask pattern confinement — plus the fabric split/join
+//! contract across the full 6-bit CUB range.
 
-use hmc_mapping::{AccessPattern, AddressMap, BlockSize, Geometry, VaultId};
-use hmc_packet::Address;
+use hmc_mapping::{
+    AccessPattern, AddressMap, BlockSize, CubePolicy, FabricAddressMap, Geometry, VaultId,
+};
+use hmc_packet::{Address, CubeId, GlobalAddress};
 use proptest::prelude::*;
 
 fn block_sizes() -> impl Strategy<Value = BlockSize> {
@@ -96,5 +99,80 @@ proptest! {
         prop_assert_eq!(vaults.len(), 16);
         let expected_banks = (4096 / (block.bytes() * 16)).max(1) as usize;
         prop_assert_eq!(banks.len(), expected_banks);
+    }
+
+    /// split ∘ join is the identity for every cube of every fabric size
+    /// the 6-bit CUB field allows, under both policies: joining a
+    /// (cube, local) pair always produces a global address that splits
+    /// back to exactly that pair.
+    #[test]
+    fn split_join_identity_across_cube_counts(
+        cubes in 1u8..65,
+        interleaved in any::<bool>(),
+        cube_seed in any::<u64>(),
+        local_seed in any::<u64>(),
+    ) {
+        let policy = if interleaved {
+            CubePolicy::Interleaved
+        } else {
+            CubePolicy::Blocked
+        };
+        let map = FabricAddressMap::new(policy, cubes, &AddressMap::hmc_gen2_default());
+        let cube = CubeId((cube_seed % u64::from(cubes)) as u8);
+        let local = Address::new(local_seed);
+        let global = map.join(cube, local);
+        prop_assert_eq!(map.split(global), Ok((cube, local)), "{} x{}", policy.label(), cubes);
+    }
+
+    /// join ∘ split is the identity on every in-capacity global address
+    /// whose cube field is in range — splitting and rejoining reproduces
+    /// the original address bit-for-bit under both policies.
+    #[test]
+    fn join_split_identity_on_in_range_addresses(
+        cubes in 1u8..65,
+        interleaved in any::<bool>(),
+        raw in any::<u64>(),
+    ) {
+        let base = AddressMap::hmc_gen2_default();
+        let (policy, shift) = if interleaved {
+            (CubePolicy::Interleaved, base.block_size().offset_bits())
+        } else {
+            (CubePolicy::Blocked, Address::BITS)
+        };
+        let map = FabricAddressMap::new(policy, cubes, &base);
+        let in_cube = raw & Address::MASK;
+        let field = (raw >> Address::BITS) % u64::from(cubes);
+        // Weave an in-range cube field into the policy's field position.
+        let global = GlobalAddress::new(
+            ((in_cube >> shift) << (shift + map.cube_bits()))
+                | (field << shift)
+                | (in_cube & ((1u64 << shift) - 1)),
+        );
+        let (cube, local) = map.split(global).unwrap();
+        prop_assert_eq!(cube, CubeId(field as u8));
+        prop_assert_eq!(map.join(cube, local), global, "{} x{}", policy.label(), cubes);
+    }
+
+    /// Under the interleaved policy *every* in-capacity global address
+    /// splits: out-of-range cube fields are redrawn (folded mod the cube
+    /// count) instead of rejected, and the result always names a real
+    /// cube. The blocked policy must still reject the same out-of-range
+    /// fields loudly.
+    #[test]
+    fn interleaved_redraw_always_splits(cubes in 1u8..65, raw in any::<u64>()) {
+        let base = AddressMap::hmc_gen2_default();
+        let il = FabricAddressMap::new(CubePolicy::Interleaved, cubes, &base);
+        let global = GlobalAddress::new(raw & ((1u64 << il.global_bits()) - 1));
+        let (cube, _) = il.split(global).expect("interleaved split is total in capacity");
+        prop_assert!(cube.0 < cubes);
+        prop_assert!(il.splits_whole_window(1u64 << il.global_bits()));
+        let blocked = FabricAddressMap::new(CubePolicy::Blocked, cubes, &base);
+        let field = (global.raw() >> Address::BITS) & ((1u64 << blocked.cube_bits()) - 1);
+        if field >= u64::from(cubes) {
+            prop_assert!(blocked.split(global).is_err(), "blocked must reject field {}", field);
+        } else {
+            let (bc, _) = blocked.split(global).expect("in-range blocked field splits");
+            prop_assert_eq!(bc, CubeId(field as u8));
+        }
     }
 }

@@ -112,9 +112,10 @@ impl fmt::Display for Address {
 /// A fabric-global address: the full 64-bit value a workload generates,
 /// *before* it is split into a cube id and a 34-bit in-cube [`Address`].
 ///
-/// A single HMC request header only carries 34 address bits plus the
-/// 3-bit CUB field; a memory network of up to eight cubes therefore spans
-/// a 37-bit global space. `GlobalAddress` is the deliberately *unchecked*
+/// A single HMC request header carries 34 address bits plus the CUB
+/// field — widened here from the spec's 3 bits to 6 (see
+/// `DESIGN_CUB64.md`); a memory network of up to 64 cubes therefore
+/// spans a 40-bit global space. `GlobalAddress` is the deliberately *unchecked*
 /// carrier for such values — it preserves every bit the workload produced
 /// so that the fabric boundary (a `FabricAddressMap` split, or
 /// [`Address::try_new`]) can reject out-of-range values loudly instead of
@@ -182,7 +183,13 @@ impl From<Address> for GlobalAddress {
 }
 
 /// Identifies one cube of a memory network — the HMC request header's
-/// 3-bit CUB field.
+/// CUB field.
+///
+/// The HMC 2.1 spec reserves 3 bits for CUB (8 cubes). This workspace
+/// deliberately widens the field to 6 bits so fabrics can scale to 64
+/// cubes — a documented deviation, not an emulation of shipped silicon;
+/// `DESIGN_CUB64.md` records the tradeoff against hierarchical cube
+/// groups and which paper calibration points survive the change.
 ///
 /// Lives in `hmc_packet` alongside [`PortId`]/[`LinkId`]/[`Tag`] because
 /// it *is* a header field: the host stamps it on every
@@ -195,17 +202,32 @@ impl CubeId {
     /// The host-attached root cube.
     pub const HOST: CubeId = CubeId(0);
 
-    /// Width of the request header's CUB field in bits.
-    pub const CUB_BITS: u32 = 3;
+    /// Width of the request header's CUB field in bits. The HMC spec
+    /// says 3; this workspace widens it to 6 (64 cubes) as a documented
+    /// deviation — see `DESIGN_CUB64.md`.
+    pub const CUB_BITS: u32 = 6;
 
     /// How many cubes the CUB field can address — the upper bound every
-    /// per-cube array in the workspace is sized from.
+    /// per-cube structure in the workspace is sized from.
     pub const MAX_CUBES: usize = 1 << Self::CUB_BITS;
 
     /// The dense index of this cube.
     #[inline]
     pub fn index(self) -> usize {
         usize::from(self.0)
+    }
+
+    /// Iterates the cube ids of an `n`-cube fabric in ascending order:
+    /// `cube0, cube1, .., cube(n-1)`.
+    ///
+    /// ```
+    /// use hmc_packet::CubeId;
+    /// let ids: Vec<_> = CubeId::all(3).collect();
+    /// assert_eq!(ids, [CubeId(0), CubeId(1), CubeId(2)]);
+    /// ```
+    #[inline]
+    pub fn all(n: u8) -> impl Iterator<Item = CubeId> {
+        (0..n).map(CubeId)
     }
 }
 

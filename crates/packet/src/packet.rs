@@ -124,9 +124,9 @@ pub struct RequestPacket {
     pub port: PortId,
     /// The port-local tag identifying this outstanding transaction.
     pub tag: Tag,
-    /// The destination cube — the header's 3-bit CUB field, stamped by
-    /// the host when the global address is split. [`CubeId::HOST`] on a
-    /// single-cube system.
+    /// The destination cube — the header's CUB field (widened to 6 bits
+    /// here; see `DESIGN_CUB64.md`), stamped by the host when the global
+    /// address is split. [`CubeId::HOST`] on a single-cube system.
     pub cube: CubeId,
     /// The 34-bit in-cube target address.
     pub addr: Address,
